@@ -1,0 +1,25 @@
+//! PODEM throughput over whole collapsed fault lists.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use musa_circuits::Benchmark;
+use musa_netlist::collapsed_faults;
+use musa_testgen::atpg_all;
+use std::hint::black_box;
+
+fn bench_atpg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("podem_all_faults");
+    group.sample_size(10);
+    for bench in [Benchmark::C17, Benchmark::C432] {
+        let circuit = bench.load().expect("benchmark loads");
+        let faults = collapsed_faults(&circuit.netlist);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(bench.name()),
+            &(&circuit.netlist, &faults),
+            |b, (nl, faults)| b.iter(|| black_box(atpg_all(nl, faults, 10_000))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_atpg);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Fault-simulator throughput: PPSFP on combinational circuits and
+//! parallel-fault on sequential ones.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use musa_circuits::Benchmark;
+use musa_netlist::{collapsed_faults, fault_simulate};
+use musa_testgen::lfsr_patterns;
+use std::hint::black_box;
+
+fn bench_fault_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fault_sim");
+    group.sample_size(10);
+    for bench in [Benchmark::C17, Benchmark::C432, Benchmark::C499, Benchmark::B01] {
+        let circuit = bench.load().expect("benchmark loads");
+        let faults = collapsed_faults(&circuit.netlist);
+        let patterns = lfsr_patterns(circuit.netlist.inputs().len(), 128, 7);
+        group.bench_with_input(
+            BenchmarkId::new("128_vectors", bench.name()),
+            &(&circuit.netlist, &faults, &patterns),
+            |b, (nl, faults, patterns)| {
+                b.iter(|| black_box(fault_simulate(nl, faults, patterns)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fault_sim);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Mutation-engine throughput: mutant generation and differential
+//! execution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use musa_circuits::Benchmark;
+use musa_mutation::{execute_mutants, generate_mutants, GenerateOptions};
+use musa_testgen::random_sequence;
+use std::hint::black_box;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mutant_generation");
+    group.sample_size(10);
+    for bench in [Benchmark::B01, Benchmark::C432, Benchmark::C499] {
+        let circuit = bench.load().expect("benchmark loads");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(bench.name()),
+            &circuit,
+            |b, circuit| {
+                b.iter(|| {
+                    black_box(generate_mutants(
+                        &circuit.checked,
+                        &circuit.name,
+                        &GenerateOptions::default(),
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_execution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mutant_execution");
+    group.sample_size(10);
+    for bench in [Benchmark::B01, Benchmark::C432] {
+        let circuit = bench.load().expect("benchmark loads");
+        let mutants = generate_mutants(
+            &circuit.checked,
+            &circuit.name,
+            &GenerateOptions::default(),
+        );
+        let sequence = random_sequence(circuit.info(), 32, 9);
+        group.bench_with_input(
+            BenchmarkId::new("32_vectors", bench.name()),
+            &(&circuit, &mutants, &sequence),
+            |b, (circuit, mutants, sequence)| {
+                b.iter(|| {
+                    black_box(
+                        execute_mutants(&circuit.checked, &circuit.name, mutants, sequence)
+                            .expect("mutants belong to the design"),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_execution);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Front-end throughput: parse + check + synthesize each benchmark.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use musa_circuits::Benchmark;
+use std::hint::black_box;
+
+fn bench_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parse_check_synthesize");
+    for bench in [Benchmark::B01, Benchmark::B03, Benchmark::C432, Benchmark::C499] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(bench.name()),
+            &bench,
+            |b, bench| b.iter(|| black_box(bench.load().expect("benchmark loads"))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_synthesis);
+criterion_main!(benches);

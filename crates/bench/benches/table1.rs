@@ -1,0 +1,29 @@
+//! End-to-end Table 1 regeneration (fast preset, smallest paper
+//! circuit) — tracks pipeline-level regressions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use musa_circuits::Benchmark;
+use musa_core::{ExperimentConfig, Table1};
+use musa_mutation::MutationOperator;
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("b01_paper_operators_fast", |b| {
+        b.iter(|| {
+            black_box(
+                Table1::measure(
+                    &[Benchmark::B01],
+                    &MutationOperator::paper_set(),
+                    &ExperimentConfig::fast(0xBE11C4),
+                )
+                .expect("pipeline runs"),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! End-to-end Table 2 regeneration (fast preset, smallest paper
+//! circuit) — tracks sampling-experiment regressions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use musa_circuits::Benchmark;
+use musa_core::{ExperimentConfig, Table2};
+use std::hint::black_box;
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    group.bench_function("b01_ten_percent_fast", |b| {
+        b.iter(|| {
+            black_box(
+                Table2::measure(&[Benchmark::B01], 0.10, &ExperimentConfig::fast(0xBE22))
+                    .expect("pipeline runs"),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,129 @@
+//! # musa-bench — harness regenerating the paper's evaluation
+//!
+//! Binaries (run with `--release`):
+//!
+//! | binary | regenerates |
+//! |---|---|
+//! | `table1` | Table 1 — operator fault-coverage efficiency |
+//! | `table2` | Table 2 — test-oriented vs random 10 % sampling |
+//! | `sweep_fraction` | E1 — sampling-fraction sweep |
+//! | `coverage_curves` | E2 — MFC/RFC curves |
+//! | `atpg_topup` | E3 — ATPG effort with/without validation reuse |
+//! | `equivalence_ablation` | E4 — MS vs equivalence budget |
+//!
+//! Every binary accepts `--fast` to run a scaled-down configuration
+//! (seconds instead of minutes) and `--seed N` to change the master
+//! seed. Criterion micro-benchmarks live under `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use musa_core::ExperimentConfig;
+
+/// Paper-reported values, for side-by-side printing.
+pub mod paper {
+    /// Table 1 rows as printed in the paper:
+    /// `(circuit, operator, ΔFC%, ΔL%, NLFCE)`.
+    pub const TABLE1: &[(&str, &str, f64, f64, f64)] = &[
+        ("b01", "LOR", 0.66, 10.84, 7.16),
+        ("b01", "VR", 1.36, 17.43, 23.7),
+        ("b01", "CVR", 1.72, 18.81, 32.3),
+        ("b01", "CR", 2.32, 37.60, 87.3),
+        ("b03", "VR", 4.10, 28.39, 116.0),
+        ("b03", "CVR", 8.08, 55.29, 447.0),
+        ("b03", "CR", 9.57, 49.89, 477.0),
+        ("c432", "LOR", 4.14, 32.35, 134.0),
+        ("c432", "VR", 9.40, 56.62, 532.0),
+        ("c432", "CVR", 11.67, 81.86, 955.0),
+        ("c499", "LOR", 4.72, 64.26, 303.0),
+        ("c499", "VR", 6.18, 73.10, 452.0),
+        ("c499", "CVR", 4.53, 84.96, 385.0),
+    ];
+
+    /// Table 2 rows: `(circuit, TO MS%, TO NLFCE, RS MS%, RS NLFCE)`.
+    pub const TABLE2: &[(&str, f64, f64, f64, f64)] = &[
+        ("b01", 85.98, 340.0, 83.71, 278.0),
+        ("b03", 64.16, 1089.0, 62.22, 712.0),
+        ("c432", 88.18, 708.0, 85.62, 419.0),
+        ("c499", 94.75, 518.0, 90.32, 500.0),
+    ];
+}
+
+/// Command-line options shared by every bench binary.
+#[derive(Debug, Clone, Copy)]
+pub struct CliOptions {
+    /// Use the scaled-down configuration.
+    pub fast: bool,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl CliOptions {
+    /// Parses `--fast` and `--seed N` from `std::env::args`.
+    pub fn from_args() -> Self {
+        let mut fast = false;
+        let mut seed = 0xDA7E_2005u64;
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--fast" => fast = true,
+                "--seed" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        seed = v;
+                        i += 1;
+                    }
+                }
+                other => eprintln!("ignoring unknown argument `{other}`"),
+            }
+            i += 1;
+        }
+        Self { fast, seed }
+    }
+
+    /// The experiment configuration these options select.
+    pub fn config(&self) -> ExperimentConfig {
+        if self.fast {
+            ExperimentConfig::fast(self.seed)
+        } else {
+            ExperimentConfig::paper(self.seed)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_tables_are_consistent_products() {
+        // Sanity: NLFCE ≈ ΔFC% × ΔL% for every Table 1 row (the paper
+        // rounds to 3 significant figures).
+        for &(circuit, op, dfc, dl, nlfce) in paper::TABLE1 {
+            let product = dfc * dl;
+            let tolerance = nlfce.abs() * 0.02 + 0.5;
+            assert!(
+                (product - nlfce).abs() < tolerance,
+                "{circuit}/{op}: {dfc}×{dl}={product} vs {nlfce}"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_table2_test_oriented_always_wins() {
+        for &(circuit, to_ms, to_nlfce, rs_ms, rs_nlfce) in paper::TABLE2 {
+            assert!(to_ms > rs_ms, "{circuit} MS");
+            assert!(to_nlfce > rs_nlfce, "{circuit} NLFCE");
+        }
+    }
+
+    #[test]
+    fn default_options() {
+        let opts = CliOptions {
+            fast: true,
+            seed: 42,
+        };
+        let cfg = opts.config();
+        assert_eq!(cfg.seed, 42);
+    }
+}

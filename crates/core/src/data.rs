@@ -1,0 +1,105 @@
+//! Shared plumbing: behavioral test data → gate-level coverage curves.
+
+use musa_circuits::Circuit;
+use musa_metrics::CoverageCurve;
+use musa_mutation::TestSequence;
+use musa_netlist::{collapsed_faults, fault_simulate_sessions, Fault, Pattern};
+use musa_synth::flatten_sequence;
+use musa_testgen::testbench_patterns;
+
+/// The gate-level fault universe of a circuit (collapsed single
+/// stuck-at list).
+pub fn fault_universe(circuit: &Circuit) -> Vec<Fault> {
+    collapsed_faults(&circuit.netlist)
+}
+
+/// Flattens behavioral test sessions into gate-level pattern sessions.
+pub fn sessions_to_patterns(circuit: &Circuit, sessions: &[TestSequence]) -> Vec<Vec<Pattern>> {
+    let info = circuit.info();
+    sessions
+        .iter()
+        .map(|s| flatten_sequence(info, s))
+        .collect()
+}
+
+/// Fault-simulates behavioral sessions on the synthesized netlist and
+/// returns the cumulative coverage curve.
+pub fn coverage_of_sessions(
+    circuit: &Circuit,
+    faults: &[Fault],
+    sessions: &[TestSequence],
+) -> CoverageCurve {
+    let patterns = sessions_to_patterns(circuit, sessions);
+    let result = fault_simulate_sessions(&circuit.netlist, faults, &patterns);
+    CoverageCurve::new(result.coverage_curve())
+}
+
+/// Fault-simulates an LFSR pseudo-random baseline of the given length
+/// and returns its coverage curve (paper §3's `RFC`).
+pub fn random_baseline_curve(
+    circuit: &Circuit,
+    faults: &[Fault],
+    len: usize,
+    seed: u64,
+) -> CoverageCurve {
+    let patterns = testbench_patterns(&circuit.netlist, len, seed);
+    let result = fault_simulate_sessions(&circuit.netlist, faults, &[patterns]);
+    CoverageCurve::new(result.coverage_curve())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use musa_circuits::Benchmark;
+    use musa_hdl::Bits;
+
+    #[test]
+    fn universe_is_nonempty_and_stable() {
+        let c17 = Benchmark::C17.load().unwrap();
+        let u1 = fault_universe(&c17);
+        let u2 = fault_universe(&c17);
+        assert!(!u1.is_empty());
+        assert_eq!(u1, u2);
+    }
+
+    #[test]
+    fn coverage_of_exhaustive_c17_sessions_is_full() {
+        let c17 = Benchmark::C17.load().unwrap();
+        let faults = fault_universe(&c17);
+        // All 32 patterns as one behavioral session.
+        let session: TestSequence = (0..32u64)
+            .map(|p| (0..5).map(|i| Bits::new(1, (p >> i) & 1)).collect())
+            .collect();
+        let curve = coverage_of_sessions(&c17, &faults, &[session]);
+        assert!((curve.final_coverage() - 1.0).abs() < 1e-12);
+        assert_eq!(curve.len(), 32);
+    }
+
+    #[test]
+    fn random_baseline_improves_with_length() {
+        let c17 = Benchmark::C17.load().unwrap();
+        let faults = fault_universe(&c17);
+        let short = random_baseline_curve(&c17, &faults, 4, 9);
+        let long = random_baseline_curve(&c17, &faults, 64, 9);
+        assert!(long.final_coverage() >= short.final_coverage());
+        assert!(long.final_coverage() > 0.9, "64 LFSR patterns saturate c17");
+    }
+
+    #[test]
+    fn sequential_sessions_flatten_correctly() {
+        let b01 = Benchmark::B01.load().unwrap();
+        let faults = fault_universe(&b01);
+        let session: TestSequence = (0..16u64)
+            .map(|i| {
+                vec![
+                    Bits::new(1, u64::from(i == 0)), // reset pulse first
+                    Bits::new(1, i & 1),
+                    Bits::new(1, (i >> 1) & 1),
+                ]
+            })
+            .collect();
+        let curve = coverage_of_sessions(&b01, &faults, &[session.clone(), session]);
+        assert_eq!(curve.len(), 32);
+        assert!(curve.final_coverage() > 0.0);
+    }
+}

@@ -1,0 +1,300 @@
+//! The sampling experiment — the machinery behind Table 2.
+//!
+//! Paper §4: sample a fixed fraction of the mutant population (10 %),
+//! generate validation data from the *sampled* mutants only, then
+//! measure (a) the Mutation Score of that data against the **entire**
+//! population and (b) its gate-level NLFCE versus the pseudo-random
+//! baseline.
+
+use crate::config::ExperimentConfig;
+use crate::data::{coverage_of_sessions, fault_universe, random_baseline_curve};
+use musa_circuits::Circuit;
+use musa_metrics::{Nlfce, NlfceInputs};
+use musa_mutation::{
+    classify_mutants, execute_mutants, generate_mutants, EquivalenceClass, GenerateOptions,
+    KillResult, Mutant, MutationError, MutationScore,
+};
+use musa_prng::{Prng, SplitMix64};
+use musa_testgen::{mutation_guided_tests, sample_mutants, MgConfig, SamplingStrategy};
+
+/// Outcome of one sampling experiment (one Table 2 cell pair).
+#[derive(Debug, Clone)]
+pub struct SamplingOutcome {
+    /// Strategy label (`random` / `test-oriented`).
+    pub strategy: &'static str,
+    /// Total mutant population size (`M`).
+    pub population: usize,
+    /// Number of sampled mutants the data was generated from.
+    pub sampled: usize,
+    /// Mutation Score of the generated data on the full population, in
+    /// percent (paper's `MS%`).
+    pub mutation_score_pct: f64,
+    /// The full score breakdown.
+    pub score: MutationScore,
+    /// Gate-level metrics of the generated data vs the random baseline.
+    pub metrics: Nlfce,
+    /// NLFCE convenience copy (`metrics.nlfce`).
+    pub nlfce: f64,
+    /// Total validation-data length.
+    pub data_len: usize,
+}
+
+/// Runs one sampling experiment on a circuit.
+///
+/// # Errors
+///
+/// Propagates [`MutationError`] from mutant execution.
+pub fn run_sampling_experiment(
+    circuit: &Circuit,
+    strategy: SamplingStrategy,
+    config: &ExperimentConfig,
+) -> Result<SamplingOutcome, MutationError> {
+    let population = generate_mutants(
+        &circuit.checked,
+        &circuit.name,
+        &GenerateOptions::default(),
+    );
+    run_sampling_experiment_on(circuit, &population, strategy, config)
+}
+
+/// Same as [`run_sampling_experiment`] but over a pre-generated
+/// population (avoids re-enumeration when comparing strategies).
+///
+/// Averages `config.repetitions` independent repetitions (fresh sample,
+/// data and baseline seeds each time): single 10 % samples are noisy.
+///
+/// # Errors
+///
+/// Propagates [`MutationError`] from mutant execution.
+pub fn run_sampling_experiment_on(
+    circuit: &Circuit,
+    population: &[Mutant],
+    strategy: SamplingStrategy,
+    config: &ExperimentConfig,
+) -> Result<SamplingOutcome, MutationError> {
+    let mut seeder = SplitMix64::new(config.seed ^ 0xA5A5_5A5A_1234_4321);
+    let repetitions = config.repetitions.max(1);
+    let mut outcomes = Vec::with_capacity(repetitions);
+    for _ in 0..repetitions {
+        outcomes.push(run_sampling_once(
+            circuit,
+            population,
+            &strategy,
+            config,
+            seeder.next_u64(),
+            seeder.next_u64(),
+            seeder.next_u64(),
+        )?);
+    }
+    let n = outcomes.len() as f64;
+    let mut mean = outcomes.last().cloned().expect("repetitions >= 1");
+    mean.mutation_score_pct = outcomes.iter().map(|o| o.mutation_score_pct).sum::<f64>() / n;
+    mean.nlfce = outcomes.iter().map(|o| o.nlfce).sum::<f64>() / n;
+    mean.metrics.delta_fc_pct =
+        outcomes.iter().map(|o| o.metrics.delta_fc_pct).sum::<f64>() / n;
+    mean.metrics.delta_l_pct =
+        outcomes.iter().map(|o| o.metrics.delta_l_pct).sum::<f64>() / n;
+    mean.metrics.nlfce = mean.nlfce;
+    mean.data_len =
+        (outcomes.iter().map(|o| o.data_len).sum::<usize>() as f64 / n).round() as usize;
+    Ok(mean)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_sampling_once(
+    circuit: &Circuit,
+    population: &[Mutant],
+    strategy: &SamplingStrategy,
+    config: &ExperimentConfig,
+    sample_seed: u64,
+    mg_seed: u64,
+    baseline_seed: u64,
+) -> Result<SamplingOutcome, MutationError> {
+    // 1. Sample the population.
+    let selected = sample_mutants(population, strategy, sample_seed);
+    let subset: Vec<Mutant> = selected.iter().map(|&i| population[i].clone()).collect();
+
+    // 2. Validation data from the sampled mutants only.
+    let mg = MgConfig {
+        seed: mg_seed,
+        ..config.mg
+    };
+    let generated = mutation_guided_tests(&circuit.checked, &circuit.name, &subset, &mg)?;
+
+    // 3. Mutation Score on the FULL population.
+    let kills = kills_over_sessions(circuit, population, &generated.sessions)?;
+    let classes = classify_survivors(circuit, population, &kills, config)?;
+    let score = MutationScore::from_results(&kills, &classes);
+
+    // 4. Gate-level efficiency of the same data.
+    let faults = fault_universe(circuit);
+    let mutation_curve = coverage_of_sessions(circuit, &faults, &generated.sessions);
+    let baseline_len = config.baseline_len(mutation_curve.len());
+    let random_curve = random_baseline_curve(circuit, &faults, baseline_len, baseline_seed);
+    let metrics = NlfceInputs {
+        mutation: &mutation_curve,
+        random: &random_curve,
+    }
+    .compute();
+
+    Ok(SamplingOutcome {
+        strategy: strategy.label(),
+        population: population.len(),
+        sampled: subset.len(),
+        mutation_score_pct: score.percent(),
+        score,
+        metrics,
+        nlfce: metrics.nlfce,
+        data_len: generated.total_len(),
+    })
+}
+
+/// Executes the whole population against multi-session data with fault
+/// dropping across sessions.
+pub(crate) fn kills_over_sessions(
+    circuit: &Circuit,
+    population: &[Mutant],
+    sessions: &[Vec<Vec<musa_hdl::Bits>>],
+) -> Result<KillResult, MutationError> {
+    let mut first_kill: Vec<Option<usize>> = vec![None; population.len()];
+    let mut base = 0usize;
+    for session in sessions {
+        let live: Vec<usize> = (0..population.len())
+            .filter(|&i| first_kill[i].is_none())
+            .collect();
+        if live.is_empty() {
+            base += session.len();
+            continue;
+        }
+        let subset: Vec<Mutant> = live.iter().map(|&i| population[i].clone()).collect();
+        let result = execute_mutants(&circuit.checked, &circuit.name, &subset, session)?;
+        for (slot, &mi) in live.iter().enumerate() {
+            if let Some(t) = result.first_kill[slot] {
+                first_kill[mi] = Some(base + t);
+            }
+        }
+        base += session.len();
+    }
+    Ok(KillResult { first_kill })
+}
+
+/// Classifies only the surviving mutants (killed ones are trivially
+/// non-equivalent), sparing the bulk of the equivalence budget.
+pub(crate) fn classify_survivors(
+    circuit: &Circuit,
+    population: &[Mutant],
+    kills: &KillResult,
+    config: &ExperimentConfig,
+) -> Result<Vec<EquivalenceClass>, MutationError> {
+    let survivors: Vec<usize> = kills.alive();
+    let subset: Vec<Mutant> = survivors.iter().map(|&i| population[i].clone()).collect();
+    let survivor_classes = classify_mutants(
+        &circuit.checked,
+        &circuit.name,
+        &subset,
+        &config.equivalence,
+    )?;
+    let mut classes = vec![EquivalenceClass::Killable; population.len()];
+    for (slot, &mi) in survivors.iter().enumerate() {
+        classes[mi] = survivor_classes[slot];
+    }
+    Ok(classes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use musa_circuits::Benchmark;
+    use musa_testgen::OperatorWeights;
+
+    #[test]
+    fn random_sampling_experiment_runs_on_c17() {
+        let c17 = Benchmark::C17.load().unwrap();
+        let outcome = run_sampling_experiment(
+            &c17,
+            SamplingStrategy::random(0.5),
+            &ExperimentConfig::fast(0x21),
+        )
+        .unwrap();
+        assert_eq!(outcome.strategy, "random");
+        assert!(outcome.population > 0);
+        assert_eq!(
+            outcome.sampled,
+            ((outcome.population as f64 * 0.5).round() as usize).max(1)
+        );
+        assert!(outcome.mutation_score_pct > 0.0);
+        assert!(outcome.mutation_score_pct <= 100.0);
+        assert!(outcome.data_len > 0);
+    }
+
+    #[test]
+    fn full_fraction_scores_at_least_any_subset() {
+        let c17 = Benchmark::C17.load().unwrap();
+        let config = ExperimentConfig::fast(0x33);
+        let population = generate_mutants(
+            &c17.checked,
+            &c17.name,
+            &GenerateOptions::default(),
+        );
+        let all = run_sampling_experiment_on(
+            &c17,
+            &population,
+            SamplingStrategy::random(1.0),
+            &config,
+        )
+        .unwrap();
+        let tenth = run_sampling_experiment_on(
+            &c17,
+            &population,
+            SamplingStrategy::random(0.10),
+            &config,
+        )
+        .unwrap();
+        assert!(
+            all.mutation_score_pct + 1e-9 >= tenth.mutation_score_pct,
+            "all={} tenth={}",
+            all.mutation_score_pct,
+            tenth.mutation_score_pct
+        );
+    }
+
+    #[test]
+    fn strategies_share_the_population_and_budget() {
+        let c17 = Benchmark::C17.load().unwrap();
+        let config = ExperimentConfig::fast(0x44);
+        let population = generate_mutants(
+            &c17.checked,
+            &c17.name,
+            &GenerateOptions::default(),
+        );
+        let random = run_sampling_experiment_on(
+            &c17,
+            &population,
+            SamplingStrategy::random(0.25),
+            &config,
+        )
+        .unwrap();
+        let oriented = run_sampling_experiment_on(
+            &c17,
+            &population,
+            SamplingStrategy::test_oriented(0.25, OperatorWeights::new()),
+            &config,
+        )
+        .unwrap();
+        assert_eq!(random.population, oriented.population);
+        assert_eq!(random.sampled, oriented.sampled);
+    }
+
+    #[test]
+    fn sequential_circuit_experiment_runs() {
+        let b01 = Benchmark::B01.load().unwrap();
+        let outcome = run_sampling_experiment(
+            &b01,
+            SamplingStrategy::random(0.3),
+            &ExperimentConfig::fast(0x55),
+        )
+        .unwrap();
+        assert!(outcome.mutation_score_pct > 0.0);
+        assert!(outcome.data_len > 0);
+    }
+}

@@ -1,0 +1,55 @@
+//! # musa-core — the DATE'05 mutation-sampling pipeline
+//!
+//! The paper's contribution, end to end:
+//!
+//! 1. [`OperatorProfile::measure`] — per-operator stuck-at efficiency
+//!    (`ΔFC%`, `ΔL%`, `NLFCE`): **Table 1**;
+//! 2. [`OperatorProfile::weights`] — efficiency weights for the
+//!    test-oriented sampler;
+//! 3. [`run_sampling_experiment`] — sample → generate validation data →
+//!    Mutation Score on the full population + gate-level NLFCE:
+//!    **Table 2**;
+//! 4. [`Table1`] / [`Table2`] — drivers that regenerate the paper's
+//!    tables on the benchmark suite;
+//! 5. extension experiments [`sweep_fractions`] (E1),
+//!    [`coverage_curves`] (E2), [`atpg_topup`] (E3) and
+//!    [`equivalence_ablation`] (E4).
+//!
+//! # Example
+//!
+//! ```
+//! use musa_circuits::Benchmark;
+//! use musa_core::{run_sampling_experiment, ExperimentConfig};
+//! use musa_testgen::SamplingStrategy;
+//!
+//! let circuit = Benchmark::C17.load()?;
+//! let config = ExperimentConfig::fast(0xC0FFEE);
+//! let outcome = run_sampling_experiment(&circuit, SamplingStrategy::random(0.5), &config)?;
+//! println!(
+//!     "MS = {:.2}%  NLFCE = {:+.0}  ({} vectors)",
+//!     outcome.mutation_score_pct, outcome.nlfce, outcome.data_len
+//! );
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod data;
+mod experiment;
+mod extensions;
+mod profile;
+mod tables;
+
+pub use config::ExperimentConfig;
+pub use data::{
+    coverage_of_sessions, fault_universe, random_baseline_curve, sessions_to_patterns,
+};
+pub use experiment::{run_sampling_experiment, run_sampling_experiment_on, SamplingOutcome};
+pub use extensions::{
+    atpg_topup, coverage_curves, equivalence_ablation, sweep_fractions, AblationPoint,
+    CurvePair, SweepPoint, TopUpMode, TopUpOutcome,
+};
+pub use profile::{OperatorEfficiency, OperatorProfile};
+pub use tables::{Table1, Table1Row, Table2, Table2Row, TableError};

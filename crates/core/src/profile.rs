@@ -1,0 +1,196 @@
+//! Operator-efficiency profiling — the machinery behind Table 1.
+//!
+//! For each mutation operator, validation data is generated from that
+//! operator's mutants alone, fault-simulated at gate level and compared
+//! against the pseudo-random baseline, yielding `ΔFC%`, `ΔL%` and
+//! `NLFCE` (paper §3). The resulting profile drives the test-oriented
+//! sampling weights (paper §4).
+
+use crate::config::ExperimentConfig;
+use crate::data::{coverage_of_sessions, fault_universe, random_baseline_curve};
+use musa_circuits::Circuit;
+use musa_metrics::{Nlfce, NlfceInputs};
+use musa_mutation::{generate_mutants, GenerateOptions, MutationError, MutationOperator};
+use musa_prng::{Prng, SplitMix64};
+use musa_testgen::{mutation_guided_tests, MgConfig, OperatorWeights};
+
+/// One operator's measured efficiency on one circuit.
+#[derive(Debug, Clone)]
+pub struct OperatorEfficiency {
+    /// The operator.
+    pub operator: MutationOperator,
+    /// Number of (valid) mutants the operator produced.
+    pub mutants: usize,
+    /// Length of the validation data generated from those mutants.
+    pub data_len: usize,
+    /// Gate-level coverage achieved by that data.
+    pub mutation_fault_coverage: f64,
+    /// The paper's three metrics versus the pseudo-random baseline.
+    pub metrics: Nlfce,
+}
+
+/// A per-circuit operator-efficiency profile (Table 1 rows for one
+/// circuit).
+#[derive(Debug, Clone)]
+pub struct OperatorProfile {
+    /// Circuit name.
+    pub circuit: String,
+    /// Rows for each operator that produced at least one mutant.
+    pub rows: Vec<OperatorEfficiency>,
+}
+
+impl OperatorProfile {
+    /// Measures the given operators on a circuit.
+    ///
+    /// Operators with an empty mutant population are omitted — the paper
+    /// notes "all mutation operators are not necessarily applied on
+    /// every benchmark circuit" (e.g. CR needs a constant declaration).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MutationError`] from mutant execution.
+    pub fn measure(
+        circuit: &Circuit,
+        operators: &[MutationOperator],
+        config: &ExperimentConfig,
+    ) -> Result<Self, MutationError> {
+        let faults = fault_universe(circuit);
+        let mut seeder = SplitMix64::new(config.seed ^ 0x9E3779B97F4A7C15);
+        let repetitions = config.repetitions.max(1);
+        let mut rows = Vec::new();
+        for &operator in operators {
+            let mutants = generate_mutants(
+                &circuit.checked,
+                &circuit.name,
+                &GenerateOptions::only(operator),
+            );
+            if mutants.is_empty() {
+                continue;
+            }
+            // Average the metrics over independent repetitions: small
+            // NLFCE values are noisy under a single seed.
+            let mut sum = Nlfce {
+                delta_fc_pct: 0.0,
+                delta_l_pct: 0.0,
+                nlfce: 0.0,
+                mutation_len: 0,
+                random_len_at_equal_fc: None,
+            };
+            let mut total_len = 0usize;
+            let mut total_coverage = 0.0f64;
+            let mut last: Option<Nlfce> = None;
+            for _ in 0..repetitions {
+                let mg = MgConfig {
+                    seed: seeder.next_u64(),
+                    ..config.mg
+                };
+                let generated =
+                    mutation_guided_tests(&circuit.checked, &circuit.name, &mutants, &mg)?;
+                let mutation_curve =
+                    coverage_of_sessions(circuit, &faults, &generated.sessions);
+                let baseline_len = config.baseline_len(mutation_curve.len());
+                let random_curve =
+                    random_baseline_curve(circuit, &faults, baseline_len, seeder.next_u64());
+                let metrics = NlfceInputs {
+                    mutation: &mutation_curve,
+                    random: &random_curve,
+                }
+                .compute();
+                sum.delta_fc_pct += metrics.delta_fc_pct;
+                sum.delta_l_pct += metrics.delta_l_pct;
+                sum.nlfce += metrics.nlfce;
+                total_len += generated.total_len();
+                total_coverage += mutation_curve.final_coverage();
+                last = Some(metrics);
+            }
+            let n = repetitions as f64;
+            let mean = Nlfce {
+                delta_fc_pct: sum.delta_fc_pct / n,
+                delta_l_pct: sum.delta_l_pct / n,
+                nlfce: sum.nlfce / n,
+                mutation_len: total_len / repetitions,
+                random_len_at_equal_fc: last.and_then(|m| m.random_len_at_equal_fc),
+            };
+            rows.push(OperatorEfficiency {
+                operator,
+                mutants: mutants.len(),
+                data_len: total_len / repetitions,
+                mutation_fault_coverage: total_coverage / n,
+                metrics: mean,
+            });
+        }
+        Ok(Self {
+            circuit: circuit.name.clone(),
+            rows,
+        })
+    }
+
+    /// The row for one operator, if present.
+    pub fn row(&self, operator: MutationOperator) -> Option<&OperatorEfficiency> {
+        self.rows.iter().find(|r| r.operator == operator)
+    }
+
+    /// Derives test-oriented sampling weights from the measured NLFCE
+    /// values (clamped to a small positive floor so no operator is shut
+    /// out entirely).
+    pub fn weights(&self) -> OperatorWeights {
+        OperatorWeights::from_pairs(
+            self.rows
+                .iter()
+                .map(|r| (r.operator, r.metrics.nlfce.max(1.0))),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use musa_circuits::Benchmark;
+
+    #[test]
+    fn profile_covers_applicable_operators() {
+        let c17 = Benchmark::C17.load().unwrap();
+        let profile = OperatorProfile::measure(
+            &c17,
+            &MutationOperator::all(),
+            &ExperimentConfig::fast(0xAB),
+        )
+        .unwrap();
+        assert_eq!(profile.circuit, "c17");
+        // c17 has NAND logic and variables, but no relational/arith ops
+        // and no constant declarations: LOR/VR/UOI… apply, ROR/AOR don't.
+        assert!(profile.row(MutationOperator::Lor).is_some());
+        assert!(profile.row(MutationOperator::Ror).is_none());
+        assert!(profile.row(MutationOperator::Aor).is_none());
+        for row in &profile.rows {
+            assert!(row.mutants > 0);
+            assert!(row.data_len > 0, "{}: empty data", row.operator);
+            assert!(row.mutation_fault_coverage > 0.0);
+        }
+    }
+
+    #[test]
+    fn weights_are_positive_and_reflect_nlfce() {
+        let c17 = Benchmark::C17.load().unwrap();
+        let profile = OperatorProfile::measure(
+            &c17,
+            &[MutationOperator::Lor, MutationOperator::Vr],
+            &ExperimentConfig::fast(0xCD),
+        )
+        .unwrap();
+        let weights = profile.weights();
+        for row in &profile.rows {
+            assert!(weights.weight(row.operator) >= 1.0);
+        }
+    }
+
+    #[test]
+    fn profile_is_deterministic() {
+        let c17 = Benchmark::C17.load().unwrap();
+        let config = ExperimentConfig::fast(0x11);
+        let p1 = OperatorProfile::measure(&c17, &[MutationOperator::Lor], &config).unwrap();
+        let p2 = OperatorProfile::measure(&c17, &[MutationOperator::Lor], &config).unwrap();
+        assert_eq!(p1.rows[0].data_len, p2.rows[0].data_len);
+        assert_eq!(p1.rows[0].metrics.nlfce, p2.rows[0].metrics.nlfce);
+    }
+}

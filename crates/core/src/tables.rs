@@ -1,0 +1,242 @@
+//! Drivers that regenerate the paper's two tables.
+
+use crate::config::ExperimentConfig;
+use crate::experiment::{run_sampling_experiment_on, SamplingOutcome};
+use crate::profile::OperatorProfile;
+use musa_circuits::{Benchmark, CircuitError};
+use musa_metrics::{f2, signed0, Align, Table};
+use musa_mutation::{generate_mutants, GenerateOptions, MutationError, MutationOperator};
+use musa_testgen::SamplingStrategy;
+use std::fmt;
+
+/// Errors from the table drivers.
+#[derive(Debug)]
+pub enum TableError {
+    /// A benchmark failed to load (packaging bug).
+    Circuit(CircuitError),
+    /// Mutation analysis failed.
+    Mutation(MutationError),
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::Circuit(e) => write!(f, "table driver: {e}"),
+            TableError::Mutation(e) => write!(f, "table driver: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+impl From<CircuitError> for TableError {
+    fn from(e: CircuitError) -> Self {
+        TableError::Circuit(e)
+    }
+}
+
+impl From<MutationError> for TableError {
+    fn from(e: MutationError) -> Self {
+        TableError::Mutation(e)
+    }
+}
+
+/// One row of Table 1.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Circuit name.
+    pub circuit: String,
+    /// Operator acronym.
+    pub operator: MutationOperator,
+    /// `ΔFC%`.
+    pub delta_fc_pct: f64,
+    /// `ΔL%`.
+    pub delta_l_pct: f64,
+    /// `NLFCE`.
+    pub nlfce: f64,
+}
+
+/// The full Table 1 result.
+#[derive(Debug, Clone)]
+pub struct Table1 {
+    /// Rows in circuit-major, operator-minor order.
+    pub rows: Vec<Table1Row>,
+    /// The per-circuit profiles (reusable for Table 2 weights).
+    pub profiles: Vec<OperatorProfile>,
+}
+
+impl Table1 {
+    /// Measures operator efficiency on the given circuits (paper:
+    /// b01, b03, c432, c499 with operators LOR/VR/CVR/CR).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TableError`] if a circuit fails to load or mutation
+    /// execution fails.
+    pub fn measure(
+        benchmarks: &[Benchmark],
+        operators: &[MutationOperator],
+        config: &ExperimentConfig,
+    ) -> Result<Self, TableError> {
+        let mut rows = Vec::new();
+        let mut profiles = Vec::new();
+        for &bench in benchmarks {
+            let circuit = bench.load()?;
+            let profile = OperatorProfile::measure(&circuit, operators, config)?;
+            for r in &profile.rows {
+                rows.push(Table1Row {
+                    circuit: circuit.name.clone(),
+                    operator: r.operator,
+                    delta_fc_pct: r.metrics.delta_fc_pct,
+                    delta_l_pct: r.metrics.delta_l_pct,
+                    nlfce: r.metrics.nlfce,
+                });
+            }
+            profiles.push(profile);
+        }
+        Ok(Self { rows, profiles })
+    }
+
+    /// Renders the table in the paper's layout.
+    pub fn render(&self) -> String {
+        let mut table = Table::new(vec![
+            ("Circuit", Align::Left),
+            ("Operator", Align::Left),
+            ("dFC%", Align::Right),
+            ("dL%", Align::Right),
+            ("NLFCE", Align::Right),
+        ]);
+        for row in &self.rows {
+            table.row(vec![
+                row.circuit.clone(),
+                row.operator.acronym().to_string(),
+                f2(row.delta_fc_pct),
+                f2(row.delta_l_pct),
+                signed0(row.nlfce),
+            ]);
+        }
+        table.render()
+    }
+}
+
+/// One row of Table 2.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Circuit name.
+    pub circuit: String,
+    /// Number of mutants both strategies selected.
+    pub sampled: usize,
+    /// Test-oriented sampling outcome.
+    pub test_oriented: SamplingOutcome,
+    /// Random sampling outcome.
+    pub random: SamplingOutcome,
+}
+
+/// The full Table 2 result.
+#[derive(Debug, Clone)]
+pub struct Table2 {
+    /// One row per circuit.
+    pub rows: Vec<Table2Row>,
+}
+
+impl Table2 {
+    /// Compares the two sampling strategies at the given fraction
+    /// (paper: 10 %), deriving test-oriented weights from a fresh
+    /// operator profile per circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TableError`] if a circuit fails to load or mutation
+    /// execution fails.
+    pub fn measure(
+        benchmarks: &[Benchmark],
+        fraction: f64,
+        config: &ExperimentConfig,
+    ) -> Result<Self, TableError> {
+        let mut rows = Vec::new();
+        for &bench in benchmarks {
+            let circuit = bench.load()?;
+            let profile =
+                OperatorProfile::measure(&circuit, &MutationOperator::all(), config)?;
+            let weights = profile.weights();
+            let population = generate_mutants(
+                &circuit.checked,
+                &circuit.name,
+                &GenerateOptions::default(),
+            );
+            let test_oriented = run_sampling_experiment_on(
+                &circuit,
+                &population,
+                SamplingStrategy::test_oriented(fraction, weights),
+                config,
+            )?;
+            let random = run_sampling_experiment_on(
+                &circuit,
+                &population,
+                SamplingStrategy::random(fraction),
+                config,
+            )?;
+            rows.push(Table2Row {
+                circuit: circuit.name.clone(),
+                sampled: test_oriented.sampled,
+                test_oriented,
+                random,
+            });
+        }
+        Ok(Self { rows })
+    }
+
+    /// Renders the table in the paper's layout.
+    pub fn render(&self) -> String {
+        let mut table = Table::new(vec![
+            ("Circuit", Align::Left),
+            ("Mutants", Align::Right),
+            ("TO MS%", Align::Right),
+            ("TO NLFCE", Align::Right),
+            ("RS MS%", Align::Right),
+            ("RS NLFCE", Align::Right),
+        ]);
+        for row in &self.rows {
+            table.row(vec![
+                row.circuit.clone(),
+                row.sampled.to_string(),
+                f2(row.test_oriented.mutation_score_pct),
+                signed0(row.test_oriented.nlfce),
+                f2(row.random.mutation_score_pct),
+                signed0(row.random.nlfce),
+            ]);
+        }
+        table.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_fast_on_c17() {
+        let t = Table1::measure(
+            &[Benchmark::C17],
+            &[MutationOperator::Lor, MutationOperator::Vr],
+            &ExperimentConfig::fast(0x71),
+        )
+        .unwrap();
+        assert!(!t.rows.is_empty());
+        let rendered = t.render();
+        assert!(rendered.contains("c17"));
+        assert!(rendered.contains("LOR"));
+        assert!(rendered.contains("NLFCE"));
+    }
+
+    #[test]
+    fn table2_fast_on_c17() {
+        let t = Table2::measure(&[Benchmark::C17], 0.5, &ExperimentConfig::fast(0x72)).unwrap();
+        assert_eq!(t.rows.len(), 1);
+        let row = &t.rows[0];
+        assert_eq!(row.test_oriented.sampled, row.random.sampled);
+        let rendered = t.render();
+        assert!(rendered.contains("TO MS%"));
+        assert!(rendered.contains("c17"));
+    }
+}

@@ -1,0 +1,717 @@
+//! Abstract syntax tree for MiniHDL.
+//!
+//! Every node carries a stable [`NodeId`] assigned by the parser. The
+//! mutation engine addresses mutation sites by `NodeId`, so ids must be
+//! preserved by any AST transformation that does not intend to change the
+//! site map (mutant application rewrites nodes *in place*, reusing ids).
+
+use crate::span::Span;
+use std::fmt;
+
+/// Stable identity of an AST node within one [`Design`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// An identifier with its source location.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Ident {
+    /// The name as written.
+    pub name: String,
+    /// Location in the source.
+    pub span: Span,
+}
+
+impl Ident {
+    /// Creates an identifier with a dummy span (for synthesized nodes).
+    pub fn synthetic(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            span: Span::dummy(),
+        }
+    }
+}
+
+impl fmt::Display for Ident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// A complete MiniHDL compilation unit: one or more entities.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Design {
+    /// The entities in declaration order.
+    pub entities: Vec<Entity>,
+    /// One past the largest [`NodeId`] in the tree (fresh-id watermark).
+    pub next_node_id: u32,
+}
+
+impl Design {
+    /// Finds an entity by name.
+    pub fn entity(&self, name: &str) -> Option<&Entity> {
+        self.entities.iter().find(|e| e.name.name == name)
+    }
+
+    /// Total number of statements across all entities (a size metric).
+    pub fn statement_count(&self) -> usize {
+        fn count(stmts: &[Stmt]) -> usize {
+            stmts
+                .iter()
+                .map(|s| match s {
+                    Stmt::If { arms, else_body, .. } => {
+                        1 + arms.iter().map(|(_, b)| count(b)).sum::<usize>()
+                            + else_body.as_ref().map_or(0, |b| count(b))
+                    }
+                    Stmt::Case { arms, default, .. } => {
+                        1 + arms.iter().map(|a| count(&a.body)).sum::<usize>()
+                            + default.as_ref().map_or(0, |b| count(b))
+                    }
+                    Stmt::For { body, .. } => 1 + count(body),
+                    _ => 1,
+                })
+                .sum()
+        }
+        self.entities
+            .iter()
+            .flat_map(|e| &e.processes)
+            .map(|p| count(&p.body))
+            .sum()
+    }
+}
+
+/// Port direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PortDir {
+    /// Driven by the environment.
+    In,
+    /// Driven by the entity.
+    Out,
+}
+
+impl fmt::Display for PortDir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PortDir::In => write!(f, "in"),
+            PortDir::Out => write!(f, "out"),
+        }
+    }
+}
+
+/// A port declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Port {
+    /// Node identity.
+    pub id: NodeId,
+    /// Port name.
+    pub name: Ident,
+    /// Direction.
+    pub dir: PortDir,
+    /// Width in bits.
+    pub width: u32,
+}
+
+/// A named compile-time constant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConstDecl {
+    /// Node identity.
+    pub id: NodeId,
+    /// Constant name.
+    pub name: Ident,
+    /// Width in bits.
+    pub width: u32,
+    /// Value (masked to `width`).
+    pub value: u64,
+}
+
+/// An internal signal declaration.
+///
+/// A signal driven by a clocked process is a register and `init` is its
+/// power-on value; a signal driven by a combinational process is a wire
+/// and `init` is ignored after the first evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignalDecl {
+    /// Node identity.
+    pub id: NodeId,
+    /// Signal name.
+    pub name: Ident,
+    /// Width in bits.
+    pub width: u32,
+    /// Initial / reset value.
+    pub init: u64,
+}
+
+/// A process-local variable.
+///
+/// Variables are re-initialized to `init` at the start of every process
+/// activation (the synthesizable idiom), then follow blocking-assignment
+/// semantics within the activation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarDecl {
+    /// Node identity.
+    pub id: NodeId,
+    /// Variable name.
+    pub name: Ident,
+    /// Width in bits.
+    pub width: u32,
+    /// Value at the start of each activation.
+    pub init: u64,
+}
+
+/// Process kind: combinational or clocked.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProcessKind {
+    /// Evaluated whenever any read signal changes (cycle-based: every
+    /// evaluation phase, in dependency order).
+    Comb,
+    /// Evaluated on the rising edge of the named clock port.
+    Seq {
+        /// The width-1 input port acting as the clock.
+        clock: Ident,
+    },
+}
+
+/// A process: the unit of behaviour.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Process {
+    /// Node identity.
+    pub id: NodeId,
+    /// Combinational or clocked.
+    pub kind: ProcessKind,
+    /// Local variables.
+    pub vars: Vec<VarDecl>,
+    /// Statement list executed per activation.
+    pub body: Vec<Stmt>,
+}
+
+/// An entity: ports, declarations and processes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entity {
+    /// Node identity.
+    pub id: NodeId,
+    /// Entity name.
+    pub name: Ident,
+    /// Ports in declaration order.
+    pub ports: Vec<Port>,
+    /// Named constants.
+    pub consts: Vec<ConstDecl>,
+    /// Internal signals.
+    pub signals: Vec<SignalDecl>,
+    /// Processes.
+    pub processes: Vec<Process>,
+}
+
+/// The selected part of an assignment target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Select {
+    /// `x[i]` — a single dynamically or statically indexed bit.
+    Index(Expr),
+    /// `x[hi:lo]` — a constant slice.
+    Slice {
+        /// High (inclusive) bit index.
+        hi: u32,
+        /// Low (inclusive) bit index.
+        lo: u32,
+    },
+}
+
+/// The left-hand side of an assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Target {
+    /// Node identity.
+    pub id: NodeId,
+    /// The assigned signal, output port or variable.
+    pub base: Ident,
+    /// Optional bit/slice selection.
+    pub sel: Option<Select>,
+}
+
+/// One alternative of a `case` statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CaseArm {
+    /// Node identity.
+    pub id: NodeId,
+    /// The literal choices matched by this arm.
+    pub choices: Vec<u64>,
+    /// Statements executed when a choice matches.
+    pub body: Vec<Stmt>,
+}
+
+/// Which assignment operator was written.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AssignKind {
+    /// `<=` — drives a signal or output port.
+    Signal,
+    /// `:=` — updates a process-local variable.
+    Var,
+}
+
+impl AssignKind {
+    /// The surface-syntax spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            AssignKind::Signal => "<=",
+            AssignKind::Var => ":=",
+        }
+    }
+}
+
+/// A sequential statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `target <= expr;` (signals/ports) or `target := expr;` (variables).
+    Assign {
+        /// Node identity.
+        id: NodeId,
+        /// Which operator was written.
+        kind: AssignKind,
+        /// Left-hand side.
+        target: Target,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// `if c then … elsif c2 then … else … end if;`
+    If {
+        /// Node identity.
+        id: NodeId,
+        /// `(condition, body)` pairs: the `if` arm then each `elsif`.
+        arms: Vec<(Expr, Vec<Stmt>)>,
+        /// Optional `else` body.
+        else_body: Option<Vec<Stmt>>,
+    },
+    /// `case e is when … end case;`
+    Case {
+        /// Node identity.
+        id: NodeId,
+        /// The scrutinee.
+        subject: Expr,
+        /// Alternatives with literal choices.
+        arms: Vec<CaseArm>,
+        /// `when others =>` body.
+        default: Option<Vec<Stmt>>,
+    },
+    /// `for i in lo .. hi loop … end loop;` (inclusive, constant bounds).
+    For {
+        /// Node identity.
+        id: NodeId,
+        /// Loop variable (read-only inside the body).
+        var: Ident,
+        /// Lower bound (inclusive).
+        lo: u64,
+        /// Upper bound (inclusive).
+        hi: u64,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `null;` — no operation.
+    Null {
+        /// Node identity.
+        id: NodeId,
+    },
+}
+
+impl Stmt {
+    /// The statement's node id.
+    pub fn id(&self) -> NodeId {
+        match self {
+            Stmt::Assign { id, .. }
+            | Stmt::If { id, .. }
+            | Stmt::Case { id, .. }
+            | Stmt::For { id, .. }
+            | Stmt::Null { id } => *id,
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Bitwise AND (`and`).
+    And,
+    /// Bitwise OR (`or`).
+    Or,
+    /// Bitwise XOR (`xor`).
+    Xor,
+    /// Bitwise NAND (`nand`).
+    Nand,
+    /// Bitwise NOR (`nor`).
+    Nor,
+    /// Bitwise XNOR (`xnor`).
+    Xnor,
+    /// Modular addition (`+`).
+    Add,
+    /// Modular subtraction (`-`).
+    Sub,
+    /// Modular multiplication (`*`).
+    Mul,
+    /// Equality (`=`), produces 1 bit.
+    Eq,
+    /// Inequality (`/=`), produces 1 bit.
+    Ne,
+    /// Unsigned less-than (`<`), produces 1 bit.
+    Lt,
+    /// Unsigned less-or-equal (`<=`), produces 1 bit.
+    Le,
+    /// Unsigned greater-than (`>`), produces 1 bit.
+    Gt,
+    /// Unsigned greater-or-equal (`>=`), produces 1 bit.
+    Ge,
+}
+
+impl BinOp {
+    /// `true` for `and/or/xor/nand/nor/xnor`.
+    pub fn is_logical(self) -> bool {
+        matches!(
+            self,
+            BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Nand | BinOp::Nor | BinOp::Xnor
+        )
+    }
+
+    /// `true` for `+ - *`.
+    pub fn is_arith(self) -> bool {
+        matches!(self, BinOp::Add | BinOp::Sub | BinOp::Mul)
+    }
+
+    /// `true` for the six comparisons.
+    pub fn is_relational(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+
+    /// The surface-syntax spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Nand => "nand",
+            BinOp::Nor => "nor",
+            BinOp::Xnor => "xnor",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Eq => "=",
+            BinOp::Ne => "/=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    /// Bitwise complement (`not`).
+    Not,
+}
+
+/// Reduction operators (builtin functions producing 1 bit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReduceOp {
+    /// `orr(e)` — OR-reduction.
+    Or,
+    /// `andr(e)` — AND-reduction.
+    And,
+    /// `xorr(e)` — XOR-reduction (parity).
+    Xor,
+}
+
+impl ReduceOp {
+    /// The builtin function name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReduceOp::Or => "orr",
+            ReduceOp::And => "andr",
+            ReduceOp::Xor => "xorr",
+        }
+    }
+}
+
+/// Constant shift direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShiftOp {
+    /// `sll` — shift left logical.
+    Left,
+    /// `srl` — shift right logical.
+    Right,
+}
+
+impl ShiftOp {
+    /// The surface-syntax spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            ShiftOp::Left => "sll",
+            ShiftOp::Right => "srl",
+        }
+    }
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// An integer literal. `width` is `Some` for binary/hex literals
+    /// (width = digits written) and `None` for decimal literals, whose
+    /// width is inferred from context.
+    Literal {
+        /// Node identity.
+        id: NodeId,
+        /// The value.
+        value: u64,
+        /// Explicit width, if the literal notation fixes one.
+        width: Option<u32>,
+        /// Source span.
+        span: Span,
+    },
+    /// A reference to a port, signal, constant, variable or loop index.
+    Ref {
+        /// Node identity.
+        id: NodeId,
+        /// The referenced name.
+        name: Ident,
+    },
+    /// `base[index]` — single-bit extraction (index may be dynamic).
+    Index {
+        /// Node identity.
+        id: NodeId,
+        /// The indexed vector.
+        base: Box<Expr>,
+        /// The bit index.
+        index: Box<Expr>,
+    },
+    /// `base[hi:lo]` — constant slice extraction.
+    Slice {
+        /// Node identity.
+        id: NodeId,
+        /// The sliced vector.
+        base: Box<Expr>,
+        /// High (inclusive) bit index.
+        hi: u32,
+        /// Low (inclusive) bit index.
+        lo: u32,
+    },
+    /// A unary operation.
+    Unary {
+        /// Node identity.
+        id: NodeId,
+        /// The operator.
+        op: UnaryOp,
+        /// The operand.
+        arg: Box<Expr>,
+    },
+    /// A binary operation.
+    Binary {
+        /// Node identity.
+        id: NodeId,
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// A reduction (`orr`/`andr`/`xorr`).
+    Reduce {
+        /// Node identity.
+        id: NodeId,
+        /// The reduction operator.
+        op: ReduceOp,
+        /// The reduced vector.
+        arg: Box<Expr>,
+    },
+    /// `lhs & rhs` — concatenation (lhs = high bits).
+    Concat {
+        /// Node identity.
+        id: NodeId,
+        /// High part.
+        lhs: Box<Expr>,
+        /// Low part.
+        rhs: Box<Expr>,
+    },
+    /// `arg sll k` / `arg srl k` — shift by a constant.
+    Shift {
+        /// Node identity.
+        id: NodeId,
+        /// Direction.
+        op: ShiftOp,
+        /// The shifted vector.
+        arg: Box<Expr>,
+        /// Shift amount.
+        amount: u32,
+    },
+}
+
+impl Expr {
+    /// The expression's node id.
+    pub fn id(&self) -> NodeId {
+        match self {
+            Expr::Literal { id, .. }
+            | Expr::Ref { id, .. }
+            | Expr::Index { id, .. }
+            | Expr::Slice { id, .. }
+            | Expr::Unary { id, .. }
+            | Expr::Binary { id, .. }
+            | Expr::Reduce { id, .. }
+            | Expr::Concat { id, .. }
+            | Expr::Shift { id, .. } => *id,
+        }
+    }
+
+    /// Visits this expression and all sub-expressions, outermost first.
+    pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        f(self);
+        match self {
+            Expr::Literal { .. } | Expr::Ref { .. } => {}
+            Expr::Index { base, index, .. } => {
+                base.walk(f);
+                index.walk(f);
+            }
+            Expr::Slice { base, .. } => base.walk(f),
+            Expr::Unary { arg, .. } | Expr::Reduce { arg, .. } | Expr::Shift { arg, .. } => {
+                arg.walk(f)
+            }
+            Expr::Binary { lhs, rhs, .. } | Expr::Concat { lhs, rhs, .. } => {
+                lhs.walk(f);
+                rhs.walk(f);
+            }
+        }
+    }
+}
+
+/// Walks every statement in a body, outermost first, including nested
+/// bodies of `if`/`case`/`for`.
+pub fn walk_stmts<'a>(stmts: &'a [Stmt], f: &mut impl FnMut(&'a Stmt)) {
+    for stmt in stmts {
+        f(stmt);
+        match stmt {
+            Stmt::If { arms, else_body, .. } => {
+                for (_, body) in arms {
+                    walk_stmts(body, f);
+                }
+                if let Some(body) = else_body {
+                    walk_stmts(body, f);
+                }
+            }
+            Stmt::Case { arms, default, .. } => {
+                for arm in arms {
+                    walk_stmts(&arm.body, f);
+                }
+                if let Some(body) = default {
+                    walk_stmts(body, f);
+                }
+            }
+            Stmt::For { body, .. } => walk_stmts(body, f),
+            Stmt::Assign { .. } | Stmt::Null { .. } => {}
+        }
+    }
+}
+
+/// Walks every expression appearing in a statement body (conditions,
+/// scrutinees, assignment values, target indices), outermost first.
+pub fn walk_exprs<'a>(stmts: &'a [Stmt], f: &mut impl FnMut(&'a Expr)) {
+    walk_stmts(stmts, &mut |stmt| match stmt {
+        Stmt::Assign { target, value, .. } => {
+            if let Some(Select::Index(ix)) = &target.sel {
+                ix.walk(f);
+            }
+            value.walk(f);
+        }
+        Stmt::If { arms, .. } => {
+            for (cond, _) in arms {
+                cond.walk(f);
+            }
+        }
+        Stmt::Case { subject, .. } => subject.walk(f),
+        Stmt::For { .. } | Stmt::Null { .. } => {}
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(id: u32, v: u64) -> Expr {
+        Expr::Literal {
+            id: NodeId(id),
+            value: v,
+            width: None,
+            span: Span::dummy(),
+        }
+    }
+
+    #[test]
+    fn expr_walk_visits_all() {
+        let e = Expr::Binary {
+            id: NodeId(0),
+            op: BinOp::Add,
+            lhs: Box::new(lit(1, 1)),
+            rhs: Box::new(Expr::Unary {
+                id: NodeId(2),
+                op: UnaryOp::Not,
+                arg: Box::new(lit(3, 2)),
+            }),
+        };
+        let mut ids = Vec::new();
+        e.walk(&mut |x| ids.push(x.id().0));
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn stmt_walk_recurses() {
+        let body = vec![Stmt::If {
+            id: NodeId(0),
+            arms: vec![(
+                lit(1, 1),
+                vec![Stmt::Null { id: NodeId(2) }, Stmt::Null { id: NodeId(3) }],
+            )],
+            else_body: Some(vec![Stmt::Null { id: NodeId(4) }]),
+        }];
+        let mut ids = Vec::new();
+        walk_stmts(&body, &mut |s| ids.push(s.id().0));
+        assert_eq!(ids, vec![0, 2, 3, 4]);
+    }
+
+    #[test]
+    fn binop_classification() {
+        assert!(BinOp::And.is_logical());
+        assert!(!BinOp::And.is_arith());
+        assert!(BinOp::Add.is_arith());
+        assert!(BinOp::Lt.is_relational());
+        assert!(!BinOp::Xor.is_relational());
+    }
+
+    #[test]
+    fn statement_count_counts_nested() {
+        let design = Design {
+            entities: vec![Entity {
+                id: NodeId(100),
+                name: Ident::synthetic("e"),
+                ports: vec![],
+                consts: vec![],
+                signals: vec![],
+                processes: vec![Process {
+                    id: NodeId(101),
+                    kind: ProcessKind::Comb,
+                    vars: vec![],
+                    body: vec![Stmt::If {
+                        id: NodeId(0),
+                        arms: vec![(lit(1, 1), vec![Stmt::Null { id: NodeId(2) }])],
+                        else_body: None,
+                    }],
+                }],
+            }],
+            next_node_id: 200,
+        };
+        assert_eq!(design.statement_count(), 2);
+        assert!(design.entity("e").is_some());
+        assert!(design.entity("missing").is_none());
+    }
+}

@@ -1,0 +1,1612 @@
+//! Semantic analysis: names, widths, drivers, clocking and loop freedom.
+//!
+//! [`CheckedDesign::new`] validates a parsed [`Design`] and produces the
+//! side tables (symbol table, per-expression widths, process schedules)
+//! consumed by the simulator, the synthesizer and the mutation engine.
+//!
+//! ## Rules enforced
+//!
+//! * every name is declared exactly once; reserved words are unusable;
+//! * every expression has a consistent width; decimal literals adopt the
+//!   width of their context;
+//! * `<=` targets are signals/output ports, `:=` targets are variables;
+//! * every signal and output port has **exactly one** driving process;
+//!   input ports and constants are never assigned;
+//! * clocks (`seq(clk)`) are width-1 input ports, never read as data;
+//! * combinational processes never read a signal they drive, and the
+//!   process dependency graph is acyclic (no combinational loops);
+//! * combinational processes fully assign every driven signal on every
+//!   execution path (no inferred latches), tracked per bit;
+//! * static indices and slices are in range; case choices fit the subject
+//!   width and are not duplicated; loop ranges are non-empty.
+
+use crate::ast::*;
+use crate::error::{HdlError, Result};
+use crate::span::Span;
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
+
+/// Identity of a symbol (port, signal, constant, variable, loop index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SymbolId(pub u32);
+
+/// What a symbol is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SymbolKind {
+    /// Input port. `clock` is true when some `seq` process uses it.
+    PortIn {
+        /// Used as a clock by at least one process.
+        clock: bool,
+    },
+    /// Output port.
+    PortOut,
+    /// Internal signal.
+    Signal,
+    /// Named compile-time constant with its value.
+    Const(u64),
+    /// Process-local variable (owning process index).
+    Var {
+        /// Index of the owning process in `Entity::processes`.
+        process: usize,
+    },
+    /// A `for` loop index (read-only).
+    LoopVar,
+}
+
+/// A resolved symbol.
+#[derive(Debug, Clone)]
+pub struct Symbol {
+    /// Name as declared.
+    pub name: String,
+    /// Width in bits.
+    pub width: u32,
+    /// Kind.
+    pub kind: SymbolKind,
+    /// Initial / reset value (ports: 0).
+    pub init: u64,
+}
+
+/// Storage classification of a driven symbol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriveClass {
+    /// Driven by a combinational process.
+    Wire,
+    /// Driven by a clocked process.
+    Register,
+}
+
+/// Checked metadata for one entity.
+#[derive(Debug, Clone)]
+pub struct EntityInfo {
+    /// All symbols; indexed by [`SymbolId`].
+    pub symbols: Vec<Symbol>,
+    /// Expression node → resolved width.
+    pub widths: HashMap<NodeId, u32>,
+    /// `Ref`/`Target` node → symbol.
+    pub resolved: HashMap<NodeId, SymbolId>,
+    /// Signal / output-port → driving process index.
+    pub drivers: HashMap<SymbolId, usize>,
+    /// Wire or register classification for each driven symbol.
+    pub drive_class: HashMap<SymbolId, DriveClass>,
+    /// Combinational process indices in evaluation (topological) order.
+    pub comb_order: Vec<usize>,
+    /// Clocked process indices in declaration order.
+    pub seq_processes: Vec<usize>,
+    /// Clock input ports.
+    pub clocks: Vec<SymbolId>,
+    /// Non-clock input ports, in declaration order.
+    pub data_inputs: Vec<SymbolId>,
+    /// Output ports, in declaration order.
+    pub outputs: Vec<SymbolId>,
+}
+
+impl EntityInfo {
+    /// Looks up a top-level symbol (port/signal/constant) by name.
+    pub fn symbol_by_name(&self, name: &str) -> Option<SymbolId> {
+        self.symbols
+            .iter()
+            .position(|s| {
+                s.name == name
+                    && !matches!(s.kind, SymbolKind::Var { .. } | SymbolKind::LoopVar)
+            })
+            .map(|i| SymbolId(i as u32))
+    }
+
+    /// The symbol for an id.
+    pub fn symbol(&self, id: SymbolId) -> &Symbol {
+        &self.symbols[id.0 as usize]
+    }
+
+    /// `true` when the entity has no clocked process (pure combinational).
+    pub fn is_combinational(&self) -> bool {
+        self.seq_processes.is_empty()
+    }
+
+    /// Total width of the data inputs (the test-vector width).
+    pub fn input_bits(&self) -> u32 {
+        self.data_inputs
+            .iter()
+            .map(|&s| self.symbol(s).width)
+            .sum()
+    }
+
+    /// `true` when a symbol is a reset-like input: a width-1 input port
+    /// named `reset` or `rst` (case-insensitive).
+    ///
+    /// Test generators use this testbench convention to pulse resets
+    /// sparsely instead of toggling them like data — the standard
+    /// stimulus discipline for sequential circuits.
+    pub fn reset_like(&self, sym: SymbolId) -> bool {
+        let s = self.symbol(sym);
+        matches!(s.kind, SymbolKind::PortIn { clock: false })
+            && s.width == 1
+            && {
+                let lower = s.name.to_ascii_lowercase();
+                lower == "reset" || lower == "rst"
+            }
+    }
+
+    /// Total width of the outputs.
+    pub fn output_bits(&self) -> u32 {
+        self.outputs.iter().map(|&s| self.symbol(s).width).sum()
+    }
+}
+
+/// A design that passed semantic analysis, with its side tables.
+///
+/// Owns the [`Design`]; the simulator and synthesizer borrow it.
+///
+/// # Examples
+///
+/// ```
+/// let design = musa_hdl::parse(
+///     "entity buf is port(a : in bit; y : out bit);
+///        comb begin y <= a; end;
+///      end;",
+/// )?;
+/// let checked = musa_hdl::CheckedDesign::new(design)?;
+/// let info = checked.entity_info("buf").unwrap();
+/// assert!(info.is_combinational());
+/// # Ok::<(), musa_hdl::HdlError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CheckedDesign {
+    design: Design,
+    infos: Vec<EntityInfo>,
+}
+
+impl CheckedDesign {
+    /// Checks a parsed design.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first check-phase [`HdlError`] found.
+    pub fn new(design: Design) -> Result<Self> {
+        let mut infos = Vec::with_capacity(design.entities.len());
+        for entity in &design.entities {
+            infos.push(Checker::run(entity)?);
+        }
+        Ok(Self { design, infos })
+    }
+
+    /// The underlying design.
+    pub fn design(&self) -> &Design {
+        &self.design
+    }
+
+    /// Consumes the wrapper and returns the design.
+    pub fn into_design(self) -> Design {
+        self.design
+    }
+
+    /// The entity and its checked metadata, by name.
+    pub fn entity(&self, name: &str) -> Option<(&Entity, &EntityInfo)> {
+        self.design
+            .entities
+            .iter()
+            .position(|e| e.name.name == name)
+            .map(|i| (&self.design.entities[i], &self.infos[i]))
+    }
+
+    /// The checked metadata for an entity, by name.
+    pub fn entity_info(&self, name: &str) -> Option<&EntityInfo> {
+        self.entity(name).map(|(_, info)| info)
+    }
+
+    /// Entity/metadata pairs in declaration order.
+    pub fn entities(&self) -> impl Iterator<Item = (&Entity, &EntityInfo)> {
+        self.design.entities.iter().zip(self.infos.iter())
+    }
+}
+
+struct Checker<'a> {
+    entity: &'a Entity,
+    symbols: Vec<Symbol>,
+    top_names: HashMap<String, SymbolId>,
+    widths: HashMap<NodeId, u32>,
+    resolved: HashMap<NodeId, SymbolId>,
+    drivers: HashMap<SymbolId, usize>,
+    /// Scope stack for vars and loop variables.
+    scopes: Vec<(String, SymbolId)>,
+    current_process: usize,
+}
+
+impl<'a> Checker<'a> {
+    fn run(entity: &'a Entity) -> Result<EntityInfo> {
+        let mut c = Checker {
+            entity,
+            symbols: Vec::new(),
+            top_names: HashMap::new(),
+            widths: HashMap::new(),
+            resolved: HashMap::new(),
+            drivers: HashMap::new(),
+            scopes: Vec::new(),
+            current_process: 0,
+        };
+        c.declare_top_level()?;
+        c.mark_clocks()?;
+        for (i, process) in entity.processes.iter().enumerate() {
+            c.current_process = i;
+            c.check_process(process)?;
+        }
+        c.check_all_outputs_driven()?;
+        c.check_clock_not_read()?;
+        let (comb_order, seq_processes) = c.schedule()?;
+        c.check_full_assignment(&comb_order)?;
+
+        let mut drive_class = HashMap::new();
+        for (&sym, &proc_idx) in &c.drivers {
+            let class = match entity.processes[proc_idx].kind {
+                ProcessKind::Comb => DriveClass::Wire,
+                ProcessKind::Seq { .. } => DriveClass::Register,
+            };
+            drive_class.insert(sym, class);
+        }
+
+        let clocks: Vec<SymbolId> = c
+            .symbols
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s.kind, SymbolKind::PortIn { clock: true }))
+            .map(|(i, _)| SymbolId(i as u32))
+            .collect();
+        let data_inputs: Vec<SymbolId> = c
+            .symbols
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s.kind, SymbolKind::PortIn { clock: false }))
+            .map(|(i, _)| SymbolId(i as u32))
+            .collect();
+        let outputs: Vec<SymbolId> = c
+            .symbols
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s.kind, SymbolKind::PortOut))
+            .map(|(i, _)| SymbolId(i as u32))
+            .collect();
+
+        Ok(EntityInfo {
+            symbols: c.symbols,
+            widths: c.widths,
+            resolved: c.resolved,
+            drivers: c.drivers,
+            drive_class,
+            comb_order,
+            seq_processes,
+            clocks,
+            data_inputs,
+            outputs,
+        })
+    }
+
+    // ---- declarations --------------------------------------------------
+
+    fn declare(&mut self, name: &Ident, symbol: Symbol) -> Result<SymbolId> {
+        let id = SymbolId(self.symbols.len() as u32);
+        match self.top_names.entry(name.name.clone()) {
+            Entry::Occupied(_) => Err(HdlError::check(
+                format!("`{}` is declared more than once", name.name),
+                name.span,
+            )),
+            Entry::Vacant(v) => {
+                v.insert(id);
+                self.symbols.push(symbol);
+                Ok(id)
+            }
+        }
+    }
+
+    fn declare_top_level(&mut self) -> Result<()> {
+        for port in &self.entity.ports {
+            let kind = match port.dir {
+                PortDir::In => SymbolKind::PortIn { clock: false },
+                PortDir::Out => SymbolKind::PortOut,
+            };
+            self.declare(
+                &port.name,
+                Symbol {
+                    name: port.name.name.clone(),
+                    width: port.width,
+                    kind,
+                    init: 0,
+                },
+            )?;
+        }
+        for cst in &self.entity.consts {
+            if cst.width < 64 && cst.value >= (1u64 << cst.width) {
+                return Err(HdlError::check(
+                    format!(
+                        "constant `{}` value {} does not fit in {} bits",
+                        cst.name.name, cst.value, cst.width
+                    ),
+                    cst.name.span,
+                ));
+            }
+            self.declare(
+                &cst.name,
+                Symbol {
+                    name: cst.name.name.clone(),
+                    width: cst.width,
+                    kind: SymbolKind::Const(cst.value),
+                    init: cst.value,
+                },
+            )?;
+        }
+        for sig in &self.entity.signals {
+            if sig.width < 64 && sig.init >= (1u64 << sig.width) {
+                return Err(HdlError::check(
+                    format!(
+                        "signal `{}` initial value {} does not fit in {} bits",
+                        sig.name.name, sig.init, sig.width
+                    ),
+                    sig.name.span,
+                ));
+            }
+            self.declare(
+                &sig.name,
+                Symbol {
+                    name: sig.name.name.clone(),
+                    width: sig.width,
+                    kind: SymbolKind::Signal,
+                    init: sig.init,
+                },
+            )?;
+        }
+        Ok(())
+    }
+
+    fn mark_clocks(&mut self) -> Result<()> {
+        for process in &self.entity.processes {
+            if let ProcessKind::Seq { clock } = &process.kind {
+                let id = *self.top_names.get(&clock.name).ok_or_else(|| {
+                    HdlError::check(format!("unknown clock `{}`", clock.name), clock.span)
+                })?;
+                let sym = &mut self.symbols[id.0 as usize];
+                match sym.kind {
+                    SymbolKind::PortIn { .. } if sym.width == 1 => {
+                        sym.kind = SymbolKind::PortIn { clock: true };
+                    }
+                    _ => {
+                        return Err(HdlError::check(
+                            format!("clock `{}` must be a width-1 input port", clock.name),
+                            clock.span,
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ---- name lookup ---------------------------------------------------
+
+    fn lookup(&self, name: &Ident) -> Result<SymbolId> {
+        // Innermost scope first (vars, loop indices), then top level.
+        for (n, id) in self.scopes.iter().rev() {
+            if *n == name.name {
+                return Ok(*id);
+            }
+        }
+        self.top_names.get(&name.name).copied().ok_or_else(|| {
+            HdlError::check(format!("unknown name `{}`", name.name), name.span)
+        })
+    }
+
+    /// Width of an expression if derivable without context; `None` for
+    /// context-dependent decimal literals.
+    fn try_det(&self, e: &Expr) -> Option<u32> {
+        match e {
+            Expr::Literal { width, .. } => *width,
+            Expr::Ref { name, .. } => {
+                for (n, id) in self.scopes.iter().rev() {
+                    if *n == name.name {
+                        return Some(self.symbols[id.0 as usize].width);
+                    }
+                }
+                self.top_names
+                    .get(&name.name)
+                    .map(|id| self.symbols[id.0 as usize].width)
+            }
+            Expr::Index { .. } => Some(1),
+            Expr::Slice { hi, lo, .. } => Some(hi - lo + 1),
+            Expr::Unary { arg, .. } => self.try_det(arg),
+            Expr::Binary { op, lhs, rhs, .. } => {
+                if op.is_relational() {
+                    Some(1)
+                } else {
+                    self.try_det(lhs).or_else(|| self.try_det(rhs))
+                }
+            }
+            Expr::Reduce { .. } => Some(1),
+            Expr::Concat { lhs, rhs, .. } => {
+                Some(self.try_det(lhs)? + self.try_det(rhs)?)
+            }
+            Expr::Shift { arg, .. } => self.try_det(arg),
+        }
+    }
+
+    fn expr_span(e: &Expr) -> Span {
+        match e {
+            Expr::Literal { span, .. } => *span,
+            Expr::Ref { name, .. } => name.span,
+            Expr::Index { base, .. }
+            | Expr::Slice { base, .. } => Self::expr_span(base),
+            Expr::Unary { arg, .. } | Expr::Reduce { arg, .. } | Expr::Shift { arg, .. } => {
+                Self::expr_span(arg)
+            }
+            Expr::Binary { lhs, .. } | Expr::Concat { lhs, .. } => Self::expr_span(lhs),
+        }
+    }
+
+    /// Checks an expression against an optional expected width and records
+    /// its resolved width. Returns the width.
+    fn check_expr(&mut self, e: &Expr, expected: Option<u32>) -> Result<u32> {
+        let width = match e {
+            Expr::Literal {
+                value,
+                width,
+                span,
+                ..
+            } => {
+                let w = match (width, expected) {
+                    (Some(w0), Some(we)) if *w0 != we => {
+                        return Err(HdlError::check(
+                            format!("literal has width {w0}, context requires {we}"),
+                            *span,
+                        ));
+                    }
+                    (Some(w0), _) => *w0,
+                    (None, Some(we)) => we,
+                    (None, None) => {
+                        return Err(HdlError::check(
+                            "cannot infer width of decimal literal; use a binary/hex \
+                             literal or add context",
+                            *span,
+                        ));
+                    }
+                };
+                if w < 64 && *value >= (1u64 << w) {
+                    return Err(HdlError::check(
+                        format!("literal {value} does not fit in {w} bits"),
+                        *span,
+                    ));
+                }
+                w
+            }
+            Expr::Ref { id, name } => {
+                let sym_id = self.lookup(name)?;
+                let sym = &self.symbols[sym_id.0 as usize];
+                if matches!(sym.kind, SymbolKind::PortIn { clock: true }) {
+                    return Err(HdlError::check(
+                        format!("clock `{}` cannot be read as data", name.name),
+                        name.span,
+                    ));
+                }
+                self.resolved.insert(*id, sym_id);
+                sym.width
+            }
+            Expr::Index { base, index, .. } => {
+                let base_w = self.check_det(base)?;
+                if let Expr::Literal { value, span, .. } = index.as_ref() {
+                    if *value >= base_w as u64 {
+                        return Err(HdlError::check(
+                            format!("index {value} out of range for width {base_w}"),
+                            *span,
+                        ));
+                    }
+                    self.widths.insert(index.id(), 32);
+                } else {
+                    self.check_det(index)?;
+                }
+                1
+            }
+            Expr::Slice { base, hi, lo, .. } => {
+                let base_w = self.check_det(base)?;
+                if hi < lo {
+                    return Err(HdlError::check(
+                        format!("slice [{hi}:{lo}] has hi < lo"),
+                        Self::expr_span(base),
+                    ));
+                }
+                if *hi >= base_w {
+                    return Err(HdlError::check(
+                        format!("slice [{hi}:{lo}] out of range for width {base_w}"),
+                        Self::expr_span(base),
+                    ));
+                }
+                hi - lo + 1
+            }
+            Expr::Unary { arg, .. } => self.check_expr(arg, expected)?,
+            Expr::Binary { op, lhs, rhs, .. } => {
+                if op.is_relational() {
+                    let w = self
+                        .try_det(lhs)
+                        .or_else(|| self.try_det(rhs))
+                        .ok_or_else(|| {
+                            HdlError::check(
+                                "cannot infer operand width of comparison",
+                                Self::expr_span(e),
+                            )
+                        })?;
+                    self.check_expr(lhs, Some(w))?;
+                    self.check_expr(rhs, Some(w))?;
+                    1
+                } else {
+                    let w = self
+                        .try_det(lhs)
+                        .or_else(|| self.try_det(rhs))
+                        .or(expected)
+                        .ok_or_else(|| {
+                            HdlError::check(
+                                format!("cannot infer width of `{}` expression", op.symbol()),
+                                Self::expr_span(e),
+                            )
+                        })?;
+                    self.check_expr(lhs, Some(w))?;
+                    self.check_expr(rhs, Some(w))?;
+                    w
+                }
+            }
+            Expr::Reduce { arg, .. } => {
+                self.check_det(arg)?;
+                1
+            }
+            Expr::Concat { lhs, rhs, .. } => {
+                let wl = self.check_det(lhs)?;
+                let wr = self.check_det(rhs)?;
+                if wl + wr > 64 {
+                    return Err(HdlError::check(
+                        format!("concatenation width {} exceeds 64", wl + wr),
+                        Self::expr_span(e),
+                    ));
+                }
+                wl + wr
+            }
+            Expr::Shift { arg, .. } => {
+                let w = match self.try_det(arg).or(expected) {
+                    Some(w) => w,
+                    None => {
+                        return Err(HdlError::check(
+                            "cannot infer width of shift operand",
+                            Self::expr_span(e),
+                        ));
+                    }
+                };
+                self.check_expr(arg, Some(w))?;
+                w
+            }
+        };
+        if let Some(we) = expected {
+            if we != width {
+                return Err(HdlError::check(
+                    format!("expression has width {width}, context requires {we}"),
+                    Self::expr_span(e),
+                ));
+            }
+        }
+        self.widths.insert(e.id(), width);
+        Ok(width)
+    }
+
+    /// Checks an expression whose width must be self-determined.
+    fn check_det(&mut self, e: &Expr) -> Result<u32> {
+        let w = self.try_det(e).ok_or_else(|| {
+            HdlError::check("cannot infer expression width", Self::expr_span(e))
+        })?;
+        self.check_expr(e, Some(w))
+    }
+
+    // ---- statements ----------------------------------------------------
+
+    fn check_process(&mut self, process: &Process) -> Result<()> {
+        let scope_base = self.scopes.len();
+        for var in &process.vars {
+            if var.width < 64 && var.init >= (1u64 << var.width) {
+                return Err(HdlError::check(
+                    format!(
+                        "variable `{}` initial value {} does not fit in {} bits",
+                        var.name.name, var.init, var.width
+                    ),
+                    var.name.span,
+                ));
+            }
+            if self.top_names.contains_key(&var.name.name)
+                || self.scopes.iter().any(|(n, _)| *n == var.name.name)
+            {
+                return Err(HdlError::check(
+                    format!("`{}` shadows an existing declaration", var.name.name),
+                    var.name.span,
+                ));
+            }
+            let id = SymbolId(self.symbols.len() as u32);
+            self.symbols.push(Symbol {
+                name: var.name.name.clone(),
+                width: var.width,
+                kind: SymbolKind::Var {
+                    process: self.current_process,
+                },
+                init: var.init,
+            });
+            self.scopes.push((var.name.name.clone(), id));
+        }
+        self.check_stmts(&process.body, &process.kind)?;
+        self.scopes.truncate(scope_base);
+        Ok(())
+    }
+
+    fn check_stmts(&mut self, stmts: &[Stmt], kind: &ProcessKind) -> Result<()> {
+        for stmt in stmts {
+            self.check_stmt(stmt, kind)?;
+        }
+        Ok(())
+    }
+
+    fn check_stmt(&mut self, stmt: &Stmt, kind: &ProcessKind) -> Result<()> {
+        match stmt {
+            Stmt::Assign {
+                kind: akind,
+                target,
+                value,
+                ..
+            } => {
+                let sym_id = self.lookup(&target.base)?;
+                let sym = self.symbols[sym_id.0 as usize].clone();
+                match (&sym.kind, akind) {
+                    (SymbolKind::PortOut | SymbolKind::Signal, AssignKind::Signal) => {
+                        match self.drivers.entry(sym_id) {
+                            Entry::Occupied(o) if *o.get() != self.current_process => {
+                                return Err(HdlError::check(
+                                    format!("`{}` is driven by more than one process", sym.name),
+                                    target.base.span,
+                                ));
+                            }
+                            Entry::Occupied(_) => {}
+                            Entry::Vacant(v) => {
+                                v.insert(self.current_process);
+                            }
+                        }
+                    }
+                    (SymbolKind::Var { process }, AssignKind::Var) => {
+                        if *process != self.current_process {
+                            return Err(HdlError::check(
+                                format!("variable `{}` belongs to another process", sym.name),
+                                target.base.span,
+                            ));
+                        }
+                    }
+                    (SymbolKind::PortOut | SymbolKind::Signal, AssignKind::Var) => {
+                        return Err(HdlError::check(
+                            format!("use `<=` to assign signal `{}`", sym.name),
+                            target.base.span,
+                        ));
+                    }
+                    (SymbolKind::Var { .. }, AssignKind::Signal) => {
+                        return Err(HdlError::check(
+                            format!("use `:=` to assign variable `{}`", sym.name),
+                            target.base.span,
+                        ));
+                    }
+                    (SymbolKind::PortIn { .. }, _) => {
+                        return Err(HdlError::check(
+                            format!("input port `{}` cannot be assigned", sym.name),
+                            target.base.span,
+                        ));
+                    }
+                    (SymbolKind::Const(_), _) => {
+                        return Err(HdlError::check(
+                            format!("constant `{}` cannot be assigned", sym.name),
+                            target.base.span,
+                        ));
+                    }
+                    (SymbolKind::LoopVar, _) => {
+                        return Err(HdlError::check(
+                            format!("loop index `{}` cannot be assigned", sym.name),
+                            target.base.span,
+                        ));
+                    }
+                }
+                self.resolved.insert(target.id, sym_id);
+                let value_width = match &target.sel {
+                    None => sym.width,
+                    Some(Select::Index(index)) => {
+                        if let Expr::Literal { value, span, .. } = index {
+                            if *value >= sym.width as u64 {
+                                return Err(HdlError::check(
+                                    format!(
+                                        "index {value} out of range for `{}` (width {})",
+                                        sym.name, sym.width
+                                    ),
+                                    *span,
+                                ));
+                            }
+                            self.widths.insert(index.id(), 32);
+                        } else {
+                            self.check_det(index)?;
+                        }
+                        1
+                    }
+                    Some(Select::Slice { hi, lo }) => {
+                        if hi < lo || *hi >= sym.width {
+                            return Err(HdlError::check(
+                                format!(
+                                    "slice [{hi}:{lo}] out of range for `{}` (width {})",
+                                    sym.name, sym.width
+                                ),
+                                target.base.span,
+                            ));
+                        }
+                        hi - lo + 1
+                    }
+                };
+                self.check_expr(value, Some(value_width))?;
+                Ok(())
+            }
+            Stmt::If {
+                arms, else_body, ..
+            } => {
+                for (cond, body) in arms {
+                    self.check_expr(cond, Some(1))?;
+                    self.check_stmts(body, kind)?;
+                }
+                if let Some(body) = else_body {
+                    self.check_stmts(body, kind)?;
+                }
+                Ok(())
+            }
+            Stmt::Case {
+                subject,
+                arms,
+                default,
+                ..
+            } => {
+                let w = self.check_det(subject)?;
+                let mut seen = HashSet::new();
+                for arm in arms {
+                    for &choice in &arm.choices {
+                        if w < 64 && choice >= (1u64 << w) {
+                            return Err(HdlError::check(
+                                format!("case choice {choice} does not fit in {w} bits"),
+                                Self::expr_span(subject),
+                            ));
+                        }
+                        if !seen.insert(choice) {
+                            return Err(HdlError::check(
+                                format!("duplicate case choice {choice}"),
+                                Self::expr_span(subject),
+                            ));
+                        }
+                    }
+                    self.check_stmts(&arm.body, kind)?;
+                }
+                if let Some(body) = default {
+                    self.check_stmts(body, kind)?;
+                }
+                Ok(())
+            }
+            Stmt::For {
+                var, lo, hi, body, ..
+            } => {
+                if self.top_names.contains_key(&var.name)
+                    || self.scopes.iter().any(|(n, _)| *n == var.name)
+                {
+                    return Err(HdlError::check(
+                        format!("loop index `{}` shadows an existing declaration", var.name),
+                        var.span,
+                    ));
+                }
+                // Width: enough bits for `hi` (at least 1).
+                let width = 64 - hi.leading_zeros().min(63);
+                let width = width.max(1);
+                let id = SymbolId(self.symbols.len() as u32);
+                self.symbols.push(Symbol {
+                    name: var.name.clone(),
+                    width,
+                    kind: SymbolKind::LoopVar,
+                    init: *lo,
+                });
+                self.scopes.push((var.name.clone(), id));
+                self.check_stmts(body, kind)?;
+                self.scopes.pop();
+                Ok(())
+            }
+            Stmt::Null { .. } => Ok(()),
+        }
+    }
+
+    // ---- whole-entity checks --------------------------------------------
+
+    fn check_all_outputs_driven(&self) -> Result<()> {
+        // Output ports must be driven (interface contract). Internal
+        // signals may be undriven: they behave as constants holding their
+        // initial value — which is exactly what an SDL mutant that deletes
+        // a register's only assignment produces.
+        for (i, sym) in self.symbols.iter().enumerate() {
+            let id = SymbolId(i as u32);
+            if matches!(sym.kind, SymbolKind::PortOut) && !self.drivers.contains_key(&id) {
+                return Err(HdlError::check(
+                    format!("output port `{}` is never driven", sym.name),
+                    Span::dummy(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn check_clock_not_read(&self) -> Result<()> {
+        // Reads of clocks are rejected during expression checking; here we
+        // additionally reject clocks that are also driven (impossible by
+        // construction: clocks are input ports) — nothing further to do.
+        Ok(())
+    }
+
+    /// Signals/ports read by a process (transitively through its
+    /// expressions; variables and constants excluded).
+    fn process_reads(&self, process: &Process) -> HashSet<SymbolId> {
+        let mut reads = HashSet::new();
+        walk_exprs(&process.body, &mut |e| {
+            if let Expr::Ref { id, .. } = e {
+                if let Some(&sym_id) = self.resolved.get(id) {
+                    let sym = &self.symbols[sym_id.0 as usize];
+                    if matches!(
+                        sym.kind,
+                        SymbolKind::PortIn { .. } | SymbolKind::PortOut | SymbolKind::Signal
+                    ) {
+                        reads.insert(sym_id);
+                    }
+                }
+            }
+        });
+        reads
+    }
+
+    /// Signals/ports driven by a process.
+    fn process_drives(&self, process_idx: usize) -> HashSet<SymbolId> {
+        self.drivers
+            .iter()
+            .filter(|(_, &p)| p == process_idx)
+            .map(|(&s, _)| s)
+            .collect()
+    }
+
+    fn schedule(&self) -> Result<(Vec<usize>, Vec<usize>)> {
+        let entity = self.entity;
+        let comb: Vec<usize> = entity
+            .processes
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| matches!(p.kind, ProcessKind::Comb))
+            .map(|(i, _)| i)
+            .collect();
+        let seq: Vec<usize> = entity
+            .processes
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| matches!(p.kind, ProcessKind::Seq { .. }))
+            .map(|(i, _)| i)
+            .collect();
+
+        // A combinational process must not read its own outputs.
+        for &i in &comb {
+            let reads = self.process_reads(&entity.processes[i]);
+            let drives = self.process_drives(i);
+            if let Some(sym) = reads.intersection(&drives).next() {
+                return Err(HdlError::check(
+                    format!(
+                        "combinational process reads `{}` which it also drives",
+                        self.symbols[sym.0 as usize].name
+                    ),
+                    Span::dummy(),
+                ));
+            }
+        }
+
+        // Topological order on wire dependencies (Kahn's algorithm).
+        let mut dependents: HashMap<usize, Vec<usize>> = HashMap::new();
+        let mut in_degree: HashMap<usize, usize> = comb.iter().map(|&i| (i, 0)).collect();
+        for &reader in &comb {
+            let reads = self.process_reads(&entity.processes[reader]);
+            for sym in reads {
+                if let Some(&writer) = self.drivers.get(&sym) {
+                    if writer != reader
+                        && matches!(entity.processes[writer].kind, ProcessKind::Comb)
+                    {
+                        dependents.entry(writer).or_default().push(reader);
+                        *in_degree.get_mut(&reader).unwrap() += 1;
+                    }
+                }
+            }
+        }
+        let mut ready: Vec<usize> = comb
+            .iter()
+            .copied()
+            .filter(|i| in_degree[i] == 0)
+            .collect();
+        ready.sort_unstable();
+        let mut order = Vec::with_capacity(comb.len());
+        while let Some(next) = ready.pop() {
+            order.push(next);
+            if let Some(deps) = dependents.get(&next) {
+                for &d in deps {
+                    let deg = in_degree.get_mut(&d).unwrap();
+                    *deg -= 1;
+                    if *deg == 0 {
+                        ready.push(d);
+                    }
+                }
+            }
+        }
+        if order.len() != comb.len() {
+            return Err(HdlError::check(
+                "combinational loop between processes",
+                Span::dummy(),
+            ));
+        }
+        Ok((order, seq))
+    }
+
+    // ---- full-assignment (latch-freedom) for comb processes -------------
+
+    fn check_full_assignment(&self, comb_order: &[usize]) -> Result<()> {
+        for &i in comb_order {
+            let process = &self.entity.processes[i];
+            let assigned = self.assigned_masks(&process.body, &HashMap::new());
+            for sym_id in self.process_drives(i) {
+                let sym = &self.symbols[sym_id.0 as usize];
+                let full = if sym.width == 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << sym.width) - 1
+                };
+                let mask = assigned.get(&sym_id).copied().unwrap_or(0);
+                if mask & full != full {
+                    return Err(HdlError::check(
+                        format!(
+                            "combinational process may leave `{}` partially unassigned \
+                             (covered bits {:#b} of {:#b})",
+                            sym.name, mask, full
+                        ),
+                        Span::dummy(),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Per-signal bit masks guaranteed to be assigned on **every** path
+    /// through `stmts`. `loop_bounds` maps an active loop index name to its
+    /// inclusive range.
+    fn assigned_masks(
+        &self,
+        stmts: &[Stmt],
+        loop_bounds: &HashMap<String, (u64, u64)>,
+    ) -> HashMap<SymbolId, u64> {
+        let mut acc: HashMap<SymbolId, u64> = HashMap::new();
+        for stmt in stmts {
+            match stmt {
+                Stmt::Assign { target, .. } => {
+                    let Some(&sym_id) = self.resolved.get(&target.id) else {
+                        continue;
+                    };
+                    let sym = &self.symbols[sym_id.0 as usize];
+                    if !matches!(sym.kind, SymbolKind::PortOut | SymbolKind::Signal) {
+                        continue;
+                    }
+                    let full = if sym.width == 64 {
+                        u64::MAX
+                    } else {
+                        (1u64 << sym.width) - 1
+                    };
+                    let add = match &target.sel {
+                        None => full,
+                        Some(Select::Slice { hi, lo }) => {
+                            let w = hi - lo + 1;
+                            let m = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+                            m << lo
+                        }
+                        Some(Select::Index(index)) => match index {
+                            Expr::Literal { value, .. } if *value < 64 => 1u64 << value,
+                            Expr::Ref { name, .. } => {
+                                // Loop-index-driven assignment covers the
+                                // whole traversed range.
+                                if let Some(&(lo, hi)) = loop_bounds.get(&name.name) {
+                                    let mut m = 0u64;
+                                    let hi = hi.min(63);
+                                    for b in lo..=hi {
+                                        m |= 1u64 << b;
+                                    }
+                                    m
+                                } else {
+                                    0
+                                }
+                            }
+                            _ => 0,
+                        },
+                    };
+                    *acc.entry(sym_id).or_insert(0) |= add & full;
+                }
+                Stmt::If {
+                    arms, else_body, ..
+                } => {
+                    if let Some(else_body) = else_body {
+                        let mut branch_masks: Vec<HashMap<SymbolId, u64>> = arms
+                            .iter()
+                            .map(|(_, body)| self.assigned_masks(body, loop_bounds))
+                            .collect();
+                        branch_masks.push(self.assigned_masks(else_body, loop_bounds));
+                        merge_intersection(&mut acc, &branch_masks);
+                    }
+                }
+                Stmt::Case {
+                    subject,
+                    arms,
+                    default,
+                    ..
+                } => {
+                    let mut branch_masks: Vec<HashMap<SymbolId, u64>> = arms
+                        .iter()
+                        .map(|arm| self.assigned_masks(&arm.body, loop_bounds))
+                        .collect();
+                    let covers_all = if let Some(w) = self.widths.get(&subject.id()) {
+                        if *w <= 16 {
+                            let total: usize = arms.iter().map(|a| a.choices.len()).sum();
+                            total == (1usize << w)
+                        } else {
+                            false
+                        }
+                    } else {
+                        false
+                    };
+                    if let Some(default) = default {
+                        branch_masks.push(self.assigned_masks(default, loop_bounds));
+                        merge_intersection(&mut acc, &branch_masks);
+                    } else if covers_all && !branch_masks.is_empty() {
+                        merge_intersection(&mut acc, &branch_masks);
+                    }
+                }
+                Stmt::For {
+                    var, lo, hi, body, ..
+                } => {
+                    let mut bounds = loop_bounds.clone();
+                    bounds.insert(var.name.clone(), (*lo, *hi));
+                    let body_masks = self.assigned_masks(body, &bounds);
+                    for (sym, mask) in body_masks {
+                        *acc.entry(sym).or_insert(0) |= mask;
+                    }
+                }
+                Stmt::Null { .. } => {}
+            }
+        }
+        acc
+    }
+}
+
+/// ANDs together the per-branch masks (a signal is covered only by bits
+/// assigned in *every* branch) and ORs the result into `acc`.
+fn merge_intersection(acc: &mut HashMap<SymbolId, u64>, branches: &[HashMap<SymbolId, u64>]) {
+    let Some(first) = branches.first() else {
+        return;
+    };
+    for (&sym, &mask0) in first {
+        let mut mask = mask0;
+        for other in &branches[1..] {
+            mask &= other.get(&sym).copied().unwrap_or(0);
+        }
+        if mask != 0 {
+            *acc.entry(sym).or_insert(0) |= mask;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn check(src: &str) -> Result<CheckedDesign> {
+        CheckedDesign::new(parse(src)?)
+    }
+
+    fn check_err(src: &str) -> String {
+        check(src).unwrap_err().message
+    }
+
+    const COUNTER: &str = "
+        entity counter is
+          port(clk : in bit; rst : in bit; en : in bit; q : out bits(4));
+          signal count : bits(4) := 0;
+          seq(clk) begin
+            if rst = 1 then
+              count <= 0;
+            elsif en = 1 then
+              count <= count + 1;
+            end if;
+          end;
+          comb begin
+            q <= count;
+          end;
+        end counter;
+    ";
+
+    #[test]
+    fn counter_checks() {
+        let checked = check(COUNTER).unwrap();
+        let info = checked.entity_info("counter").unwrap();
+        assert_eq!(info.clocks.len(), 1);
+        assert_eq!(info.data_inputs.len(), 2); // rst, en
+        assert_eq!(info.outputs.len(), 1);
+        assert!(!info.is_combinational());
+        assert_eq!(info.input_bits(), 2);
+        assert_eq!(info.output_bits(), 4);
+        let count = info.symbol_by_name("count").unwrap();
+        assert_eq!(info.drive_class[&count], DriveClass::Register);
+        let q = info.symbol_by_name("q").unwrap();
+        assert_eq!(info.drive_class[&q], DriveClass::Wire);
+    }
+
+    #[test]
+    fn literal_width_inference_from_target() {
+        let checked = check(
+            "entity e is port(a : in bits(4); y : out bits(4));
+             comb begin y <= a + 3; end;
+             end;",
+        )
+        .unwrap();
+        assert!(checked.entity_info("e").is_some());
+    }
+
+    #[test]
+    fn rejects_uninferrable_literal() {
+        let msg = check_err(
+            "entity e is port(a : in bits(8); y : out bit);
+             comb begin y <= 3 = 3; end;
+             end;",
+        );
+        assert!(msg.contains("cannot infer"), "{msg}");
+    }
+
+    #[test]
+    fn rejects_width_mismatch() {
+        let msg = check_err(
+            "entity e is port(a : in bits(4); b : in bits(5); y : out bits(4));
+             comb begin y <= a and b; end;
+             end;",
+        );
+        assert!(msg.contains("width"), "{msg}");
+    }
+
+    #[test]
+    fn rejects_literal_too_big() {
+        let msg = check_err(
+            "entity e is port(a : in bits(3); y : out bits(3));
+             comb begin y <= a + 9; end;
+             end;",
+        );
+        assert!(msg.contains("does not fit"), "{msg}");
+    }
+
+    #[test]
+    fn rejects_unknown_name() {
+        let msg = check_err(
+            "entity e is port(a : in bit; y : out bit);
+             comb begin y <= zz; end;
+             end;",
+        );
+        assert!(msg.contains("unknown name"), "{msg}");
+    }
+
+    #[test]
+    fn rejects_duplicate_declaration() {
+        let msg = check_err(
+            "entity e is port(a : in bit; a : in bit; y : out bit);
+             comb begin y <= a; end;
+             end;",
+        );
+        assert!(msg.contains("more than once"), "{msg}");
+    }
+
+    #[test]
+    fn rejects_multiple_drivers() {
+        let msg = check_err(
+            "entity e is port(a : in bit; y : out bit);
+             comb begin y <= a; end;
+             comb begin y <= not a; end;
+             end;",
+        );
+        assert!(msg.contains("more than one process"), "{msg}");
+    }
+
+    #[test]
+    fn rejects_undriven_output() {
+        let msg = check_err(
+            "entity e is port(a : in bit; y : out bit; z : out bit);
+             comb begin y <= a; end;
+             end;",
+        );
+        assert!(msg.contains("never driven"), "{msg}");
+    }
+
+    #[test]
+    fn rejects_assign_to_input() {
+        let msg = check_err(
+            "entity e is port(a : in bit; y : out bit);
+             comb begin a <= y; y <= a; end;
+             end;",
+        );
+        assert!(msg.contains("cannot be assigned"), "{msg}");
+    }
+
+    #[test]
+    fn rejects_wrong_assign_operator() {
+        let msg = check_err(
+            "entity e is port(a : in bit; y : out bit);
+             comb begin y := a; end;
+             end;",
+        );
+        assert!(msg.contains("use `<=`"), "{msg}");
+        let msg = check_err(
+            "entity e is port(a : in bit; y : out bit);
+             comb var t : bit; begin t <= a; y <= t; end;
+             end;",
+        );
+        assert!(msg.contains("use `:=`"), "{msg}");
+    }
+
+    #[test]
+    fn rejects_clock_read_as_data() {
+        let msg = check_err(
+            "entity e is port(clk : in bit; y : out bit);
+             signal r : bit;
+             seq(clk) begin r <= not r; end;
+             comb begin y <= clk; end;
+             end;",
+        );
+        assert!(msg.contains("clock"), "{msg}");
+    }
+
+    #[test]
+    fn rejects_wide_clock() {
+        let msg = check_err(
+            "entity e is port(clk : in bits(2); y : out bit);
+             signal r : bit;
+             seq(clk) begin r <= not r; end;
+             comb begin y <= r; end;
+             end;",
+        );
+        assert!(msg.contains("width-1 input port"), "{msg}");
+    }
+
+    #[test]
+    fn rejects_comb_self_read() {
+        let msg = check_err(
+            "entity e is port(a : in bit; y : out bit);
+             comb begin y <= not y; end;
+             end;",
+        );
+        assert!(msg.contains("also drives"), "{msg}");
+    }
+
+    #[test]
+    fn rejects_comb_loop_between_processes() {
+        let msg = check_err(
+            "entity e is port(a : in bit; y : out bit);
+             signal s : bit;
+             signal t : bit;
+             comb begin s <= t and a; end;
+             comb begin t <= s or a; end;
+             comb begin y <= s; end;
+             end;",
+        );
+        assert!(msg.contains("combinational loop"), "{msg}");
+    }
+
+    #[test]
+    fn comb_order_respects_dependencies() {
+        let checked = check(
+            "entity e is port(a : in bit; y : out bit);
+             signal s : bit;
+             signal t : bit;
+             comb begin y <= t; end;
+             comb begin t <= s; end;
+             comb begin s <= a; end;
+             end;",
+        )
+        .unwrap();
+        let info = checked.entity_info("e").unwrap();
+        // Process 2 drives s, 1 drives t (reads s), 0 drives y (reads t).
+        assert_eq!(info.comb_order, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn rejects_partial_comb_assignment() {
+        let msg = check_err(
+            "entity e is port(a : in bit; y : out bit);
+             comb begin
+               if a = 1 then y <= 1; end if;
+             end;
+             end;",
+        );
+        assert!(msg.contains("partially unassigned"), "{msg}");
+    }
+
+    #[test]
+    fn accepts_if_else_full_assignment() {
+        assert!(check(
+            "entity e is port(a : in bit; y : out bit);
+             comb begin
+               if a = 1 then y <= 1; else y <= 0; end if;
+             end;
+             end;"
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn accepts_case_with_default() {
+        assert!(check(
+            "entity e is port(a : in bits(2); y : out bit);
+             comb begin
+               case a is
+                 when 0 => y <= 1;
+                 when others => y <= 0;
+               end case;
+             end;
+             end;"
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn accepts_exhaustive_case_without_default() {
+        assert!(check(
+            "entity e is port(a : in bits(2); y : out bit);
+             comb begin
+               case a is
+                 when 0 => y <= 1;
+                 when 1 => y <= 0;
+                 when 2 => y <= 0;
+                 when 3 => y <= 1;
+               end case;
+             end;
+             end;"
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn rejects_inexhaustive_case_without_default() {
+        let msg = check_err(
+            "entity e is port(a : in bits(2); y : out bit);
+             comb begin
+               case a is
+                 when 0 => y <= 1;
+                 when 1 => y <= 0;
+               end case;
+             end;
+             end;",
+        );
+        assert!(msg.contains("partially unassigned"), "{msg}");
+    }
+
+    #[test]
+    fn accepts_loop_bit_coverage() {
+        assert!(check(
+            "entity e is port(a : in bits(8); y : out bits(8));
+             comb begin
+               for i in 0 .. 7 loop
+                 y[i] <= not a[i];
+               end loop;
+             end;
+             end;"
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn rejects_incomplete_loop_coverage() {
+        let msg = check_err(
+            "entity e is port(a : in bits(8); y : out bits(8));
+             comb begin
+               for i in 0 .. 6 loop
+                 y[i] <= not a[i];
+               end loop;
+             end;
+             end;",
+        );
+        assert!(msg.contains("partially unassigned"), "{msg}");
+    }
+
+    #[test]
+    fn accepts_slice_composition_coverage() {
+        assert!(check(
+            "entity e is port(a : in bits(8); y : out bits(8));
+             comb begin
+               y[7:4] <= a[3:0];
+               y[3:0] <= a[7:4];
+             end;
+             end;"
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn rejects_duplicate_case_choice() {
+        let msg = check_err(
+            "entity e is port(a : in bits(2); y : out bit);
+             comb begin
+               case a is
+                 when 1 => y <= 1;
+                 when 1 => y <= 0;
+                 when others => y <= 0;
+               end case;
+             end;
+             end;",
+        );
+        assert!(msg.contains("duplicate"), "{msg}");
+    }
+
+    #[test]
+    fn rejects_case_choice_too_wide() {
+        let msg = check_err(
+            "entity e is port(a : in bits(2); y : out bit);
+             comb begin
+               case a is
+                 when 5 => y <= 1;
+                 when others => y <= 0;
+               end case;
+             end;
+             end;",
+        );
+        assert!(msg.contains("does not fit"), "{msg}");
+    }
+
+    #[test]
+    fn rejects_static_index_out_of_range() {
+        let msg = check_err(
+            "entity e is port(a : in bits(4); y : out bit);
+             comb begin y <= a[4]; end;
+             end;",
+        );
+        assert!(msg.contains("out of range"), "{msg}");
+    }
+
+    #[test]
+    fn rejects_slice_out_of_range() {
+        let msg = check_err(
+            "entity e is port(a : in bits(4); y : out bits(3));
+             comb begin y <= a[4:2]; end;
+             end;",
+        );
+        assert!(msg.contains("out of range"), "{msg}");
+    }
+
+    #[test]
+    fn rejects_loop_var_assignment() {
+        let msg = check_err(
+            "entity e is port(a : in bits(4); y : out bits(4));
+             comb begin
+               y <= a;
+               for i in 0 .. 3 loop
+                 i := 0;
+               end loop;
+             end;
+             end;",
+        );
+        // `:=` to loop var: loop index cannot be assigned.
+        assert!(msg.contains("loop index"), "{msg}");
+    }
+
+    #[test]
+    fn rejects_var_shadowing() {
+        let msg = check_err(
+            "entity e is port(a : in bit; y : out bit);
+             comb var a : bit; begin a := 1; y <= a; end;
+             end;",
+        );
+        assert!(msg.contains("shadows"), "{msg}");
+    }
+
+    #[test]
+    fn variable_flow_checks() {
+        let checked = check(
+            "entity e is port(a : in bits(4); y : out bits(4));
+             comb
+               var t : bits(4);
+             begin
+               t := a + 1;
+               t := t * t;
+               y <= t;
+             end;
+             end;",
+        )
+        .unwrap();
+        assert!(checked.entity_info("e").is_some());
+    }
+
+    #[test]
+    fn concat_and_reduce_widths() {
+        let checked = check(
+            "entity e is port(a : in bits(3); b : in bits(5); y : out bits(8); p : out bit);
+             comb begin
+               y <= a & b;
+               p <= xorr(a) xor orr(b);
+             end;
+             end;",
+        )
+        .unwrap();
+        assert!(checked.entity_info("e").is_some());
+    }
+
+    #[test]
+    fn seq_register_may_hold() {
+        // Registers keep their value when not assigned: no full-assignment
+        // requirement in clocked processes.
+        assert!(check(
+            "entity e is port(clk : in bit; en : in bit; q : out bit);
+             signal r : bit;
+             seq(clk) begin
+               if en = 1 then r <= not r; end if;
+             end;
+             comb begin q <= r; end;
+             end;"
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn seq_may_read_own_register() {
+        assert!(check(
+            "entity e is port(clk : in bit; q : out bits(4));
+             signal c : bits(4);
+             seq(clk) begin c <= c + 1; end;
+             comb begin q <= c; end;
+             end;"
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn constants_resolve_and_check() {
+        let checked = check(
+            "entity e is port(a : in bits(4); y : out bit);
+             constant LIMIT : bits(4) := 9;
+             comb begin y <= a > LIMIT; end;
+             end;",
+        )
+        .unwrap();
+        let info = checked.entity_info("e").unwrap();
+        let limit = info.symbol_by_name("LIMIT").unwrap();
+        assert!(matches!(info.symbol(limit).kind, SymbolKind::Const(9)));
+    }
+
+    #[test]
+    fn rejects_constant_value_overflow() {
+        let msg = check_err(
+            "entity e is port(a : in bits(4); y : out bit);
+             constant BIG : bits(2) := 7;
+             comb begin y <= orr(a); end;
+             end;",
+        );
+        assert!(msg.contains("does not fit"), "{msg}");
+    }
+}

@@ -1,0 +1,116 @@
+//! MiniHDL error type.
+
+use crate::span::Span;
+use std::fmt;
+
+/// The phase that produced a [`HdlError`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Tokenisation of the source text.
+    Lex,
+    /// Syntax analysis.
+    Parse,
+    /// Semantic checking (names, widths, drivers, loops).
+    Check,
+    /// Runtime evaluation (out-of-range dynamic index, …).
+    Sim,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Phase::Lex => write!(f, "lex"),
+            Phase::Parse => write!(f, "parse"),
+            Phase::Check => write!(f, "check"),
+            Phase::Sim => write!(f, "sim"),
+        }
+    }
+}
+
+/// An error produced while processing MiniHDL source.
+///
+/// Carries the phase, a human-readable message and the source span the
+/// message refers to. Use [`HdlError::render`] to format the error with
+/// line/column information against the original source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HdlError {
+    /// Processing phase that failed.
+    pub phase: Phase,
+    /// Human-readable description (lowercase, no trailing period).
+    pub message: String,
+    /// Location in the source text.
+    pub span: Span,
+}
+
+impl HdlError {
+    /// Creates a lexer error.
+    pub fn lex(message: impl Into<String>, span: Span) -> Self {
+        Self {
+            phase: Phase::Lex,
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Creates a parser error.
+    pub fn parse(message: impl Into<String>, span: Span) -> Self {
+        Self {
+            phase: Phase::Parse,
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Creates a checker error.
+    pub fn check(message: impl Into<String>, span: Span) -> Self {
+        Self {
+            phase: Phase::Check,
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Creates a simulation error.
+    pub fn sim(message: impl Into<String>, span: Span) -> Self {
+        Self {
+            phase: Phase::Sim,
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Renders the error with 1-based line/column computed from `source`.
+    pub fn render(&self, source: &str) -> String {
+        let (line, col) = self.span.line_col(source);
+        format!("{} error at {line}:{col}: {}", self.phase, self.message)
+    }
+}
+
+impl fmt::Display for HdlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error: {} (at {})", self.phase, self.message, self.span)
+    }
+}
+
+impl std::error::Error for HdlError {}
+
+/// Convenient result alias for HDL operations.
+pub type Result<T> = std::result::Result<T, HdlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_points_at_line() {
+        let src = "entity e is\n  bogus\nend";
+        let err = HdlError::parse("unexpected identifier", Span::new(14, 19));
+        assert_eq!(err.render(src), "parse error at 2:3: unexpected identifier");
+    }
+
+    #[test]
+    fn display_includes_phase() {
+        let err = HdlError::check("width mismatch", Span::new(0, 1));
+        assert_eq!(err.to_string(), "check error: width mismatch (at 0..1)");
+    }
+}

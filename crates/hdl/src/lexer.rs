@@ -1,0 +1,406 @@
+//! Tokeniser for MiniHDL source text.
+
+use crate::error::{HdlError, Result};
+use crate::span::Span;
+use std::fmt;
+
+/// A lexical token kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword (keywords are resolved by the parser).
+    Ident(String),
+    /// An integer literal. The second field is the explicit width implied
+    /// by the notation (`Some` for binary/hex, `None` for decimal).
+    Int(u64, Option<u32>),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `:`
+    Colon,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `<=` — assignment in statement position, less-or-equal in
+    /// expressions.
+    LessEq,
+    /// `:=`
+    ColonEq,
+    /// `=`
+    Eq,
+    /// `/=`
+    SlashEq,
+    /// `<`
+    Less,
+    /// `>`
+    Greater,
+    /// `>=`
+    GreaterEq,
+    /// `&`
+    Amp,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `=>`
+    FatArrow,
+    /// `..`
+    DotDot,
+    /// `|`
+    Pipe,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Int(v, _) => write!(f, "integer {v}"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::LBracket => write!(f, "`[`"),
+            Tok::RBracket => write!(f, "`]`"),
+            Tok::Colon => write!(f, "`:`"),
+            Tok::Semi => write!(f, "`;`"),
+            Tok::Comma => write!(f, "`,`"),
+            Tok::LessEq => write!(f, "`<=`"),
+            Tok::ColonEq => write!(f, "`:=`"),
+            Tok::Eq => write!(f, "`=`"),
+            Tok::SlashEq => write!(f, "`/=`"),
+            Tok::Less => write!(f, "`<`"),
+            Tok::Greater => write!(f, "`>`"),
+            Tok::GreaterEq => write!(f, "`>=`"),
+            Tok::Amp => write!(f, "`&`"),
+            Tok::Plus => write!(f, "`+`"),
+            Tok::Minus => write!(f, "`-`"),
+            Tok::Star => write!(f, "`*`"),
+            Tok::FatArrow => write!(f, "`=>`"),
+            Tok::DotDot => write!(f, "`..`"),
+            Tok::Pipe => write!(f, "`|`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub tok: Tok,
+    /// Source location.
+    pub span: Span,
+}
+
+/// Tokenises `source`, ending with a single [`Tok::Eof`] token.
+///
+/// Comments run from `--` to the end of the line. Identifiers are
+/// `[A-Za-z_][A-Za-z0-9_]*` and are case-sensitive.
+///
+/// # Errors
+///
+/// Returns a lex-phase [`HdlError`] on unknown characters, malformed
+/// numeric literals, or literals exceeding 64 bits.
+pub fn lex(source: &str) -> Result<Vec<Token>> {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+
+    let is_ident_start = |b: u8| b.is_ascii_alphabetic() || b == b'_';
+    let is_ident_cont = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        let lo = i as u32;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                i += 1;
+            }
+            b'-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            _ if is_ident_start(b) => {
+                let start = i;
+                while i < bytes.len() && is_ident_cont(bytes[i]) {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    tok: Tok::Ident(source[start..i].to_string()),
+                    span: Span::new(lo, i as u32),
+                });
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                let (value, width) = if b == b'0'
+                    && i + 1 < bytes.len()
+                    && (bytes[i + 1] == b'b' || bytes[i + 1] == b'x')
+                {
+                    let radix_char = bytes[i + 1];
+                    i += 2;
+                    let digits_start = i;
+                    while i < bytes.len()
+                        && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                    {
+                        i += 1;
+                    }
+                    let digits: String =
+                        source[digits_start..i].chars().filter(|&c| c != '_').collect();
+                    if digits.is_empty() {
+                        return Err(HdlError::lex(
+                            "numeric literal has no digits",
+                            Span::new(lo, i as u32),
+                        ));
+                    }
+                    let (radix, bits_per_digit) = if radix_char == b'b' { (2, 1) } else { (16, 4) };
+                    let width = digits.len() as u32 * bits_per_digit;
+                    if width > 64 {
+                        return Err(HdlError::lex(
+                            format!("literal width {width} exceeds 64 bits"),
+                            Span::new(lo, i as u32),
+                        ));
+                    }
+                    let value = u64::from_str_radix(&digits, radix).map_err(|_| {
+                        HdlError::lex(
+                            format!("invalid base-{radix} literal"),
+                            Span::new(lo, i as u32),
+                        )
+                    })?;
+                    (value, Some(width))
+                } else {
+                    while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+                        i += 1;
+                    }
+                    let digits: String =
+                        source[start..i].chars().filter(|&c| c != '_').collect();
+                    let value = digits.parse::<u64>().map_err(|_| {
+                        HdlError::lex("decimal literal overflows 64 bits", Span::new(lo, i as u32))
+                    })?;
+                    (value, None)
+                };
+                tokens.push(Token {
+                    tok: Tok::Int(value, width),
+                    span: Span::new(lo, i as u32),
+                });
+            }
+            b'(' => {
+                tokens.push(Token { tok: Tok::LParen, span: Span::new(lo, lo + 1) });
+                i += 1;
+            }
+            b')' => {
+                tokens.push(Token { tok: Tok::RParen, span: Span::new(lo, lo + 1) });
+                i += 1;
+            }
+            b'[' => {
+                tokens.push(Token { tok: Tok::LBracket, span: Span::new(lo, lo + 1) });
+                i += 1;
+            }
+            b']' => {
+                tokens.push(Token { tok: Tok::RBracket, span: Span::new(lo, lo + 1) });
+                i += 1;
+            }
+            b';' => {
+                tokens.push(Token { tok: Tok::Semi, span: Span::new(lo, lo + 1) });
+                i += 1;
+            }
+            b',' => {
+                tokens.push(Token { tok: Tok::Comma, span: Span::new(lo, lo + 1) });
+                i += 1;
+            }
+            b'&' => {
+                tokens.push(Token { tok: Tok::Amp, span: Span::new(lo, lo + 1) });
+                i += 1;
+            }
+            b'+' => {
+                tokens.push(Token { tok: Tok::Plus, span: Span::new(lo, lo + 1) });
+                i += 1;
+            }
+            b'-' => {
+                tokens.push(Token { tok: Tok::Minus, span: Span::new(lo, lo + 1) });
+                i += 1;
+            }
+            b'*' => {
+                tokens.push(Token { tok: Tok::Star, span: Span::new(lo, lo + 1) });
+                i += 1;
+            }
+            b'|' => {
+                tokens.push(Token { tok: Tok::Pipe, span: Span::new(lo, lo + 1) });
+                i += 1;
+            }
+            b':' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token { tok: Tok::ColonEq, span: Span::new(lo, lo + 2) });
+                    i += 2;
+                } else {
+                    tokens.push(Token { tok: Tok::Colon, span: Span::new(lo, lo + 1) });
+                    i += 1;
+                }
+            }
+            b'<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token { tok: Tok::LessEq, span: Span::new(lo, lo + 2) });
+                    i += 2;
+                } else {
+                    tokens.push(Token { tok: Tok::Less, span: Span::new(lo, lo + 1) });
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token { tok: Tok::GreaterEq, span: Span::new(lo, lo + 2) });
+                    i += 2;
+                } else {
+                    tokens.push(Token { tok: Tok::Greater, span: Span::new(lo, lo + 1) });
+                    i += 1;
+                }
+            }
+            b'=' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    tokens.push(Token { tok: Tok::FatArrow, span: Span::new(lo, lo + 2) });
+                    i += 2;
+                } else {
+                    tokens.push(Token { tok: Tok::Eq, span: Span::new(lo, lo + 1) });
+                    i += 1;
+                }
+            }
+            b'/' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token { tok: Tok::SlashEq, span: Span::new(lo, lo + 2) });
+                    i += 2;
+                } else {
+                    return Err(HdlError::lex("unexpected `/`", Span::new(lo, lo + 1)));
+                }
+            }
+            b'.' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'.' {
+                    tokens.push(Token { tok: Tok::DotDot, span: Span::new(lo, lo + 2) });
+                    i += 2;
+                } else {
+                    return Err(HdlError::lex("unexpected `.`", Span::new(lo, lo + 1)));
+                }
+            }
+            other => {
+                return Err(HdlError::lex(
+                    format!("unexpected character `{}`", other as char),
+                    Span::new(lo, lo + 1),
+                ));
+            }
+        }
+    }
+    tokens.push(Token {
+        tok: Tok::Eof,
+        span: Span::new(bytes.len() as u32, bytes.len() as u32),
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn identifiers_and_punctuation() {
+        assert_eq!(
+            toks("entity foo is ( ) ;"),
+            vec![
+                Tok::Ident("entity".into()),
+                Tok::Ident("foo".into()),
+                Tok::Ident("is".into()),
+                Tok::LParen,
+                Tok::RParen,
+                Tok::Semi,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn decimal_literals_have_no_width() {
+        assert_eq!(toks("42"), vec![Tok::Int(42, None), Tok::Eof]);
+        assert_eq!(toks("1_000"), vec![Tok::Int(1000, None), Tok::Eof]);
+    }
+
+    #[test]
+    fn binary_literals_fix_width() {
+        assert_eq!(toks("0b0101"), vec![Tok::Int(5, Some(4)), Tok::Eof]);
+        assert_eq!(toks("0b1"), vec![Tok::Int(1, Some(1)), Tok::Eof]);
+        assert_eq!(toks("0b1010_1010"), vec![Tok::Int(0xAA, Some(8)), Tok::Eof]);
+    }
+
+    #[test]
+    fn hex_literals_fix_width() {
+        assert_eq!(toks("0xFF"), vec![Tok::Int(255, Some(8)), Tok::Eof]);
+        assert_eq!(toks("0x0"), vec![Tok::Int(0, Some(4)), Tok::Eof]);
+    }
+
+    #[test]
+    fn two_char_operators() {
+        assert_eq!(
+            toks("<= := /= >= => .."),
+            vec![
+                Tok::LessEq,
+                Tok::ColonEq,
+                Tok::SlashEq,
+                Tok::GreaterEq,
+                Tok::FatArrow,
+                Tok::DotDot,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            toks("a -- whole line comment\nb"),
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn comment_vs_minus() {
+        assert_eq!(
+            toks("a - b"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Minus,
+                Tok::Ident("b".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_on_unknown_char() {
+        assert!(lex("a ? b").is_err());
+        assert!(lex("a . b").is_err());
+        assert!(lex("a / b").is_err());
+    }
+
+    #[test]
+    fn errors_on_bad_literals() {
+        assert!(lex("0b").is_err());
+        assert!(lex("0bxyz").is_err());
+        assert!(lex("0x1_0000_0000_0000_0000_0").is_err()); // > 64 bits
+        assert!(lex("99999999999999999999999").is_err());
+    }
+
+    #[test]
+    fn spans_are_tracked() {
+        let tokens = lex("ab cd").unwrap();
+        assert_eq!(tokens[0].span, Span::new(0, 2));
+        assert_eq!(tokens[1].span, Span::new(3, 5));
+    }
+}

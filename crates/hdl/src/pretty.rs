@@ -1,0 +1,329 @@
+//! Round-trippable pretty printer for MiniHDL.
+//!
+//! [`print_design`] emits source text that parses back to a structurally
+//! identical AST (up to node ids and spans). The mutation engine uses it
+//! to dump mutants for inspection, and the parser test-suite uses it for
+//! round-trip property tests.
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Prints a whole design as parseable MiniHDL source.
+pub fn print_design(design: &Design) -> String {
+    let mut out = String::new();
+    for entity in &design.entities {
+        print_entity(entity, &mut out);
+        out.push('\n');
+    }
+    out
+}
+
+fn print_type(width: u32, out: &mut String) {
+    if width == 1 {
+        out.push_str("bit");
+    } else {
+        let _ = write!(out, "bits({width})");
+    }
+}
+
+fn print_entity(entity: &Entity, out: &mut String) {
+    let _ = writeln!(out, "entity {} is", entity.name.name);
+    out.push_str("  port(");
+    for (i, port) in entity.ports.iter().enumerate() {
+        if i > 0 {
+            out.push_str("; ");
+        }
+        let _ = write!(out, "{} : {} ", port.name.name, port.dir);
+        print_type(port.width, out);
+    }
+    out.push_str(");\n");
+    for cst in &entity.consts {
+        let _ = write!(out, "  constant {} : ", cst.name.name);
+        print_type(cst.width, out);
+        let _ = writeln!(out, " := {};", cst.value);
+    }
+    for sig in &entity.signals {
+        let _ = write!(out, "  signal {} : ", sig.name.name);
+        print_type(sig.width, out);
+        let _ = writeln!(out, " := {};", sig.init);
+    }
+    for process in &entity.processes {
+        print_process(process, out);
+    }
+    let _ = writeln!(out, "end {};", entity.name.name);
+}
+
+fn print_process(process: &Process, out: &mut String) {
+    match &process.kind {
+        ProcessKind::Comb => out.push_str("  comb\n"),
+        ProcessKind::Seq { clock } => {
+            let _ = writeln!(out, "  seq({})", clock.name);
+        }
+    }
+    for var in &process.vars {
+        let _ = write!(out, "    var {} : ", var.name.name);
+        print_type(var.width, out);
+        let _ = writeln!(out, " := {};", var.init);
+    }
+    out.push_str("  begin\n");
+    print_stmts(&process.body, 2, out);
+    out.push_str("  end;\n");
+}
+
+fn indent(level: usize, out: &mut String) {
+    for _ in 0..=level {
+        out.push_str("  ");
+    }
+}
+
+fn print_stmts(stmts: &[Stmt], level: usize, out: &mut String) {
+    for stmt in stmts {
+        print_stmt(stmt, level, out);
+    }
+}
+
+fn print_stmt(stmt: &Stmt, level: usize, out: &mut String) {
+    indent(level, out);
+    match stmt {
+        Stmt::Assign {
+            kind,
+            target,
+            value,
+            ..
+        } => {
+            out.push_str(&target.base.name);
+            match &target.sel {
+                None => {}
+                Some(Select::Index(ix)) => {
+                    out.push('[');
+                    print_expr(ix, out);
+                    out.push(']');
+                }
+                Some(Select::Slice { hi, lo }) => {
+                    let _ = write!(out, "[{hi}:{lo}]");
+                }
+            }
+            let _ = write!(out, " {} ", kind.symbol());
+            print_expr(value, out);
+            out.push_str(";\n");
+        }
+        Stmt::If {
+            arms, else_body, ..
+        } => {
+            for (i, (cond, body)) in arms.iter().enumerate() {
+                if i == 0 {
+                    out.push_str("if ");
+                } else {
+                    indent(level, out);
+                    out.push_str("elsif ");
+                }
+                print_expr(cond, out);
+                out.push_str(" then\n");
+                print_stmts(body, level + 1, out);
+            }
+            if let Some(body) = else_body {
+                indent(level, out);
+                out.push_str("else\n");
+                print_stmts(body, level + 1, out);
+            }
+            indent(level, out);
+            out.push_str("end if;\n");
+        }
+        Stmt::Case {
+            subject,
+            arms,
+            default,
+            ..
+        } => {
+            out.push_str("case ");
+            print_expr(subject, out);
+            out.push_str(" is\n");
+            for arm in arms {
+                indent(level + 1, out);
+                out.push_str("when ");
+                for (i, choice) in arm.choices.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(" | ");
+                    }
+                    let _ = write!(out, "{choice}");
+                }
+                out.push_str(" =>\n");
+                print_stmts(&arm.body, level + 2, out);
+            }
+            if let Some(body) = default {
+                indent(level + 1, out);
+                out.push_str("when others =>\n");
+                print_stmts(body, level + 2, out);
+            }
+            indent(level, out);
+            out.push_str("end case;\n");
+        }
+        Stmt::For {
+            var, lo, hi, body, ..
+        } => {
+            let _ = writeln!(out, "for {} in {lo} .. {hi} loop", var.name);
+            print_stmts(body, level + 1, out);
+            indent(level, out);
+            out.push_str("end loop;\n");
+        }
+        Stmt::Null { .. } => out.push_str("null;\n"),
+    }
+}
+
+/// Prints an expression (fully parenthesised where nesting occurs).
+pub fn print_expr(expr: &Expr, out: &mut String) {
+    match expr {
+        Expr::Literal { value, width, .. } => match width {
+            Some(w) => {
+                let _ = write!(out, "0b{:0width$b}", value, width = *w as usize);
+            }
+            None => {
+                let _ = write!(out, "{value}");
+            }
+        },
+        Expr::Ref { name, .. } => out.push_str(&name.name),
+        Expr::Index { base, index, .. } => {
+            print_atom(base, out);
+            out.push('[');
+            print_expr(index, out);
+            out.push(']');
+        }
+        Expr::Slice { base, hi, lo, .. } => {
+            print_atom(base, out);
+            let _ = write!(out, "[{hi}:{lo}]");
+        }
+        Expr::Unary { op, arg, .. } => {
+            match op {
+                UnaryOp::Not => out.push_str("not "),
+            }
+            print_atom(arg, out);
+        }
+        Expr::Binary { op, lhs, rhs, .. } => {
+            print_atom(lhs, out);
+            let _ = write!(out, " {} ", op.symbol());
+            print_atom(rhs, out);
+        }
+        Expr::Reduce { op, arg, .. } => {
+            out.push_str(op.name());
+            out.push('(');
+            print_expr(arg, out);
+            out.push(')');
+        }
+        Expr::Concat { lhs, rhs, .. } => {
+            print_atom(lhs, out);
+            out.push_str(" & ");
+            print_atom(rhs, out);
+        }
+        Expr::Shift { op, arg, amount, .. } => {
+            print_atom(arg, out);
+            let _ = write!(out, " {} {amount}", op.symbol());
+        }
+    }
+}
+
+/// Prints a sub-expression, parenthesising anything non-atomic.
+fn print_atom(expr: &Expr, out: &mut String) {
+    let atomic = matches!(
+        expr,
+        Expr::Literal { .. }
+            | Expr::Ref { .. }
+            | Expr::Index { .. }
+            | Expr::Slice { .. }
+            | Expr::Reduce { .. }
+    );
+    if atomic {
+        print_expr(expr, out);
+    } else {
+        out.push('(');
+        print_expr(expr, out);
+        out.push(')');
+    }
+}
+
+/// Renders just one expression to a fresh string (mutation reporting).
+pub fn expr_to_string(expr: &Expr) -> String {
+    let mut s = String::new();
+    print_expr(expr, &mut s);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn roundtrip(src: &str) {
+        let d1 = parse(src).unwrap();
+        let p1 = print_design(&d1);
+        let d2 = parse(&p1).unwrap_or_else(|e| panic!("re-parse failed: {}\n{p1}", e.render(&p1)));
+        let p2 = print_design(&d2);
+        assert_eq!(p1, p2, "pretty printing is not a fixpoint");
+    }
+
+    #[test]
+    fn roundtrip_counter() {
+        roundtrip(
+            "entity counter is
+               port(clk : in bit; rst : in bit; q : out bits(4));
+             signal c : bits(4) := 3;
+             seq(clk) begin
+               if rst = 1 then c <= 0; else c <= c + 1; end if;
+             end;
+             comb begin q <= c; end;
+             end counter;",
+        );
+    }
+
+    #[test]
+    fn roundtrip_case_for_slice() {
+        roundtrip(
+            "entity m is
+               port(a : in bits(8); s : in bits(2); y : out bits(8); z : out bit);
+             constant K : bits(8) := 129;
+             comb
+               var t : bits(8) := 0;
+             begin
+               case s is
+                 when 0 | 2 =>
+                   t := a and K;
+                 when 1 =>
+                   t := (a sll 2) or (a srl 3);
+                 when others =>
+                   for i in 0 .. 7 loop
+                     t[i] := a[7 - i];
+                   end loop;
+               end case;
+               y <= t;
+               z <= xorr(a) or (a[3:0] = 0b1010);
+             end;
+             end;",
+        );
+    }
+
+    #[test]
+    fn literal_notation_preserved() {
+        let d = parse(
+            "entity e is port(a : in bits(4); y : out bits(4));
+             comb begin y <= a xor 0b1010; end;
+             end;",
+        )
+        .unwrap();
+        let printed = print_design(&d);
+        assert!(printed.contains("0b1010"), "{printed}");
+    }
+
+    #[test]
+    fn expr_to_string_simple() {
+        let d = parse(
+            "entity e is port(a : in bit; b : in bit; y : out bit);
+             comb begin y <= a and not b; end;
+             end;",
+        )
+        .unwrap();
+        if let Stmt::Assign { value, .. } = &d.entities[0].processes[0].body[0] {
+            assert_eq!(expr_to_string(value), "a and (not b)");
+        } else {
+            panic!("expected assign");
+        }
+    }
+}

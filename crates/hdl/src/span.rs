@@ -1,0 +1,83 @@
+//! Source locations and diagnostics support.
+
+use std::fmt;
+
+/// A half-open byte range into a MiniHDL source string.
+///
+/// Spans are attached to tokens, AST nodes and errors so diagnostics can
+/// point at the offending source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub lo: u32,
+    /// Byte offset one past the last character.
+    pub hi: u32,
+}
+
+impl Span {
+    /// Creates a span covering `lo..hi`.
+    pub fn new(lo: u32, hi: u32) -> Self {
+        Self { lo, hi }
+    }
+
+    /// A zero-length span used for synthesized nodes.
+    pub fn dummy() -> Self {
+        Self::default()
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span::new(self.lo.min(other.lo), self.hi.max(other.hi))
+    }
+
+    /// Computes the 1-based line and column of the span start in `source`.
+    pub fn line_col(&self, source: &str) -> (u32, u32) {
+        let mut line = 1u32;
+        let mut col = 1u32;
+        for (i, ch) in source.char_indices() {
+            if i as u32 >= self.lo {
+                break;
+            }
+            if ch == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        (line, col)
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_covers_both() {
+        let a = Span::new(3, 7);
+        let b = Span::new(10, 12);
+        assert_eq!(a.merge(b), Span::new(3, 12));
+        assert_eq!(b.merge(a), Span::new(3, 12));
+    }
+
+    #[test]
+    fn line_col_counts_newlines() {
+        let src = "abc\ndef\nghi";
+        assert_eq!(Span::new(0, 1).line_col(src), (1, 1));
+        assert_eq!(Span::new(4, 5).line_col(src), (2, 1));
+        assert_eq!(Span::new(6, 7).line_col(src), (2, 3));
+        assert_eq!(Span::new(8, 9).line_col(src), (3, 1));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Span::new(1, 4).to_string(), "1..4");
+    }
+}

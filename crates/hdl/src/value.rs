@@ -1,0 +1,414 @@
+//! Bit-vector values.
+//!
+//! MiniHDL manipulates unsigned bit-vectors of 1 to 64 bits. [`Bits`] is
+//! the single runtime value type shared by the behavioral simulator, the
+//! mutation engine and the test generators.
+
+use std::fmt;
+
+/// Maximum supported bit-vector width.
+pub const MAX_WIDTH: u32 = 64;
+
+/// An unsigned bit-vector of known width (1..=64 bits).
+///
+/// All arithmetic is modular in the vector width; all logic operations are
+/// bitwise. Operations between two `Bits` require equal widths — mixing
+/// widths is a programming error and panics, because the HDL checker
+/// guarantees width correctness before any value is computed.
+///
+/// # Examples
+///
+/// ```
+/// use musa_hdl::Bits;
+///
+/// let a = Bits::new(4, 0b1010);
+/// let b = Bits::new(4, 0b0110);
+/// assert_eq!(a.and(b).raw(), 0b0010);
+/// assert_eq!(a.add(b).raw(), 0b0000); // 10 + 6 = 16 ≡ 0 (mod 16)
+/// assert_eq!(a.bit(3), true);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Bits {
+    width: u32,
+    raw: u64,
+}
+
+impl Bits {
+    /// Creates a bit-vector, masking `raw` to `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than [`MAX_WIDTH`].
+    pub fn new(width: u32, raw: u64) -> Self {
+        assert!(
+            (1..=MAX_WIDTH).contains(&width),
+            "bit-vector width must be in 1..={MAX_WIDTH}, got {width}"
+        );
+        Self {
+            width,
+            raw: raw & Self::mask(width),
+        }
+    }
+
+    /// The all-zero vector of the given width.
+    pub fn zero(width: u32) -> Self {
+        Self::new(width, 0)
+    }
+
+    /// The all-ones vector of the given width.
+    pub fn ones(width: u32) -> Self {
+        Self::new(width, u64::MAX)
+    }
+
+    /// A single bit: width 1, value 0 or 1.
+    pub fn bit_value(b: bool) -> Self {
+        Self::new(1, b as u64)
+    }
+
+    /// The low-`width` mask.
+    fn mask(width: u32) -> u64 {
+        if width == MAX_WIDTH {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        }
+    }
+
+    /// The width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// The raw unsigned value (always `< 2^width`).
+    pub fn raw(&self) -> u64 {
+        self.raw
+    }
+
+    /// `true` when every bit is zero.
+    pub fn is_zero(&self) -> bool {
+        self.raw == 0
+    }
+
+    /// `true` for the width-1 vector holding 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width is not 1 — asking a multi-bit vector for its
+    /// truth value is always a bug upstream.
+    pub fn as_bool(&self) -> bool {
+        assert_eq!(self.width, 1, "as_bool on width-{} vector", self.width);
+        self.raw != 0
+    }
+
+    /// The value of bit `index` (0 = least significant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= width`.
+    pub fn bit(&self, index: u32) -> bool {
+        assert!(index < self.width, "bit {index} out of width {}", self.width);
+        (self.raw >> index) & 1 == 1
+    }
+
+    /// Returns a copy with bit `index` set to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= width`.
+    pub fn with_bit(&self, index: u32, value: bool) -> Self {
+        assert!(index < self.width, "bit {index} out of width {}", self.width);
+        let raw = if value {
+            self.raw | (1 << index)
+        } else {
+            self.raw & !(1 << index)
+        };
+        Self::new(self.width, raw)
+    }
+
+    /// Extracts the inclusive slice `[hi:lo]` as a `(hi-lo+1)`-bit vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi < lo` or `hi >= width`.
+    pub fn slice(&self, hi: u32, lo: u32) -> Self {
+        assert!(hi >= lo, "slice [{hi}:{lo}] has hi < lo");
+        assert!(hi < self.width, "slice [{hi}:{lo}] out of width {}", self.width);
+        Self::new(hi - lo + 1, self.raw >> lo)
+    }
+
+    /// Returns a copy with the inclusive slice `[hi:lo]` replaced by `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range slices or when `v.width() != hi - lo + 1`.
+    pub fn with_slice(&self, hi: u32, lo: u32, v: Bits) -> Self {
+        assert!(hi >= lo && hi < self.width, "slice [{hi}:{lo}] out of range");
+        assert_eq!(v.width(), hi - lo + 1, "slice width mismatch");
+        let field = Self::mask(hi - lo + 1) << lo;
+        Self::new(self.width, (self.raw & !field) | (v.raw << lo))
+    }
+
+    fn binary(self, rhs: Self, f: impl FnOnce(u64, u64) -> u64) -> Self {
+        assert_eq!(
+            self.width, rhs.width,
+            "width mismatch: {} vs {}",
+            self.width, rhs.width
+        );
+        Self::new(self.width, f(self.raw, rhs.raw))
+    }
+
+    /// Bitwise AND. Panics on width mismatch.
+    pub fn and(self, rhs: Self) -> Self {
+        self.binary(rhs, |a, b| a & b)
+    }
+
+    /// Bitwise OR. Panics on width mismatch.
+    pub fn or(self, rhs: Self) -> Self {
+        self.binary(rhs, |a, b| a | b)
+    }
+
+    /// Bitwise XOR. Panics on width mismatch.
+    pub fn xor(self, rhs: Self) -> Self {
+        self.binary(rhs, |a, b| a ^ b)
+    }
+
+    /// Bitwise NAND. Panics on width mismatch.
+    pub fn nand(self, rhs: Self) -> Self {
+        self.binary(rhs, |a, b| !(a & b))
+    }
+
+    /// Bitwise NOR. Panics on width mismatch.
+    pub fn nor(self, rhs: Self) -> Self {
+        self.binary(rhs, |a, b| !(a | b))
+    }
+
+    /// Bitwise XNOR. Panics on width mismatch.
+    pub fn xnor(self, rhs: Self) -> Self {
+        self.binary(rhs, |a, b| !(a ^ b))
+    }
+
+    /// Bitwise complement.
+    pub fn not(self) -> Self {
+        Self::new(self.width, !self.raw)
+    }
+
+    /// Modular addition. Panics on width mismatch.
+    pub fn add(self, rhs: Self) -> Self {
+        self.binary(rhs, |a, b| a.wrapping_add(b))
+    }
+
+    /// Modular subtraction. Panics on width mismatch.
+    pub fn sub(self, rhs: Self) -> Self {
+        self.binary(rhs, |a, b| a.wrapping_sub(b))
+    }
+
+    /// Modular multiplication. Panics on width mismatch.
+    pub fn mul(self, rhs: Self) -> Self {
+        self.binary(rhs, |a, b| a.wrapping_mul(b))
+    }
+
+    /// Logical shift left by a constant amount (bits shifted out are lost).
+    pub fn shl(self, amount: u32) -> Self {
+        if amount >= self.width {
+            Self::zero(self.width)
+        } else {
+            Self::new(self.width, self.raw << amount)
+        }
+    }
+
+    /// Logical shift right by a constant amount.
+    pub fn shr(self, amount: u32) -> Self {
+        if amount >= self.width {
+            Self::zero(self.width)
+        } else {
+            Self::new(self.width, self.raw >> amount)
+        }
+    }
+
+    /// Concatenation: `self` becomes the high part, `rhs` the low part.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the combined width exceeds [`MAX_WIDTH`].
+    pub fn concat(self, rhs: Self) -> Self {
+        let width = self.width + rhs.width;
+        assert!(width <= MAX_WIDTH, "concat width {width} exceeds {MAX_WIDTH}");
+        Self::new(width, (self.raw << rhs.width) | rhs.raw)
+    }
+
+    /// OR-reduction: 1 iff any bit is set.
+    pub fn reduce_or(self) -> Self {
+        Self::bit_value(self.raw != 0)
+    }
+
+    /// AND-reduction: 1 iff all bits are set.
+    pub fn reduce_and(self) -> Self {
+        Self::bit_value(self.raw == Self::mask(self.width))
+    }
+
+    /// XOR-reduction (parity): 1 iff an odd number of bits are set.
+    pub fn reduce_xor(self) -> Self {
+        Self::bit_value(self.raw.count_ones() % 2 == 1)
+    }
+
+    /// Unsigned comparison producing a single bit.
+    pub fn cmp_eq(self, rhs: Self) -> Self {
+        assert_eq!(self.width, rhs.width, "width mismatch in comparison");
+        Self::bit_value(self.raw == rhs.raw)
+    }
+
+    /// Unsigned `<` comparison producing a single bit.
+    pub fn cmp_lt(self, rhs: Self) -> Self {
+        assert_eq!(self.width, rhs.width, "width mismatch in comparison");
+        Self::bit_value(self.raw < rhs.raw)
+    }
+}
+
+impl fmt::Display for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}'d{}", self.width, self.raw)
+    }
+}
+
+impl fmt::Binary for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:0width$b}", self.raw, width = self.width as usize)
+    }
+}
+
+impl fmt::LowerHex for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:x}", self.raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_masks() {
+        assert_eq!(Bits::new(4, 0xFF).raw(), 0xF);
+        assert_eq!(Bits::new(64, u64::MAX).raw(), u64::MAX);
+        assert_eq!(Bits::zero(8).raw(), 0);
+        assert_eq!(Bits::ones(3).raw(), 0b111);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be in")]
+    fn zero_width_panics() {
+        let _ = Bits::new(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be in")]
+    fn overwide_panics() {
+        let _ = Bits::new(65, 0);
+    }
+
+    #[test]
+    fn logic_ops() {
+        let a = Bits::new(4, 0b1100);
+        let b = Bits::new(4, 0b1010);
+        assert_eq!(a.and(b).raw(), 0b1000);
+        assert_eq!(a.or(b).raw(), 0b1110);
+        assert_eq!(a.xor(b).raw(), 0b0110);
+        assert_eq!(a.nand(b).raw(), 0b0111);
+        assert_eq!(a.nor(b).raw(), 0b0001);
+        assert_eq!(a.xnor(b).raw(), 0b1001);
+        assert_eq!(a.not().raw(), 0b0011);
+    }
+
+    #[test]
+    fn arithmetic_is_modular() {
+        let a = Bits::new(4, 15);
+        let b = Bits::new(4, 1);
+        assert_eq!(a.add(b).raw(), 0);
+        assert_eq!(b.sub(a).raw(), 2); // 1 - 15 ≡ 2 (mod 16)
+        assert_eq!(a.mul(a).raw(), 1); // 225 mod 16
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn mixed_width_panics() {
+        let _ = Bits::new(4, 1).add(Bits::new(5, 1));
+    }
+
+    #[test]
+    fn shifts() {
+        let a = Bits::new(4, 0b0110);
+        assert_eq!(a.shl(1).raw(), 0b1100);
+        assert_eq!(a.shl(4).raw(), 0);
+        assert_eq!(a.shr(2).raw(), 0b0001);
+        assert_eq!(a.shr(9).raw(), 0);
+    }
+
+    #[test]
+    fn concat_and_slice() {
+        let hi = Bits::new(3, 0b101);
+        let lo = Bits::new(2, 0b01);
+        let c = hi.concat(lo);
+        assert_eq!(c.width(), 5);
+        assert_eq!(c.raw(), 0b10101);
+        assert_eq!(c.slice(4, 2), hi);
+        assert_eq!(c.slice(1, 0), lo);
+        assert_eq!(c.slice(2, 2).raw(), 1);
+    }
+
+    #[test]
+    fn with_slice_and_with_bit() {
+        let v = Bits::new(8, 0);
+        let v = v.with_slice(5, 2, Bits::new(4, 0b1111));
+        assert_eq!(v.raw(), 0b0011_1100);
+        let v = v.with_bit(7, true).with_bit(2, false);
+        assert_eq!(v.raw(), 0b1011_1000);
+    }
+
+    #[test]
+    fn reductions() {
+        assert_eq!(Bits::new(4, 0b0000).reduce_or().raw(), 0);
+        assert_eq!(Bits::new(4, 0b0100).reduce_or().raw(), 1);
+        assert_eq!(Bits::new(4, 0b1111).reduce_and().raw(), 1);
+        assert_eq!(Bits::new(4, 0b1101).reduce_and().raw(), 0);
+        assert_eq!(Bits::new(4, 0b1101).reduce_xor().raw(), 1);
+        assert_eq!(Bits::new(4, 0b1100).reduce_xor().raw(), 0);
+    }
+
+    #[test]
+    fn comparisons() {
+        let a = Bits::new(6, 17);
+        let b = Bits::new(6, 23);
+        assert!(a.cmp_lt(b).as_bool());
+        assert!(!b.cmp_lt(a).as_bool());
+        assert!(!a.cmp_eq(b).as_bool());
+        assert!(a.cmp_eq(a).as_bool());
+    }
+
+    #[test]
+    fn display_formats() {
+        let v = Bits::new(4, 0b1010);
+        assert_eq!(v.to_string(), "4'd10");
+        assert_eq!(format!("{v:b}"), "1010");
+        assert_eq!(format!("{v:x}"), "a");
+    }
+
+    #[test]
+    fn bit_access() {
+        let v = Bits::new(3, 0b101);
+        assert!(v.bit(0));
+        assert!(!v.bit(1));
+        assert!(v.bit(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of width")]
+    fn bit_out_of_range_panics() {
+        let _ = Bits::new(3, 0).bit(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "as_bool")]
+    fn as_bool_multibit_panics() {
+        let _ = Bits::new(2, 1).as_bool();
+    }
+}

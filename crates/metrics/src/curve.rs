@@ -1,0 +1,180 @@
+//! Fault-coverage-versus-test-length curves.
+
+use std::fmt;
+
+/// A cumulative coverage curve: `values[t]` is the fraction of faults
+/// detected by the first `t + 1` vectors.
+///
+/// # Examples
+///
+/// ```
+/// use musa_metrics::CoverageCurve;
+///
+/// let curve = CoverageCurve::new(vec![0.10, 0.40, 0.40, 0.85]);
+/// assert_eq!(curve.len(), 4);
+/// assert_eq!(curve.at(2), 0.40);
+/// assert_eq!(curve.final_coverage(), 0.85);
+/// assert_eq!(curve.length_to_reach(0.40), Some(2));
+/// assert_eq!(curve.length_to_reach(0.99), None);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverageCurve {
+    values: Vec<f64>,
+}
+
+impl CoverageCurve {
+    /// Wraps raw cumulative values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is outside `[0, 1]` or the sequence decreases
+    /// (cumulative coverage is monotone by definition).
+    pub fn new(values: Vec<f64>) -> Self {
+        for (i, &v) in values.iter().enumerate() {
+            assert!((0.0..=1.0).contains(&v), "coverage {v} out of [0,1] at {i}");
+            if i > 0 {
+                assert!(
+                    v + 1e-12 >= values[i - 1],
+                    "coverage decreases at index {i}: {} -> {v}",
+                    values[i - 1]
+                );
+            }
+        }
+        Self { values }
+    }
+
+    /// Number of vectors the curve covers.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when no vectors were applied.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Coverage after `len` vectors (`len` is clamped to the curve).
+    /// Zero vectors give zero coverage.
+    pub fn at(&self, len: usize) -> f64 {
+        if len == 0 || self.values.is_empty() {
+            0.0
+        } else {
+            self.values[(len - 1).min(self.values.len() - 1)]
+        }
+    }
+
+    /// Final coverage (0.0 for an empty curve).
+    pub fn final_coverage(&self) -> f64 {
+        self.values.last().copied().unwrap_or(0.0)
+    }
+
+    /// The shortest prefix length reaching at least `target` coverage,
+    /// or `None` if the curve never gets there.
+    pub fn length_to_reach(&self, target: f64) -> Option<usize> {
+        if target <= 0.0 {
+            return Some(0);
+        }
+        self.values
+            .iter()
+            .position(|&v| v + 1e-12 >= target)
+            .map(|i| i + 1)
+    }
+
+    /// The raw cumulative values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Down-samples the curve to at most `points` evenly spaced samples
+    /// (always keeping the final value) — for compact plotting.
+    pub fn sample(&self, points: usize) -> Vec<(usize, f64)> {
+        if self.values.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        let n = self.values.len();
+        let step = (n as f64 / points as f64).max(1.0);
+        let mut out = Vec::new();
+        let mut cursor = 0f64;
+        while (cursor as usize) < n {
+            let i = cursor as usize;
+            out.push((i + 1, self.values[i]));
+            cursor += step;
+        }
+        if out.last().map(|&(len, _)| len) != Some(n) {
+            out.push((n, self.values[n - 1]));
+        }
+        out
+    }
+}
+
+impl fmt::Display for CoverageCurve {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "coverage curve: {} vectors, final {:.2}%",
+            self.len(),
+            100.0 * self.final_coverage()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn at_clamps_and_zero_len_is_zero() {
+        let c = CoverageCurve::new(vec![0.2, 0.5, 0.9]);
+        assert_eq!(c.at(0), 0.0);
+        assert_eq!(c.at(1), 0.2);
+        assert_eq!(c.at(3), 0.9);
+        assert_eq!(c.at(1000), 0.9);
+    }
+
+    #[test]
+    fn length_to_reach_boundaries() {
+        let c = CoverageCurve::new(vec![0.2, 0.5, 0.9]);
+        assert_eq!(c.length_to_reach(0.0), Some(0));
+        assert_eq!(c.length_to_reach(0.2), Some(1));
+        assert_eq!(c.length_to_reach(0.51), Some(3));
+        assert_eq!(c.length_to_reach(0.90), Some(3));
+        assert_eq!(c.length_to_reach(0.95), None);
+    }
+
+    #[test]
+    fn empty_curve() {
+        let c = CoverageCurve::new(vec![]);
+        assert!(c.is_empty());
+        assert_eq!(c.final_coverage(), 0.0);
+        assert_eq!(c.at(5), 0.0);
+        assert_eq!(c.length_to_reach(0.5), None);
+        assert!(c.sample(10).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "decreases")]
+    fn rejects_decreasing() {
+        let _ = CoverageCurve::new(vec![0.5, 0.4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0,1]")]
+    fn rejects_out_of_range() {
+        let _ = CoverageCurve::new(vec![1.5]);
+    }
+
+    #[test]
+    fn sample_keeps_endpoint() {
+        let c = CoverageCurve::new((1..=100).map(|i| i as f64 / 100.0).collect());
+        let s = c.sample(10);
+        assert!(s.len() <= 11);
+        assert_eq!(s.last().unwrap().0, 100);
+        assert!((s.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_summary() {
+        let c = CoverageCurve::new(vec![0.25, 0.75]);
+        assert_eq!(c.to_string(), "coverage curve: 2 vectors, final 75.00%");
+    }
+}

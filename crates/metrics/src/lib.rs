@@ -1,0 +1,35 @@
+//! # musa-metrics — coverage curves, ΔFC%/ΔL%/NLFCE and table rendering
+//!
+//! The measurement vocabulary of the DATE'05 paper:
+//!
+//! * [`CoverageCurve`] — cumulative stuck-at fault coverage versus
+//!   applied test length;
+//! * [`NlfceInputs`] / [`Nlfce`] — the paper's Non-Linear Fault Coverage
+//!   Efficiency: `ΔFC%` (coverage gain at equal length), `ΔL%` (length
+//!   gain at equal coverage) and their product `NLFCE`;
+//! * [`Table`] — fixed-width ASCII tables for the bench binaries that
+//!   regenerate the paper's tables.
+//!
+//! # Example
+//!
+//! ```
+//! use musa_metrics::{CoverageCurve, NlfceInputs};
+//!
+//! let mutation = CoverageCurve::new(vec![0.5, 0.7, 0.8]);
+//! let random = CoverageCurve::new(vec![0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.75, 0.8]);
+//! let metrics = NlfceInputs { mutation: &mutation, random: &random }.compute();
+//! assert!(metrics.delta_fc_pct > 0.0);
+//! assert!(metrics.delta_l_pct > 0.0);
+//! assert_eq!(metrics.nlfce, metrics.delta_fc_pct * metrics.delta_l_pct);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod curve;
+mod nlfce;
+mod table;
+
+pub use curve::CoverageCurve;
+pub use nlfce::{Nlfce, NlfceInputs};
+pub use table::{f2, pct, signed0, Align, Table};

@@ -1,0 +1,236 @@
+//! The paper's efficiency metrics: `ΔFC%`, `ΔL%` and `NLFCE`.
+//!
+//! Paper §3: compare mutation-generated data against a pseudo-random
+//! baseline on gate-level stuck-at coverage.
+//!
+//! * `ΔFC%` — relative fault-coverage gain at **equal length**:
+//!   `100 · (MFC(L) − RFC(L)) / RFC(L)` with `L` the mutation data's
+//!   length.
+//! * `ΔL%` — relative length gain at **equal coverage**:
+//!   `100 · (L_r − L_m) / L_r` where `L_r` is the shortest random prefix
+//!   reaching the mutation data's final coverage.
+//! * `NLFCE = ΔFC% · ΔL%` — Table 1 confirms the plain product (e.g. b01
+//!   LOR: `0.66 × 10.84 = 7.16`).
+//!
+//! Edge cases are explicit in [`NlfceInputs::compute`]'s documentation.
+
+use crate::curve::CoverageCurve;
+use std::fmt;
+
+/// Inputs to an NLFCE computation: the mutation-data coverage curve and
+/// the pseudo-random baseline curve (usually much longer).
+#[derive(Debug, Clone)]
+pub struct NlfceInputs<'a> {
+    /// Coverage of the mutation-generated validation data.
+    pub mutation: &'a CoverageCurve,
+    /// Coverage of the pseudo-random baseline.
+    pub random: &'a CoverageCurve,
+}
+
+/// The three paper metrics for one (circuit, data) pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Nlfce {
+    /// Relative fault-coverage gain at equal length, in percent.
+    pub delta_fc_pct: f64,
+    /// Relative length gain at equal coverage, in percent.
+    pub delta_l_pct: f64,
+    /// The product `ΔFC% · ΔL%`.
+    pub nlfce: f64,
+    /// Mutation data length used as the comparison point.
+    pub mutation_len: usize,
+    /// Random prefix length needed to match the mutation coverage
+    /// (`None` when the baseline never got there; `ΔL%` then uses the
+    /// full baseline length as a conservative lower bound).
+    pub random_len_at_equal_fc: Option<usize>,
+}
+
+impl NlfceInputs<'_> {
+    /// Computes `ΔFC%`, `ΔL%` and their product.
+    ///
+    /// Conventions for degenerate cases, chosen so the metric stays
+    /// finite and monotone in the mutation data's quality:
+    ///
+    /// * `RFC(L) = 0` with `MFC(L) > 0` → `ΔFC% = 100 · MFC(L)`
+    ///   (percentage points against an empty baseline);
+    /// * both coverages zero → `ΔFC% = 0`;
+    /// * baseline never reaches the mutation coverage → `ΔL%` uses the
+    ///   full baseline length `L_r = random.len()` as a lower bound;
+    /// * empty mutation data → all three metrics are 0.
+    pub fn compute(&self) -> Nlfce {
+        let mutation_len = self.mutation.len();
+        if mutation_len == 0 {
+            return Nlfce {
+                delta_fc_pct: 0.0,
+                delta_l_pct: 0.0,
+                nlfce: 0.0,
+                mutation_len: 0,
+                random_len_at_equal_fc: None,
+            };
+        }
+        let mfc = self.mutation.at(mutation_len);
+        let rfc = self.random.at(mutation_len);
+        let delta_fc_pct = if rfc > 0.0 {
+            100.0 * (mfc - rfc) / rfc
+        } else {
+            100.0 * mfc
+        };
+
+        let target = self.mutation.final_coverage();
+        let random_len_at_equal_fc = self.random.length_to_reach(target);
+        let effective_random_len = random_len_at_equal_fc.unwrap_or(self.random.len());
+        let delta_l_pct = if effective_random_len == 0 {
+            0.0
+        } else {
+            100.0 * (effective_random_len as f64 - mutation_len as f64)
+                / effective_random_len as f64
+        };
+
+        Nlfce {
+            delta_fc_pct,
+            delta_l_pct,
+            nlfce: signed_product(delta_fc_pct, delta_l_pct),
+            mutation_len,
+            random_len_at_equal_fc,
+        }
+    }
+}
+
+/// `ΔFC% · ΔL%` with a sign guard: losing on **both** axes must not
+/// read as a (positive) win, so a doubly-negative pair yields the
+/// negated product. Single-axis losses are already negative.
+fn signed_product(delta_fc: f64, delta_l: f64) -> f64 {
+    let product = delta_fc * delta_l;
+    if delta_fc < 0.0 && delta_l < 0.0 {
+        -product
+    } else {
+        product
+    }
+}
+
+impl fmt::Display for Nlfce {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "dFC%={:.2} dL%={:.2} NLFCE={:+.1}",
+            self.delta_fc_pct, self.delta_l_pct, self.nlfce
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve(v: &[f64]) -> CoverageCurve {
+        CoverageCurve::new(v.to_vec())
+    }
+
+    #[test]
+    fn textbook_case() {
+        // Mutation: 4 vectors to 80%; random: needs 16 vectors for 80%.
+        let mutation = curve(&[0.40, 0.60, 0.75, 0.80]);
+        let random_values: Vec<f64> = (1..=20).map(|i| (i as f64 * 0.05).min(1.0)).collect();
+        let random = curve(&random_values);
+        let m = NlfceInputs {
+            mutation: &mutation,
+            random: &random,
+        }
+        .compute();
+        // At L=4: MFC=0.80, RFC=0.20 → ΔFC% = 300.
+        assert!((m.delta_fc_pct - 300.0).abs() < 1e-9, "{m:?}");
+        // Random reaches 0.80 at vector 16 → ΔL% = 100·(16−4)/16 = 75.
+        assert_eq!(m.random_len_at_equal_fc, Some(16));
+        assert!((m.delta_l_pct - 75.0).abs() < 1e-9);
+        // NLFCE is the plain product of the two percentages (paper
+        // Table 1 arithmetic).
+        assert!((m.nlfce - 300.0 * 75.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nlfce_is_the_product_scaled_like_the_paper() {
+        // Reproduce the paper's b01/CR row arithmetic: 2.32 × 37.60 ≈ 87.3.
+        let m = Nlfce {
+            delta_fc_pct: 2.32,
+            delta_l_pct: 37.60,
+            nlfce: 2.32 * 37.60,
+            mutation_len: 10,
+            random_len_at_equal_fc: Some(16),
+        };
+        assert!((m.nlfce - 87.232).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_baseline_uses_percentage_points() {
+        let mutation = curve(&[0.5]);
+        let random = curve(&[0.0, 0.0, 0.0]);
+        let m = NlfceInputs {
+            mutation: &mutation,
+            random: &random,
+        }
+        .compute();
+        assert!((m.delta_fc_pct - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unreachable_target_uses_baseline_length() {
+        let mutation = curve(&[0.9]);
+        let random_values: Vec<f64> = (1..=50).map(|i| i as f64 * 0.01).collect();
+        let random = curve(&random_values);
+        let m = NlfceInputs {
+            mutation: &mutation,
+            random: &random,
+        }
+        .compute();
+        assert_eq!(m.random_len_at_equal_fc, None);
+        // ΔL% = 100·(50−1)/50 = 98.
+        assert!((m.delta_l_pct - 98.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_mutation_data_is_all_zero() {
+        let mutation = curve(&[]);
+        let random = curve(&[0.5]);
+        let m = NlfceInputs {
+            mutation: &mutation,
+            random: &random,
+        }
+        .compute();
+        assert_eq!(m.delta_fc_pct, 0.0);
+        assert_eq!(m.delta_l_pct, 0.0);
+        assert_eq!(m.nlfce, 0.0);
+    }
+
+    #[test]
+    fn worse_than_random_goes_negative() {
+        let mutation = curve(&[0.1, 0.1, 0.1, 0.1]);
+        let random = curve(&[0.2, 0.4, 0.6, 0.8]);
+        let m = NlfceInputs {
+            mutation: &mutation,
+            random: &random,
+        }
+        .compute();
+        assert!(m.delta_fc_pct < 0.0);
+        // Losing on both axes must be reported as a loss.
+        assert!(m.nlfce <= 0.0, "{m:?}");
+    }
+
+    #[test]
+    fn signed_product_conventions() {
+        assert_eq!(signed_product(2.0, 3.0), 6.0);
+        assert_eq!(signed_product(-2.0, 3.0), -6.0);
+        assert_eq!(signed_product(2.0, -3.0), -6.0);
+        assert_eq!(signed_product(-2.0, -3.0), -6.0, "double loss stays a loss");
+    }
+
+    #[test]
+    fn display_format() {
+        let m = Nlfce {
+            delta_fc_pct: 1.5,
+            delta_l_pct: 20.0,
+            nlfce: 30.0,
+            mutation_len: 5,
+            random_len_at_equal_fc: Some(9),
+        };
+        assert_eq!(m.to_string(), "dFC%=1.50 dL%=20.00 NLFCE=+30.0");
+    }
+}

@@ -1,0 +1,169 @@
+//! Fixed-width ASCII table rendering shared by the bench binaries.
+
+use std::fmt;
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned (names).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A simple monospace table builder.
+///
+/// # Examples
+///
+/// ```
+/// use musa_metrics::{Align, Table};
+///
+/// let mut table = Table::new(vec![
+///     ("Circuit", Align::Left),
+///     ("NLFCE", Align::Right),
+/// ]);
+/// table.row(vec!["b01".into(), "+340".into()]);
+/// let text = table.render();
+/// assert!(text.contains("Circuit"));
+/// assert!(text.contains("+340"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers and alignments.
+    pub fn new(columns: Vec<(&str, Align)>) -> Self {
+        Self {
+            headers: columns.iter().map(|(h, _)| h.to_string()).collect(),
+            aligns: columns.iter().map(|&(_, a)| a).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the column count.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "cell count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table with a header separator.
+    pub fn render(&self) -> String {
+        let n = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], out: &mut String| {
+            for i in 0..n {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let cell = &cells[i];
+                let pad = widths[i] - cell.len();
+                match self.aligns[i] {
+                    Align::Left => {
+                        out.push_str(cell);
+                        out.extend(std::iter::repeat_n(' ', pad));
+                    }
+                    Align::Right => {
+                        out.extend(std::iter::repeat_n(' ', pad));
+                        out.push_str(cell);
+                    }
+                }
+            }
+            // Trim trailing padding.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        render_row(&self.headers, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (n - 1);
+        out.extend(std::iter::repeat_n('-', total));
+        out.push('\n');
+        for row in &self.rows {
+            render_row(row, &mut out);
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Formats a ratio as a percentage with two decimals (`93.41`).
+pub fn pct(x: f64) -> String {
+    format!("{:.2}", 100.0 * x)
+}
+
+/// Formats an NLFCE value the way the paper prints it (`+340`).
+pub fn signed0(x: f64) -> String {
+    format!("{x:+.0}")
+}
+
+/// Formats a value with two decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec![("Name", Align::Left), ("Value", Align::Right)]);
+        t.row(vec!["alpha".into(), "1".into()]);
+        t.row(vec!["b".into(), "12345".into()]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[3].ends_with("12345"));
+        // Right column aligns: "1" sits at the same end column.
+        assert!(lines[2].ends_with("    1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "cell count")]
+    fn row_arity_checked() {
+        let mut t = Table::new(vec![("A", Align::Left)]);
+        t.row(vec!["x".into(), "y".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.934123), "93.41");
+        assert_eq!(signed0(340.2), "+340");
+        assert_eq!(signed0(-12.7), "-13");
+        assert_eq!(f2(3.14159), "3.14");
+    }
+
+    #[test]
+    fn display_matches_render() {
+        let mut t = Table::new(vec![("A", Align::Left)]);
+        t.row(vec!["x".into()]);
+        assert_eq!(t.to_string(), t.render());
+        assert_eq!(t.row_count(), 1);
+    }
+}

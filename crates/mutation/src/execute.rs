@@ -1,0 +1,208 @@
+//! Mutant execution: differential simulation against the original.
+//!
+//! A mutant is **killed** by a test sequence when, starting from reset,
+//! any primary output differs from the original design at any cycle —
+//! the strong-mutation criterion the paper's Mutation Score uses.
+
+use crate::mutant::{Mutant, MutationError};
+use musa_hdl::{Bits, CheckedDesign, Simulator};
+
+/// A test sequence: one `Vec<Bits>` (data inputs, declaration order) per
+/// clock cycle. Combinational circuits treat each vector independently.
+pub type TestSequence = Vec<Vec<Bits>>;
+
+/// Result of executing a mutant population against one test sequence.
+#[derive(Debug, Clone)]
+pub struct KillResult {
+    /// For every mutant (by index), the first killing vector, if any.
+    pub first_kill: Vec<Option<usize>>,
+}
+
+impl KillResult {
+    /// Number of killed mutants.
+    pub fn killed_count(&self) -> usize {
+        self.first_kill.iter().filter(|k| k.is_some()).count()
+    }
+
+    /// Indices of the mutants still alive.
+    pub fn alive(&self) -> Vec<usize> {
+        self.first_kill
+            .iter()
+            .enumerate()
+            .filter(|(_, k)| k.is_none())
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Runs the original design over `sequence` and returns its output
+/// transcript.
+///
+/// # Errors
+///
+/// Returns an error when the entity does not exist.
+pub fn reference_transcript(
+    checked: &CheckedDesign,
+    entity: &str,
+    sequence: &[Vec<Bits>],
+) -> Result<Vec<Vec<Bits>>, MutationError> {
+    let mut sim = Simulator::new(checked, entity)
+        .map_err(|_| MutationError::EntityNotFound(entity.to_string()))?;
+    Ok(sim.run(sequence))
+}
+
+/// Executes every mutant against the sequence, with early exit at the
+/// first differing cycle.
+///
+/// # Errors
+///
+/// Propagates [`MutationError`] from mutant application (a mutant that
+/// does not belong to this design).
+pub fn execute_mutants(
+    checked: &CheckedDesign,
+    entity: &str,
+    mutants: &[Mutant],
+    sequence: &[Vec<Bits>],
+) -> Result<KillResult, MutationError> {
+    let reference = reference_transcript(checked, entity, sequence)?;
+    let mut first_kill = Vec::with_capacity(mutants.len());
+    for mutant in mutants {
+        first_kill.push(run_one(checked, entity, mutant, sequence, &reference)?);
+    }
+    Ok(KillResult { first_kill })
+}
+
+/// Executes a single mutant; returns the first killing vector index.
+///
+/// # Errors
+///
+/// Propagates [`MutationError`] from mutant application.
+pub fn run_one(
+    checked: &CheckedDesign,
+    entity: &str,
+    mutant: &Mutant,
+    sequence: &[Vec<Bits>],
+    reference: &[Vec<Bits>],
+) -> Result<Option<usize>, MutationError> {
+    let mutated = mutant.apply(checked)?;
+    let mut sim = Simulator::new(&mutated, entity)
+        .map_err(|_| MutationError::EntityNotFound(entity.to_string()))?;
+    sim.reset();
+    for (t, vector) in sequence.iter().enumerate() {
+        let outs = sim.step(vector);
+        if outs != reference[t] {
+            return Ok(Some(t));
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{generate_mutants, GenerateOptions};
+    use crate::operator::MutationOperator;
+    use musa_hdl::parse;
+
+    fn checked(src: &str) -> CheckedDesign {
+        CheckedDesign::new(parse(src).unwrap()).unwrap()
+    }
+
+    fn bit(v: u64) -> Bits {
+        Bits::new(1, v)
+    }
+
+    const GATE: &str = "
+        entity g is
+          port(a : in bit; b : in bit; y : out bit);
+        comb begin
+          y <= a and b;
+        end;
+        end;
+    ";
+
+    #[test]
+    fn exhaustive_vectors_kill_all_and_gate_lor_mutants() {
+        let d = checked(GATE);
+        let mutants = generate_mutants(&d, "g", &GenerateOptions::only(MutationOperator::Lor));
+        assert_eq!(mutants.len(), 5);
+        let sequence: TestSequence = (0..4u64)
+            .map(|p| vec![bit(p & 1), bit((p >> 1) & 1)])
+            .collect();
+        let result = execute_mutants(&d, "g", &mutants, &sequence).unwrap();
+        // and→{or,xor,nand,nor,xnor} all differ from AND somewhere.
+        assert_eq!(result.killed_count(), 5);
+        assert!(result.alive().is_empty());
+    }
+
+    #[test]
+    fn insufficient_vectors_leave_survivors() {
+        let d = checked(GATE);
+        let mutants = generate_mutants(&d, "g", &GenerateOptions::only(MutationOperator::Lor));
+        // a=0,b=0: AND=0, OR=0, XOR=0 — only NAND/NOR/XNOR (value 1) die.
+        let sequence: TestSequence = vec![vec![bit(0), bit(0)]];
+        let result = execute_mutants(&d, "g", &mutants, &sequence).unwrap();
+        assert_eq!(result.killed_count(), 3);
+        assert_eq!(result.alive().len(), 2);
+    }
+
+    #[test]
+    fn first_kill_is_earliest_cycle() {
+        let d = checked(GATE);
+        let mutants = generate_mutants(&d, "g", &GenerateOptions::only(MutationOperator::Lor));
+        // or-mutant (index 0) first differs at a=1,b=0 (cycle 2 here).
+        let sequence: TestSequence = vec![
+            vec![bit(0), bit(0)],
+            vec![bit(1), bit(1)],
+            vec![bit(1), bit(0)],
+        ];
+        let result = execute_mutants(&d, "g", &mutants, &sequence).unwrap();
+        let or_idx = mutants
+            .iter()
+            .position(|m| m.description.contains("-> or"))
+            .unwrap();
+        assert_eq!(result.first_kill[or_idx], Some(2));
+    }
+
+    #[test]
+    fn sequential_mutants_respect_state_history() {
+        let src = "
+            entity t is
+              port(clk : in bit; en : in bit; q : out bit);
+            signal r : bit;
+            seq(clk) begin
+              if en = 1 then r <= not r; end if;
+            end;
+            comb begin q <= r; end;
+            end;
+        ";
+        let d = checked(src);
+        let mutants = generate_mutants(&d, "t", &GenerateOptions::only(MutationOperator::Csr));
+        assert_eq!(mutants.len(), 2); // en stuck 0 / stuck 1
+        // Toggle twice: the stuck-0 mutant freezes q at 0 (differs at
+        // t=1); stuck-1 behaves identically while en=1.
+        let sequence: TestSequence = vec![vec![bit(1)], vec![bit(1)], vec![bit(1)]];
+        let result = execute_mutants(&d, "t", &mutants, &sequence).unwrap();
+        let stuck0 = mutants
+            .iter()
+            .position(|m| m.description.contains("stuck at 0"))
+            .unwrap();
+        let stuck1 = 1 - stuck0;
+        assert_eq!(result.first_kill[stuck0], Some(1));
+        assert_eq!(result.first_kill[stuck1], None, "stuck-1 identical when en held high");
+    }
+
+    #[test]
+    fn reference_transcript_errors_on_bad_entity() {
+        let d = checked(GATE);
+        assert!(reference_transcript(&d, "zz", &[]).is_err());
+    }
+
+    #[test]
+    fn empty_sequence_kills_nothing() {
+        let d = checked(GATE);
+        let mutants = generate_mutants(&d, "g", &GenerateOptions::default());
+        let result = execute_mutants(&d, "g", &mutants, &[]).unwrap();
+        assert_eq!(result.killed_count(), 0);
+    }
+}

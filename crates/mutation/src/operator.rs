@@ -1,0 +1,154 @@
+//! The mutation operator catalogue.
+//!
+//! Ten VHDL-style operators, following Al-Hayek & Robach ("From Design
+//! Validation to Hardware Testing: a Unified Approach", JETTA 14, 1999 —
+//! reference [3] of the paper). The paper's Tables 1 and 2 report four of
+//! them (LOR, VR, CVR, CR); the full set is implemented so the sampling
+//! strategies operate over a realistic mutant population.
+
+use std::fmt;
+
+/// A mutation operator class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MutationOperator {
+    /// Logical Operator Replacement: `and ↔ or ↔ xor ↔ nand ↔ nor ↔ xnor`.
+    Lor,
+    /// Relational Operator Replacement: `= ↔ /= ↔ < ↔ <= ↔ > ↔ >=`.
+    Ror,
+    /// Arithmetic Operator Replacement: `+ ↔ - ↔ *`.
+    Aor,
+    /// Variable Replacement: a signal/port/variable reference is replaced
+    /// by another visible name of the same width.
+    Vr,
+    /// Constant-for-Variable Replacement: a reference is replaced by a
+    /// constant of the same width.
+    Cvr,
+    /// Constant Replacement: a literal or named constant is perturbed
+    /// (`c±1`, 0, all-ones).
+    Cr,
+    /// Unary Operator Insertion: a reference is complemented (`x → not x`).
+    Uoi,
+    /// Unary Operator Deletion: a complement is removed (`not x → x`).
+    Uod,
+    /// Statement Deletion: an assignment becomes `null;`.
+    Sdl,
+    /// Condition Stuck: an `if`/`elsif` condition is replaced by a
+    /// constant `0` or `1`.
+    Csr,
+}
+
+impl MutationOperator {
+    /// All ten operators, in canonical order.
+    pub fn all() -> [MutationOperator; 10] {
+        [
+            MutationOperator::Lor,
+            MutationOperator::Ror,
+            MutationOperator::Aor,
+            MutationOperator::Vr,
+            MutationOperator::Cvr,
+            MutationOperator::Cr,
+            MutationOperator::Uoi,
+            MutationOperator::Uod,
+            MutationOperator::Sdl,
+            MutationOperator::Csr,
+        ]
+    }
+
+    /// The four operators the paper's tables report.
+    pub fn paper_set() -> [MutationOperator; 4] {
+        [
+            MutationOperator::Lor,
+            MutationOperator::Vr,
+            MutationOperator::Cvr,
+            MutationOperator::Cr,
+        ]
+    }
+
+    /// The conventional acronym (`LOR`, `VR`, …).
+    pub fn acronym(self) -> &'static str {
+        match self {
+            MutationOperator::Lor => "LOR",
+            MutationOperator::Ror => "ROR",
+            MutationOperator::Aor => "AOR",
+            MutationOperator::Vr => "VR",
+            MutationOperator::Cvr => "CVR",
+            MutationOperator::Cr => "CR",
+            MutationOperator::Uoi => "UOI",
+            MutationOperator::Uod => "UOD",
+            MutationOperator::Sdl => "SDL",
+            MutationOperator::Csr => "CSR",
+        }
+    }
+
+    /// A one-line description.
+    pub fn description(self) -> &'static str {
+        match self {
+            MutationOperator::Lor => "logical operator replacement",
+            MutationOperator::Ror => "relational operator replacement",
+            MutationOperator::Aor => "arithmetic operator replacement",
+            MutationOperator::Vr => "variable replacement",
+            MutationOperator::Cvr => "constant for variable replacement",
+            MutationOperator::Cr => "constant replacement",
+            MutationOperator::Uoi => "unary operator insertion",
+            MutationOperator::Uod => "unary operator deletion",
+            MutationOperator::Sdl => "statement deletion",
+            MutationOperator::Csr => "condition stuck-at",
+        }
+    }
+
+    /// Parses an acronym (case-insensitive).
+    pub fn from_acronym(s: &str) -> Option<MutationOperator> {
+        let upper = s.to_ascii_uppercase();
+        MutationOperator::all()
+            .into_iter()
+            .find(|op| op.acronym() == upper)
+    }
+}
+
+impl fmt::Display for MutationOperator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.acronym())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_distinct_operators() {
+        let all = MutationOperator::all();
+        assert_eq!(all.len(), 10);
+        let mut acronyms: Vec<&str> = all.iter().map(|o| o.acronym()).collect();
+        acronyms.sort_unstable();
+        acronyms.dedup();
+        assert_eq!(acronyms.len(), 10);
+    }
+
+    #[test]
+    fn paper_set_is_the_reported_four() {
+        let set = MutationOperator::paper_set();
+        assert_eq!(
+            set.map(|o| o.acronym()),
+            ["LOR", "VR", "CVR", "CR"]
+        );
+    }
+
+    #[test]
+    fn acronym_roundtrip() {
+        for op in MutationOperator::all() {
+            assert_eq!(MutationOperator::from_acronym(op.acronym()), Some(op));
+            assert_eq!(
+                MutationOperator::from_acronym(&op.acronym().to_lowercase()),
+                Some(op)
+            );
+        }
+        assert_eq!(MutationOperator::from_acronym("ZZZ"), None);
+    }
+
+    #[test]
+    fn display_is_acronym() {
+        assert_eq!(MutationOperator::Lor.to_string(), "LOR");
+        assert_eq!(MutationOperator::Cvr.to_string(), "CVR");
+    }
+}

@@ -1,0 +1,175 @@
+//! The Mutation Score.
+//!
+//! Paper §2: `MS(P, TS) = K / (M − E)` where `M` mutants were generated,
+//! `K` were killed by the test set and `E` are equivalent.
+
+use crate::equivalence::EquivalenceClass;
+use crate::execute::KillResult;
+use std::fmt;
+
+/// A computed mutation score with its ingredients.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MutationScore {
+    /// Generated mutants (`M`).
+    pub generated: usize,
+    /// Killed mutants (`K`).
+    pub killed: usize,
+    /// Equivalent mutants (`E`), proven or presumed.
+    pub equivalent: usize,
+}
+
+impl MutationScore {
+    /// Combines kill results with an equivalence classification.
+    ///
+    /// Killed-but-classified-equivalent cannot happen when both come from
+    /// the same population; a killed mutant observed here overrides a
+    /// presumed-equivalent label (the kill is a constructive proof of
+    /// non-equivalence).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two slices have different lengths.
+    pub fn from_results(kills: &KillResult, classes: &[EquivalenceClass]) -> Self {
+        assert_eq!(
+            kills.first_kill.len(),
+            classes.len(),
+            "kill results and equivalence classes must describe the same population"
+        );
+        let generated = classes.len();
+        let killed = kills.killed_count();
+        let equivalent = kills
+            .first_kill
+            .iter()
+            .zip(classes)
+            .filter(|(kill, class)| kill.is_none() && class.is_equivalent())
+            .count();
+        Self {
+            generated,
+            killed,
+            equivalent,
+        }
+    }
+
+    /// The score in `[0, 1]`: `K / (M − E)`.
+    ///
+    /// A population whose non-equivalent part is empty scores 1.0 (there
+    /// was nothing to kill).
+    pub fn value(&self) -> f64 {
+        let denominator = self.generated.saturating_sub(self.equivalent);
+        if denominator == 0 {
+            1.0
+        } else {
+            self.killed as f64 / denominator as f64
+        }
+    }
+
+    /// The score as a percentage, as the paper reports it.
+    pub fn percent(&self) -> f64 {
+        100.0 * self.value()
+    }
+}
+
+impl fmt::Display for MutationScore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "MS = {:.2}% (K={} / (M={} - E={}))",
+            self.percent(),
+            self.killed,
+            self.generated,
+            self.equivalent
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kill(first: Vec<Option<usize>>) -> KillResult {
+        KillResult { first_kill: first }
+    }
+
+    #[test]
+    fn paper_formula() {
+        // M=10, E=2, K=6 → 6/8 = 75%.
+        let kills = kill(vec![
+            Some(0),
+            Some(1),
+            Some(0),
+            Some(3),
+            Some(2),
+            Some(9),
+            None,
+            None,
+            None,
+            None,
+        ]);
+        let classes = vec![
+            EquivalenceClass::Killable,
+            EquivalenceClass::Killable,
+            EquivalenceClass::Killable,
+            EquivalenceClass::Killable,
+            EquivalenceClass::Killable,
+            EquivalenceClass::Killable,
+            EquivalenceClass::Killable,
+            EquivalenceClass::Killable,
+            EquivalenceClass::ProvenEquivalent,
+            EquivalenceClass::PresumedEquivalent,
+        ];
+        let ms = MutationScore::from_results(&kills, &classes);
+        assert_eq!(ms.generated, 10);
+        assert_eq!(ms.killed, 6);
+        assert_eq!(ms.equivalent, 2);
+        assert!((ms.value() - 0.75).abs() < 1e-12);
+        assert!((ms.percent() - 75.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kill_overrides_presumed_equivalence() {
+        // A mutant presumed equivalent by a small budget but killed by the
+        // actual test set counts as killed, not equivalent.
+        let kills = kill(vec![Some(5)]);
+        let classes = vec![EquivalenceClass::PresumedEquivalent];
+        let ms = MutationScore::from_results(&kills, &classes);
+        assert_eq!(ms.killed, 1);
+        assert_eq!(ms.equivalent, 0);
+        assert!((ms.value() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_equivalent_scores_one() {
+        let kills = kill(vec![None, None]);
+        let classes = vec![
+            EquivalenceClass::ProvenEquivalent,
+            EquivalenceClass::ProvenEquivalent,
+        ];
+        let ms = MutationScore::from_results(&kills, &classes);
+        assert_eq!(ms.value(), 1.0);
+    }
+
+    #[test]
+    fn zero_kills_scores_zero() {
+        let kills = kill(vec![None, None, None]);
+        let classes = vec![EquivalenceClass::Killable; 3];
+        let ms = MutationScore::from_results(&kills, &classes);
+        assert_eq!(ms.value(), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_all_terms() {
+        let kills = kill(vec![Some(0), None]);
+        let classes = vec![EquivalenceClass::Killable, EquivalenceClass::Killable];
+        let text = MutationScore::from_results(&kills, &classes).to_string();
+        assert!(text.contains("K=1"));
+        assert!(text.contains("M=2"));
+        assert!(text.contains("E=0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "same population")]
+    fn mismatched_lengths_panic() {
+        let kills = kill(vec![None]);
+        let _ = MutationScore::from_results(&kills, &[]);
+    }
+}

@@ -1,0 +1,370 @@
+//! Single stuck-at fault model and structural fault collapsing.
+//!
+//! The fault universe follows the classic convention:
+//!
+//! * a **stem** fault on every net (gate output, input, constant, flop
+//!   output), stuck-at-0 and stuck-at-1;
+//! * a **branch** fault on every gate/flop input pin whose source net has
+//!   fan-out greater than one (a fan-out-free pin is electrically the same
+//!   site as its stem).
+//!
+//! [`collapse`] merges structurally equivalent faults with the standard
+//! gate-local rules (e.g. any AND input s-a-0 ≡ the AND output s-a-0;
+//! NOT input faults ≡ complemented output faults; BUF input ≡ output),
+//! keeping one representative per class — the usual "collapsed fault
+//! list" that fault-coverage percentages are quoted against.
+
+use crate::netlist::{GateKind, NetId, Netlist, Node};
+use std::fmt;
+
+/// Where a stuck-at fault lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FaultSite {
+    /// On a net (stem).
+    Net(NetId),
+    /// On one input pin of the gate/flop driving `gate` (branch).
+    Pin {
+        /// The reading gate's output net.
+        gate: NetId,
+        /// Pin index into that gate's input list.
+        pin: u32,
+    },
+}
+
+/// A single stuck-at fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fault {
+    /// Location.
+    pub site: FaultSite,
+    /// `true` = stuck-at-1, `false` = stuck-at-0.
+    pub stuck_at_one: bool,
+}
+
+impl Fault {
+    /// Stem stuck-at-0 on `net`.
+    pub fn net_sa0(net: NetId) -> Self {
+        Fault {
+            site: FaultSite::Net(net),
+            stuck_at_one: false,
+        }
+    }
+
+    /// Stem stuck-at-1 on `net`.
+    pub fn net_sa1(net: NetId) -> Self {
+        Fault {
+            site: FaultSite::Net(net),
+            stuck_at_one: true,
+        }
+    }
+
+    /// Renders the fault against a netlist (e.g. `G10 s-a-1`,
+    /// `G22.pin0 s-a-0`).
+    pub fn describe(&self, nl: &Netlist) -> String {
+        let sa = if self.stuck_at_one { "s-a-1" } else { "s-a-0" };
+        match self.site {
+            FaultSite::Net(n) => format!("{} {}", nl.net_name(n), sa),
+            FaultSite::Pin { gate, pin } => {
+                format!("{}.pin{} {}", nl.net_name(gate), pin, sa)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sa = if self.stuck_at_one { "s-a-1" } else { "s-a-0" };
+        match self.site {
+            FaultSite::Net(n) => write!(f, "{n} {sa}"),
+            FaultSite::Pin { gate, pin } => write!(f, "{gate}.pin{pin} {sa}"),
+        }
+    }
+}
+
+/// Enumerates the full (uncollapsed) fault universe.
+pub fn full_faults(nl: &Netlist) -> Vec<Fault> {
+    let fanouts = nl.fanouts();
+    let mut faults = Vec::new();
+    for net in nl.nets() {
+        faults.push(Fault::net_sa0(net));
+        faults.push(Fault::net_sa1(net));
+    }
+    for net in nl.nets() {
+        let pins: Vec<(NetId, u32)> = match nl.node(net) {
+            Node::Gate { inputs, .. } => inputs
+                .iter()
+                .enumerate()
+                .map(|(pin, _)| (net, pin as u32))
+                .collect(),
+            Node::Dff { .. } => vec![(net, 0)],
+            _ => Vec::new(),
+        };
+        for (gate, pin) in pins {
+            let src = match nl.node(net) {
+                Node::Gate { inputs, .. } => inputs[pin as usize],
+                Node::Dff { d, .. } => *d,
+                _ => unreachable!(),
+            };
+            if fanouts[src.0 as usize].len() > 1 {
+                for stuck in [false, true] {
+                    faults.push(Fault {
+                        site: FaultSite::Pin { gate, pin },
+                        stuck_at_one: stuck,
+                    });
+                }
+            }
+        }
+    }
+    faults
+}
+
+/// Union-find over fault indices.
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Keep the smaller index as representative for determinism.
+            let (keep, drop) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.parent[drop] = keep;
+        }
+    }
+}
+
+/// Collapses the fault list into structural-equivalence representatives.
+///
+/// Rules applied per gate, with the *effective* input site being the pin
+/// fault when the source net fans out, and the stem fault otherwise:
+///
+/// | gate | input fault | ≡ output fault |
+/// |------|-------------|----------------|
+/// | AND  | s-a-0       | s-a-0          |
+/// | NAND | s-a-0       | s-a-1          |
+/// | OR   | s-a-1       | s-a-1          |
+/// | NOR  | s-a-1       | s-a-0          |
+/// | NOT  | s-a-v       | s-a-¬v         |
+/// | BUF / DFF-D | s-a-v | s-a-v         |
+///
+/// The result preserves the input order of representatives.
+pub fn collapse(nl: &Netlist, faults: &[Fault]) -> Vec<Fault> {
+    use std::collections::HashMap;
+    let index: HashMap<Fault, usize> = faults
+        .iter()
+        .enumerate()
+        .map(|(i, &f)| (f, i))
+        .collect();
+    let fanouts = nl.fanouts();
+    let mut uf = UnionFind::new(faults.len());
+
+    // The fault site actually present in the list for "input `pin` of the
+    // gate driving `net`": the branch fault if it exists, else the stem.
+    let input_fault = |net: NetId, pin: u32, src: NetId, stuck: bool| -> Fault {
+        if fanouts[src.0 as usize].len() > 1 {
+            Fault {
+                site: FaultSite::Pin { gate: net, pin },
+                stuck_at_one: stuck,
+            }
+        } else {
+            Fault {
+                site: FaultSite::Net(src),
+                stuck_at_one: stuck,
+            }
+        }
+    };
+
+    let mut merge = |a: Fault, b: Fault| {
+        if let (Some(&ia), Some(&ib)) = (index.get(&a), index.get(&b)) {
+            uf.union(ia, ib);
+        }
+    };
+
+    for net in nl.nets() {
+        match nl.node(net) {
+            Node::Gate { kind, inputs } => {
+                for (pin, &src) in inputs.iter().enumerate() {
+                    let pin = pin as u32;
+                    match kind {
+                        GateKind::And => {
+                            merge(input_fault(net, pin, src, false), Fault::net_sa0(net));
+                        }
+                        GateKind::Nand => {
+                            merge(input_fault(net, pin, src, false), Fault::net_sa1(net));
+                        }
+                        GateKind::Or => {
+                            merge(input_fault(net, pin, src, true), Fault::net_sa1(net));
+                        }
+                        GateKind::Nor => {
+                            merge(input_fault(net, pin, src, true), Fault::net_sa0(net));
+                        }
+                        GateKind::Not => {
+                            merge(input_fault(net, pin, src, false), Fault::net_sa1(net));
+                            merge(input_fault(net, pin, src, true), Fault::net_sa0(net));
+                        }
+                        GateKind::Buf => {
+                            merge(input_fault(net, pin, src, false), Fault::net_sa0(net));
+                            merge(input_fault(net, pin, src, true), Fault::net_sa1(net));
+                        }
+                        GateKind::Xor | GateKind::Xnor => {
+                            // No structural equivalence through XOR-family
+                            // gates.
+                        }
+                    }
+                }
+            }
+            Node::Dff { d, .. } => {
+                // The D pin behaves as a buffer into the state element.
+                merge(input_fault(net, 0, *d, false), Fault::net_sa0(net));
+                merge(input_fault(net, 0, *d, true), Fault::net_sa1(net));
+            }
+            _ => {}
+        }
+    }
+
+    let mut kept = Vec::new();
+    for (i, &fault) in faults.iter().enumerate() {
+        if uf.find(i) == i {
+            kept.push(fault);
+        }
+    }
+    kept
+}
+
+/// Convenience: the collapsed fault list of a netlist.
+pub fn collapsed_faults(nl: &Netlist) -> Vec<Fault> {
+    collapse(nl, &full_faults(nl))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench::{parse_bench, C17};
+    use crate::netlist::{GateKind, Netlist};
+
+    #[test]
+    fn full_universe_counts() {
+        // y = AND(a, b): 3 nets × 2 faults; no fanout > 1 → no pin faults.
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let y = nl.add_gate("y", GateKind::And, vec![a, b]);
+        nl.mark_output(y);
+        let nl = nl.freeze().unwrap();
+        assert_eq!(full_faults(&nl).len(), 6);
+    }
+
+    #[test]
+    fn branch_faults_only_on_fanout() {
+        // a feeds two gates → its two branch pins get faults.
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let y1 = nl.add_gate("y1", GateKind::And, vec![a, b]);
+        let y2 = nl.add_gate("y2", GateKind::Or, vec![a, b]);
+        nl.mark_output(y1);
+        nl.mark_output(y2);
+        let nl = nl.freeze().unwrap();
+        // Nets: a,b,y1,y2 → 8 stem faults. a,b each fan out to 2 pins →
+        // 4 pins × 2 = 8 branch faults.
+        assert_eq!(full_faults(&nl).len(), 16);
+    }
+
+    #[test]
+    fn and_collapse_merges_sa0() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let y = nl.add_gate("y", GateKind::And, vec![a, b]);
+        nl.mark_output(y);
+        let nl = nl.freeze().unwrap();
+        let collapsed = collapsed_faults(&nl);
+        // Classes: {a0,b0,y0}, {a1}, {b1}, {y1} → 4 representatives.
+        assert_eq!(collapsed.len(), 4);
+    }
+
+    #[test]
+    fn inverter_chain_collapses_fully() {
+        // a -> NOT -> NOT -> y : every fault equivalent to one of the two
+        // polarities at the head of the chain.
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let n1 = nl.add_gate("n1", GateKind::Not, vec![a]);
+        let n2 = nl.add_gate("n2", GateKind::Not, vec![n1]);
+        nl.mark_output(n2);
+        let nl = nl.freeze().unwrap();
+        let collapsed = collapsed_faults(&nl);
+        assert_eq!(collapsed.len(), 2);
+    }
+
+    #[test]
+    fn xor_does_not_collapse() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let y = nl.add_gate("y", GateKind::Xor, vec![a, b]);
+        nl.mark_output(y);
+        let nl = nl.freeze().unwrap();
+        assert_eq!(collapsed_faults(&nl).len(), 6);
+    }
+
+    #[test]
+    fn c17_collapsed_size_matches_literature() {
+        // c17's collapsed single-stuck-at list is famously 22 faults.
+        let nl = parse_bench(C17, "c17").unwrap();
+        let full = full_faults(&nl);
+        let collapsed = collapse(&nl, &full);
+        assert!(collapsed.len() < full.len());
+        assert_eq!(collapsed.len(), 22, "c17 collapsed fault count");
+    }
+
+    #[test]
+    fn representatives_are_stable_and_unique() {
+        let nl = parse_bench(C17, "c17").unwrap();
+        let c1 = collapsed_faults(&nl);
+        let c2 = collapsed_faults(&nl);
+        assert_eq!(c1, c2, "collapsing must be deterministic");
+        let mut sorted = c1.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), c1.len());
+    }
+
+    #[test]
+    fn describe_and_display() {
+        let nl = parse_bench(C17, "c17").unwrap();
+        let g10 = nl.net_by_name("G10").unwrap();
+        let f = Fault::net_sa1(g10);
+        assert_eq!(f.describe(&nl), "G10 s-a-1");
+        assert!(f.to_string().contains("s-a-1"));
+    }
+
+    #[test]
+    fn dff_d_pin_collapses_as_buffer() {
+        let src = "
+INPUT(en)
+OUTPUT(q)
+q = DFF(d)
+d = XOR(q, en)
+";
+        let nl = parse_bench(src, "t").unwrap();
+        let full = full_faults(&nl);
+        let collapsed = collapse(&nl, &full);
+        // d has fanout 1 (only the flop) → d stem ≡ q stem.
+        assert!(collapsed.len() < full.len());
+    }
+}

@@ -1,0 +1,529 @@
+//! Stuck-at fault simulation with fault dropping.
+//!
+//! Two engines behind one entry point, [`fault_simulate`]:
+//!
+//! * **combinational** circuits use *parallel-pattern single-fault
+//!   propagation* (PPSFP): 64 test patterns per pass, one fault at a
+//!   time, with fault dropping;
+//! * **sequential** circuits use *parallel-fault* simulation: the good
+//!   machine in lane 0 and up to 63 faulty machines in the remaining
+//!   lanes, all driven by the same vector sequence from the reset state.
+//!
+//! Both record, for every fault, the index of the **first** detecting
+//! vector, from which coverage-versus-length curves are derived.
+
+use crate::fault::Fault;
+use crate::netlist::Netlist;
+use crate::sim::{Injections, LogicSim};
+
+/// One primary-input assignment (one bit per PI, in `Netlist::inputs`
+/// order).
+pub type Pattern = Vec<bool>;
+
+/// Result of a fault-simulation run.
+#[derive(Debug, Clone)]
+pub struct FaultSimResult {
+    /// The simulated fault list (as passed in).
+    pub faults: Vec<Fault>,
+    /// For every fault, the index of the first detecting vector.
+    pub first_detected: Vec<Option<usize>>,
+    /// Number of vectors applied.
+    pub vectors_applied: usize,
+}
+
+impl FaultSimResult {
+    /// Number of detected faults.
+    pub fn detected_count(&self) -> usize {
+        self.first_detected.iter().filter(|d| d.is_some()).count()
+    }
+
+    /// Final fault coverage in `[0, 1]` (detected / total).
+    ///
+    /// Returns 1.0 for an empty fault list (nothing to detect).
+    pub fn coverage(&self) -> f64 {
+        if self.faults.is_empty() {
+            1.0
+        } else {
+            self.detected_count() as f64 / self.faults.len() as f64
+        }
+    }
+
+    /// Cumulative coverage after each applied vector:
+    /// `curve()[t]` = coverage achieved by vectors `0..=t`.
+    pub fn coverage_curve(&self) -> Vec<f64> {
+        let total = self.faults.len().max(1) as f64;
+        let mut per_vector = vec![0usize; self.vectors_applied];
+        for first in self.first_detected.iter().flatten() {
+            if *first < per_vector.len() {
+                per_vector[*first] += 1;
+            }
+        }
+        let mut cumulative = 0usize;
+        per_vector
+            .into_iter()
+            .map(|d| {
+                cumulative += d;
+                cumulative as f64 / total
+            })
+            .collect()
+    }
+
+    /// The undetected faults.
+    pub fn undetected(&self) -> Vec<Fault> {
+        self.faults
+            .iter()
+            .zip(&self.first_detected)
+            .filter(|(_, d)| d.is_none())
+            .map(|(&f, _)| f)
+            .collect()
+    }
+}
+
+/// Simulates `faults` against `vectors` and reports first detections.
+///
+/// Dispatches to PPSFP for combinational circuits and parallel-fault for
+/// sequential ones. Detection means: some primary output differs from the
+/// good circuit at some vector (sequential machines start from reset and
+/// never re-synchronise).
+///
+/// # Panics
+///
+/// Panics if any pattern length differs from the circuit's input count.
+pub fn fault_simulate(nl: &Netlist, faults: &[Fault], vectors: &[Pattern]) -> FaultSimResult {
+    for v in vectors {
+        assert_eq!(v.len(), nl.inputs().len(), "pattern width mismatch");
+    }
+    let first_detected = if nl.is_combinational() {
+        ppsfp(nl, faults, vectors)
+    } else {
+        parallel_fault(nl, faults, vectors)
+    };
+    FaultSimResult {
+        faults: faults.to_vec(),
+        first_detected,
+        vectors_applied: vectors.len(),
+    }
+}
+
+/// Simulates `faults` against a *test set*: several vector sequences,
+/// each applied from the reset state, with fault dropping across
+/// sessions. First-detection indices are cumulative over the
+/// concatenation of all sessions.
+///
+/// # Panics
+///
+/// Panics if any pattern length differs from the circuit's input count.
+pub fn fault_simulate_sessions(
+    nl: &Netlist,
+    faults: &[Fault],
+    sessions: &[Vec<Pattern>],
+) -> FaultSimResult {
+    let mut first_detected: Vec<Option<usize>> = vec![None; faults.len()];
+    let mut base = 0usize;
+    // Indices of faults still alive, mapping into the caller's list.
+    let mut alive: Vec<usize> = (0..faults.len()).collect();
+    for session in sessions {
+        if alive.is_empty() {
+            base += session.len();
+            continue;
+        }
+        let subset: Vec<Fault> = alive.iter().map(|&i| faults[i]).collect();
+        let result = fault_simulate(nl, &subset, session);
+        let mut still = Vec::with_capacity(alive.len());
+        for (slot, &fi) in alive.iter().enumerate() {
+            match result.first_detected[slot] {
+                Some(t) => first_detected[fi] = Some(base + t),
+                None => still.push(fi),
+            }
+        }
+        alive = still;
+        base += session.len();
+    }
+    FaultSimResult {
+        faults: faults.to_vec(),
+        first_detected,
+        vectors_applied: base,
+    }
+}
+
+/// Good-circuit output transcript (used by test generators for response
+/// comparison and by the sequential engine internally).
+pub fn good_outputs(nl: &Netlist, vectors: &[Pattern]) -> Vec<Vec<bool>> {
+    let mut sim = LogicSim::new(nl);
+    sim.reset();
+    let none = Injections::none();
+    vectors
+        .iter()
+        .map(|v| {
+            sim.step_broadcast(v, &none)
+                .into_iter()
+                .map(|w| w & 1 == 1)
+                .collect()
+        })
+        .collect()
+}
+
+/// Parallel-pattern single-fault propagation for combinational circuits.
+fn ppsfp(nl: &Netlist, faults: &[Fault], vectors: &[Pattern]) -> Vec<Option<usize>> {
+    let mut first_detected: Vec<Option<usize>> = vec![None; faults.len()];
+    let mut sim = LogicSim::new(nl);
+    let none = Injections::none();
+    let num_inputs = nl.inputs().len();
+
+    for (batch_index, batch) in vectors.chunks(64).enumerate() {
+        let base = batch_index * 64;
+        // Pack the batch into per-input words: lane k = pattern base+k.
+        let mut words = vec![0u64; num_inputs];
+        for (lane, pattern) in batch.iter().enumerate() {
+            for (i, &bit) in pattern.iter().enumerate() {
+                if bit {
+                    words[i] |= 1 << lane;
+                }
+            }
+        }
+        let lane_mask = if batch.len() == 64 {
+            u64::MAX
+        } else {
+            (1u64 << batch.len()) - 1
+        };
+
+        sim.set_inputs(&words);
+        sim.eval(&none);
+        let good = sim.outputs();
+
+        for (fi, fault) in faults.iter().enumerate() {
+            if first_detected[fi].is_some() {
+                continue; // fault dropping
+            }
+            sim.eval(&Injections::single(fault));
+            let bad = sim.outputs();
+            let mut diff = 0u64;
+            for (g, b) in good.iter().zip(&bad) {
+                diff |= g ^ b;
+            }
+            diff &= lane_mask;
+            if diff != 0 {
+                first_detected[fi] = Some(base + diff.trailing_zeros() as usize);
+            }
+        }
+    }
+    first_detected
+}
+
+/// Parallel-fault simulation for sequential circuits: lane 0 is the good
+/// machine, lanes 1..=63 carry one fault each.
+fn parallel_fault(nl: &Netlist, faults: &[Fault], vectors: &[Pattern]) -> Vec<Option<usize>> {
+    let mut first_detected: Vec<Option<usize>> = vec![None; faults.len()];
+    let mut sim = LogicSim::new(nl);
+    let pending: Vec<usize> = (0..faults.len()).collect();
+
+    for chunk in pending.chunks(63) {
+        let mut inj = Injections::none();
+        for (slot, &fi) in chunk.iter().enumerate() {
+            inj.add(&faults[fi], 1u64 << (slot + 1));
+        }
+        let active_mask = if chunk.len() == 63 {
+            !1
+        } else {
+            ((1u64 << (chunk.len() + 1)) - 1) & !1
+        };
+
+        sim.reset();
+        let mut detected_lanes = 0u64;
+        for (t, pattern) in vectors.iter().enumerate() {
+            let outs = sim.step_broadcast(pattern, &inj);
+            let mut diff = 0u64;
+            for word in outs {
+                // Lanes differing from lane 0 (the good machine).
+                let good_broadcast = 0u64.wrapping_sub(word & 1);
+                diff |= word ^ good_broadcast;
+            }
+            let newly = diff & active_mask & !detected_lanes;
+            if newly != 0 {
+                for (slot, &fi) in chunk.iter().enumerate() {
+                    if newly >> (slot + 1) & 1 == 1 {
+                        first_detected[fi] = Some(t);
+                    }
+                }
+                detected_lanes |= newly;
+                if detected_lanes & active_mask == active_mask {
+                    break; // whole batch detected
+                }
+            }
+        }
+    }
+    first_detected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench::{parse_bench, C17};
+    use crate::fault::{collapsed_faults, full_faults, Fault};
+    use crate::netlist::{GateKind, Netlist};
+
+    fn exhaustive_patterns(n: usize) -> Vec<Pattern> {
+        (0..1u64 << n)
+            .map(|p| (0..n).map(|i| (p >> i) & 1 == 1).collect())
+            .collect()
+    }
+
+    #[test]
+    fn c17_exhaustive_reaches_full_coverage() {
+        let nl = parse_bench(C17, "c17").unwrap();
+        let faults = collapsed_faults(&nl);
+        let result = fault_simulate(&nl, &faults, &exhaustive_patterns(5));
+        assert_eq!(
+            result.detected_count(),
+            faults.len(),
+            "undetected: {:?}",
+            result
+                .undetected()
+                .iter()
+                .map(|f| f.describe(&nl))
+                .collect::<Vec<_>>()
+        );
+        assert!((result.coverage() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn c17_full_universe_also_covered() {
+        let nl = parse_bench(C17, "c17").unwrap();
+        let faults = full_faults(&nl);
+        let result = fault_simulate(&nl, &faults, &exhaustive_patterns(5));
+        assert_eq!(result.detected_count(), faults.len());
+    }
+
+    #[test]
+    fn coverage_curve_is_monotone_and_ends_at_coverage() {
+        let nl = parse_bench(C17, "c17").unwrap();
+        let faults = collapsed_faults(&nl);
+        let result = fault_simulate(&nl, &faults, &exhaustive_patterns(5));
+        let curve = result.coverage_curve();
+        assert_eq!(curve.len(), 32);
+        for w in curve.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+        assert!((curve.last().unwrap() - result.coverage()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_vectors_detects_nothing() {
+        let nl = parse_bench(C17, "c17").unwrap();
+        let faults = collapsed_faults(&nl);
+        let result = fault_simulate(&nl, &faults, &[]);
+        assert_eq!(result.detected_count(), 0);
+        assert_eq!(result.coverage(), 0.0);
+        assert!(result.coverage_curve().is_empty());
+    }
+
+    #[test]
+    fn empty_fault_list_is_fully_covered() {
+        let nl = parse_bench(C17, "c17").unwrap();
+        let result = fault_simulate(&nl, &[], &exhaustive_patterns(5));
+        assert_eq!(result.coverage(), 1.0);
+    }
+
+    #[test]
+    fn first_detection_is_earliest() {
+        // y = AND(a,b); fault y s-a-0 detected only by a=b=1.
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let y = nl.add_gate("y", GateKind::And, vec![a, b]);
+        nl.mark_output(y);
+        let nl = nl.freeze().unwrap();
+        let fault = vec![Fault::net_sa0(y)];
+        let vectors: Vec<Pattern> = vec![
+            vec![false, false],
+            vec![true, true], // first detecting vector: index 1
+            vec![true, true],
+        ];
+        let result = fault_simulate(&nl, &fault, &vectors);
+        assert_eq!(result.first_detected[0], Some(1));
+    }
+
+    #[test]
+    fn detection_across_batch_boundary() {
+        // 70 vectors: only vector 68 detects (exercises the second batch).
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let y = nl.add_gate("y", GateKind::And, vec![a, b]);
+        nl.mark_output(y);
+        let nl = nl.freeze().unwrap();
+        let fault = vec![Fault::net_sa0(y)];
+        let mut vectors: Vec<Pattern> = vec![vec![false, false]; 70];
+        vectors[68] = vec![true, true];
+        let result = fault_simulate(&nl, &fault, &vectors);
+        assert_eq!(result.first_detected[0], Some(68));
+    }
+
+    #[test]
+    fn sequential_fault_detection() {
+        // Toggle flop: q = DFF(xor(q, en)), output q.
+        let src = "
+INPUT(en)
+OUTPUT(q)
+q = DFF(d)
+d = XOR(q, en)
+";
+        let nl = parse_bench(src, "t").unwrap();
+        let faults = collapsed_faults(&nl);
+        // en=1 for 4 cycles toggles q: 0,1,0,1 — plenty to expose faults.
+        let vectors: Vec<Pattern> = vec![vec![true]; 4];
+        let result = fault_simulate(&nl, &faults, &vectors);
+        assert!(
+            result.detected_count() > 0,
+            "at least some faults must be detected"
+        );
+        // q s-a-1: good q starts 0, faulty shows 1 at t=0.
+        let q = nl.net_by_name("q").unwrap();
+        let idx = faults
+            .iter()
+            .position(|f| *f == Fault::net_sa1(q))
+            .expect("q s-a-1 must be a representative");
+        assert_eq!(result.first_detected[idx], Some(0));
+    }
+
+    #[test]
+    fn sequential_matches_single_fault_reference() {
+        // Cross-check parallel-fault against naive one-fault-at-a-time.
+        let src = "
+INPUT(a)
+INPUT(b)
+OUTPUT(q)
+OUTPUT(y)
+q = DFF(d)
+d = AND(a, q2)
+q2 = NAND(b, q)
+y = OR(q, b)
+";
+        let nl = parse_bench(src, "m").unwrap();
+        let faults = collapsed_faults(&nl);
+        let vectors: Vec<Pattern> = vec![
+            vec![true, false],
+            vec![true, true],
+            vec![false, true],
+            vec![true, true],
+            vec![false, false],
+            vec![true, true],
+        ];
+        let fast = fault_simulate(&nl, &faults, &vectors);
+
+        // Naive reference: run each fault alone in lane 1.
+        let good = good_outputs(&nl, &vectors);
+        for (fi, fault) in faults.iter().enumerate() {
+            let mut sim = LogicSim::new(&nl);
+            sim.reset();
+            let inj = Injections::single(fault);
+            let mut first = None;
+            for (t, v) in vectors.iter().enumerate() {
+                let outs = sim.step_broadcast(v, &inj);
+                let bad: Vec<bool> = outs.iter().map(|w| w & 1 == 1).collect();
+                if bad != good[t] {
+                    first = Some(t);
+                    break;
+                }
+            }
+            assert_eq!(
+                fast.first_detected[fi],
+                first,
+                "fault {} disagrees",
+                fault.describe(&nl)
+            );
+        }
+    }
+
+    #[test]
+    fn ppsfp_matches_naive_serial_reference() {
+        // Regression guard: fault forcing during one injection must not
+        // corrupt the applied stimulus for later injections in the same
+        // batch (input-net faults are the sensitive case).
+        use crate::sim::{Injections, LogicSim};
+        let nl = parse_bench(C17, "c17").unwrap();
+        let faults = full_faults(&nl);
+        let patterns: Vec<Pattern> = (0..20u64)
+            .map(|p| (0..5).map(|i| (p.wrapping_mul(0x9E37) >> i) & 1 == 1).collect())
+            .collect();
+        let fast = fault_simulate(&nl, &faults, &patterns);
+        for (fi, fault) in faults.iter().enumerate() {
+            let mut first = None;
+            for (t, p) in patterns.iter().enumerate() {
+                let mut sim = LogicSim::new(&nl);
+                sim.set_inputs_broadcast(p);
+                sim.eval(&Injections::none());
+                let good: Vec<u64> = sim.outputs().iter().map(|w| w & 1).collect();
+                sim.eval(&Injections::single(fault));
+                let bad: Vec<u64> = sim.outputs().iter().map(|w| w & 1).collect();
+                if good != bad {
+                    first = Some(t);
+                    break;
+                }
+            }
+            assert_eq!(
+                fast.first_detected[fi],
+                first,
+                "fault {} disagrees with the serial reference",
+                fault.describe(&nl)
+            );
+        }
+    }
+
+    #[test]
+    fn sessions_accumulate_with_fault_dropping() {
+        let nl = parse_bench(C17, "c17").unwrap();
+        let faults = collapsed_faults(&nl);
+        let all = exhaustive_patterns(5);
+        // Split the exhaustive set into two sessions.
+        let s1: Vec<Pattern> = all[..10].to_vec();
+        let s2: Vec<Pattern> = all[10..].to_vec();
+        let split = fault_simulate_sessions(&nl, &faults, &[s1, s2]);
+        let whole = fault_simulate(&nl, &faults, &all);
+        assert_eq!(split.vectors_applied, 32);
+        // Combinational circuits: session boundaries are irrelevant, so
+        // first-detection indices must match the single-run result.
+        assert_eq!(split.first_detected, whole.first_detected);
+    }
+
+    #[test]
+    fn sessions_reset_sequential_state() {
+        let src = "
+INPUT(en)
+OUTPUT(q)
+q = DFF(d)
+d = XOR(q, en)
+";
+        let nl = parse_bench(src, "t").unwrap();
+        let faults = collapsed_faults(&nl);
+        // Two short sessions; the second starts from reset again.
+        let sessions = vec![vec![vec![true]; 2], vec![vec![false]; 2]];
+        let result = fault_simulate_sessions(&nl, &faults, &sessions);
+        assert_eq!(result.vectors_applied, 4);
+        assert!(result.detected_count() > 0);
+        // Indices from the second session land at 2 and 3.
+        for d in result.first_detected.iter().flatten() {
+            assert!(*d < 4);
+        }
+    }
+
+    #[test]
+    fn more_than_63_sequential_faults_are_batched() {
+        // Enough structure to exceed one parallel-fault batch.
+        let mut src = String::from("INPUT(x0)\nOUTPUT(q)\n");
+        let mut prev = "x0".to_string();
+        for i in 0..40 {
+            src.push_str(&format!("g{i} = NOT({prev})\n"));
+            prev = format!("g{i}");
+        }
+        src.push_str(&format!("q = DFF({prev})\n"));
+        let nl = parse_bench(&src, "chain").unwrap();
+        let faults = full_faults(&nl);
+        assert!(faults.len() > 63);
+        let vectors: Vec<Pattern> = (0..6).map(|i| vec![i % 2 == 0]).collect();
+        let result = fault_simulate(&nl, &faults, &vectors);
+        // The inverter chain propagates everything to the flop; most
+        // faults must be seen within a few cycles.
+        assert!(result.detected_count() > faults.len() / 2);
+    }
+}

@@ -1,0 +1,357 @@
+//! SCOAP testability analysis (Goldstein 1979).
+//!
+//! Combinational **controllability** — `CC0(n)` / `CC1(n)`, the effort to
+//! drive net `n` to 0 / 1 — and **observability** — `CO(n)`, the effort
+//! to propagate `n`'s value to a primary output. Deterministic ATPG uses
+//! the measures to steer backtrace; the analysis is also a quick way to
+//! rank a netlist's hardest fault sites.
+//!
+//! Flip-flops are treated as pseudo-inputs/outputs (full-scan view),
+//! which is exact for combinational circuits and the standard
+//! approximation otherwise.
+
+use crate::netlist::{GateKind, NetId, Netlist, Node};
+
+/// Effort value used for "practically uncontrollable/unobservable"
+/// (constants on the wrong polarity; nets cut off from outputs).
+pub const UNREACHABLE: u32 = 1 << 20;
+
+/// SCOAP measures for every net of a netlist.
+///
+/// # Examples
+///
+/// ```
+/// use musa_netlist::{parse_bench, Testability, C17};
+///
+/// let nl = parse_bench(C17, "c17")?;
+/// let scoap = Testability::analyze(&nl);
+/// let g22 = nl.net_by_name("G22").unwrap();
+/// // Primary outputs are free to observe.
+/// assert_eq!(scoap.co(g22), 0);
+/// # Ok::<(), musa_netlist::BenchError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Testability {
+    cc0: Vec<u32>,
+    cc1: Vec<u32>,
+    co: Vec<u32>,
+}
+
+impl Testability {
+    /// Computes the three measures for a frozen netlist.
+    pub fn analyze(nl: &Netlist) -> Self {
+        let n = nl.net_count();
+        let mut cc0 = vec![UNREACHABLE; n];
+        let mut cc1 = vec![UNREACHABLE; n];
+
+        // Controllability, sources first then topological order.
+        for net in nl.nets() {
+            match nl.node(net) {
+                Node::Input | Node::Dff { .. } => {
+                    cc0[net.0 as usize] = 1;
+                    cc1[net.0 as usize] = 1;
+                }
+                Node::Const(false) => cc0[net.0 as usize] = 0,
+                Node::Const(true) => cc1[net.0 as usize] = 0,
+                Node::Gate { .. } => {}
+            }
+        }
+        for &g in nl.topo_order() {
+            let Node::Gate { kind, inputs } = nl.node(g) else {
+                continue;
+            };
+            let (c0, c1) = gate_controllability(*kind, inputs, &cc0, &cc1);
+            cc0[g.0 as usize] = c0;
+            cc1[g.0 as usize] = c1;
+        }
+
+        // Observability: outputs are free; propagate backwards through
+        // gates, and through flip-flops (one clock of extra effort).
+        // Paths through registers need another backward sweep, so iterate
+        // to the fixpoint — values only decrease, so this terminates.
+        let mut co = vec![UNREACHABLE; n];
+        for &output in nl.outputs() {
+            co[output.0 as usize] = 0;
+        }
+        let mut order: Vec<NetId> = nl.topo_order().to_vec();
+        order.reverse();
+        loop {
+            let mut changed = false;
+            for net in nl.nets() {
+                if let Node::Dff { d, .. } = nl.node(net) {
+                    let through = co[net.0 as usize].saturating_add(1);
+                    if through < co[d.0 as usize] {
+                        co[d.0 as usize] = through;
+                        changed = true;
+                    }
+                }
+            }
+            for &g in &order {
+                let Node::Gate { kind, inputs } = nl.node(g) else {
+                    continue;
+                };
+                let out_co = co[g.0 as usize];
+                for (pin, &input) in inputs.iter().enumerate() {
+                    let side: u32 = inputs
+                        .iter()
+                        .enumerate()
+                        .filter(|(other, _)| *other != pin)
+                        .map(|(_, &j)| side_cost(*kind, j, &cc0, &cc1))
+                        .fold(0u32, |a, b| a.saturating_add(b));
+                    let through = out_co.saturating_add(side).saturating_add(1);
+                    if through < co[input.0 as usize] {
+                        co[input.0 as usize] = through;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        Self { cc0, cc1, co }
+    }
+
+    /// Effort to drive `net` to 0.
+    pub fn cc0(&self, net: NetId) -> u32 {
+        self.cc0[net.0 as usize]
+    }
+
+    /// Effort to drive `net` to 1.
+    pub fn cc1(&self, net: NetId) -> u32 {
+        self.cc1[net.0 as usize]
+    }
+
+    /// Effort to observe `net` at a primary output.
+    pub fn co(&self, net: NetId) -> u32 {
+        self.co[net.0 as usize]
+    }
+
+    /// Detection-effort estimate for a stuck-at fault on `net`:
+    /// controllability of the opposite value plus observability.
+    pub fn fault_effort(&self, net: NetId, stuck_at_one: bool) -> u32 {
+        let control = if stuck_at_one {
+            self.cc0(net)
+        } else {
+            self.cc1(net)
+        };
+        control.saturating_add(self.co(net))
+    }
+
+    /// Nets ranked hardest-first by combined fault effort.
+    pub fn hardest_nets(&self, nl: &Netlist, top: usize) -> Vec<(NetId, u32)> {
+        let mut ranked: Vec<(NetId, u32)> = nl
+            .nets()
+            .map(|net| {
+                (
+                    net,
+                    self.fault_effort(net, false)
+                        .max(self.fault_effort(net, true)),
+                )
+            })
+            .collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked.truncate(top);
+        ranked
+    }
+}
+
+/// The controllability cost of holding `input` at the gate's
+/// non-controlling value (for observability side-input terms).
+fn side_cost(kind: GateKind, input: NetId, cc0: &[u32], cc1: &[u32]) -> u32 {
+    let i = input.0 as usize;
+    match kind {
+        GateKind::And | GateKind::Nand => cc1[i],
+        GateKind::Or | GateKind::Nor => cc0[i],
+        GateKind::Not | GateKind::Buf => 0,
+        // XOR-family: either value works; take the cheaper.
+        GateKind::Xor | GateKind::Xnor => cc0[i].min(cc1[i]),
+    }
+}
+
+fn gate_controllability(
+    kind: GateKind,
+    inputs: &[NetId],
+    cc0: &[u32],
+    cc1: &[u32],
+) -> (u32, u32) {
+    let sum = |table: &[u32]| -> u32 {
+        inputs
+            .iter()
+            .map(|i| table[i.0 as usize])
+            .fold(0u32, |a, b| a.saturating_add(b))
+            .saturating_add(1)
+    };
+    let min = |table: &[u32]| -> u32 {
+        inputs
+            .iter()
+            .map(|i| table[i.0 as usize])
+            .min()
+            .unwrap_or(UNREACHABLE)
+            .saturating_add(1)
+    };
+    match kind {
+        GateKind::And => (min(cc0), sum(cc1)),
+        GateKind::Nand => (sum(cc1), min(cc0)),
+        GateKind::Or => (sum(cc0), min(cc1)),
+        GateKind::Nor => (min(cc1), sum(cc0)),
+        GateKind::Not => (
+            cc1[inputs[0].0 as usize].saturating_add(1),
+            cc0[inputs[0].0 as usize].saturating_add(1),
+        ),
+        GateKind::Buf => (
+            cc0[inputs[0].0 as usize].saturating_add(1),
+            cc1[inputs[0].0 as usize].saturating_add(1),
+        ),
+        GateKind::Xor | GateKind::Xnor => {
+            let mut c0 = cc0[inputs[0].0 as usize];
+            let mut c1 = cc1[inputs[0].0 as usize];
+            for i in &inputs[1..] {
+                let (b0, b1) = (cc0[i.0 as usize], cc1[i.0 as usize]);
+                let even = (c0.saturating_add(b0)).min(c1.saturating_add(b1));
+                let odd = (c0.saturating_add(b1)).min(c1.saturating_add(b0));
+                c0 = even.saturating_add(1);
+                c1 = odd.saturating_add(1);
+            }
+            if kind == GateKind::Xnor {
+                (c1, c0)
+            } else {
+                (c0, c1)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench::{parse_bench, C17};
+    use crate::netlist::Netlist;
+
+    #[test]
+    fn textbook_and_gate_values() {
+        // y = AND(a, b): CC0(y) = min(1,1)+1 = 2, CC1(y) = 1+1+1 = 3,
+        // CO(a) = CO(y) + CC1(b) + 1 = 0 + 1 + 1 = 2.
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let y = nl.add_gate("y", GateKind::And, vec![a, b]);
+        nl.mark_output(y);
+        let nl = nl.freeze().unwrap();
+        let s = Testability::analyze(&nl);
+        let a = nl.net_by_name("a").unwrap();
+        let y = nl.net_by_name("y").unwrap();
+        assert_eq!(s.cc0(y), 2);
+        assert_eq!(s.cc1(y), 3);
+        assert_eq!(s.co(y), 0);
+        assert_eq!(s.co(a), 2);
+        assert_eq!(s.cc0(a), 1);
+        assert_eq!(s.cc1(a), 1);
+    }
+
+    #[test]
+    fn inverter_swaps_controllabilities() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let y = nl.add_gate("y", GateKind::Not, vec![a]);
+        nl.mark_output(y);
+        let nl = nl.freeze().unwrap();
+        let s = Testability::analyze(&nl);
+        let y = nl.net_by_name("y").unwrap();
+        assert_eq!(s.cc0(y), 2);
+        assert_eq!(s.cc1(y), 2);
+        let a = nl.net_by_name("a").unwrap();
+        assert_eq!(s.co(a), 1);
+    }
+
+    #[test]
+    fn constants_are_one_sided() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let one = nl.add_const("one", true);
+        let y = nl.add_gate("y", GateKind::And, vec![a, one]);
+        nl.mark_output(y);
+        let nl = nl.freeze().unwrap();
+        let s = Testability::analyze(&nl);
+        let one = nl.net_by_name("one").unwrap();
+        assert_eq!(s.cc1(one), 0);
+        assert_eq!(s.cc0(one), UNREACHABLE, "a tied-1 net cannot be driven low");
+    }
+
+    #[test]
+    fn depth_increases_effort() {
+        // A NAND chain: controllability grows along the chain.
+        let mut nl = Netlist::new("chain");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let mut prev = nl.add_gate("g0", GateKind::Nand, vec![a, b]);
+        for i in 1..6 {
+            prev = nl.add_gate(format!("g{i}"), GateKind::Nand, vec![prev, b]);
+        }
+        nl.mark_output(prev);
+        let nl = nl.freeze().unwrap();
+        let s = Testability::analyze(&nl);
+        let g0 = nl.net_by_name("g0").unwrap();
+        let g5 = nl.net_by_name("g5").unwrap();
+        assert!(s.cc0(g5) > s.cc0(g0));
+        assert!(s.co(g0) > s.co(g5));
+    }
+
+    #[test]
+    fn c17_hardest_nets_are_interior() {
+        let nl = parse_bench(C17, "c17").unwrap();
+        let s = Testability::analyze(&nl);
+        let hardest = s.hardest_nets(&nl, 3);
+        assert_eq!(hardest.len(), 3);
+        // Everything in c17 is reachable and observable.
+        for (net, effort) in &hardest {
+            assert!(*effort < UNREACHABLE, "{}", nl.net_name(*net));
+        }
+        // Outputs observe for free; they cannot be the hardest.
+        for &o in nl.outputs() {
+            assert_eq!(s.co(o), 0);
+        }
+    }
+
+    #[test]
+    fn observability_reaches_through_flops() {
+        // en feeds logic observable only via a flop: the D cone must get
+        // finite observability after the fixpoint iteration.
+        let src = "
+INPUT(a)
+INPUT(b)
+OUTPUT(q)
+g = AND(a, b)
+h = NOT(g)
+q = DFF(h)
+";
+        let nl = parse_bench(src, "t").unwrap();
+        let s = Testability::analyze(&nl);
+        for name in ["a", "b", "g", "h"] {
+            let net = nl.net_by_name(name).unwrap();
+            assert!(
+                s.co(net) < UNREACHABLE,
+                "{name} must observe through the flop (co={})",
+                s.co(net)
+            );
+        }
+    }
+
+    #[test]
+    fn dff_counts_as_pseudo_port() {
+        let src = "
+INPUT(en)
+OUTPUT(q)
+q = DFF(d)
+d = XOR(q, en)
+";
+        let nl = parse_bench(src, "t").unwrap();
+        let s = Testability::analyze(&nl);
+        let q = nl.net_by_name("q").unwrap();
+        let d = nl.net_by_name("d").unwrap();
+        assert_eq!(s.cc0(q), 1, "flop output is a pseudo-input");
+        assert_eq!(s.co(q), 0, "q is also a primary output here");
+        assert!(s.co(d) <= 1, "d observes through the flop");
+    }
+}

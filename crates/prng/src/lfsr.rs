@@ -1,0 +1,274 @@
+//! External-feedback linear-feedback shift register.
+//!
+//! LFSRs are the canonical hardware pseudo-random pattern source used for
+//! logic built-in self-test and as the “pseudo-random test sets generally
+//! used as initial test sets” that the paper's random baseline models
+//! (paper §3).
+
+use crate::Prng;
+
+/// Maximal-length feedback polynomials (taps) for LFSR widths 2..=64.
+///
+/// Entry `i` holds the tap mask for a width-`i` register; index 0 and 1 are
+/// unused. Taps from the standard Xilinx/“taps table” listings; each mask
+/// includes the feedback from the most significant stage.
+const TAPS: [u64; 65] = {
+    let mut t = [0u64; 65];
+    // tap positions given as 1-based bit indices of a Fibonacci LFSR.
+    // mask = OR of (1 << (pos-1)).
+    t[2] = (1 << 1) | 1; // x^2 + x + 1
+    t[3] = (1 << 2) | (1 << 1); // 3,2
+    t[4] = (1 << 3) | (1 << 2); // 4,3
+    t[5] = (1 << 4) | (1 << 2); // 5,3
+    t[6] = (1 << 5) | (1 << 4); // 6,5
+    t[7] = (1 << 6) | (1 << 5); // 7,6
+    t[8] = (1 << 7) | (1 << 5) | (1 << 4) | (1 << 3); // 8,6,5,4
+    t[9] = (1 << 8) | (1 << 4); // 9,5
+    t[10] = (1 << 9) | (1 << 6); // 10,7
+    t[11] = (1 << 10) | (1 << 8); // 11,9
+    t[12] = (1 << 11) | (1 << 5) | (1 << 3) | 1; // 12,6,4,1
+    t[13] = (1 << 12) | (1 << 3) | (1 << 2) | 1; // 13,4,3,1
+    t[14] = (1 << 13) | (1 << 4) | (1 << 2) | 1; // 14,5,3,1
+    t[15] = (1 << 14) | (1 << 13); // 15,14
+    t[16] = (1 << 15) | (1 << 14) | (1 << 12) | (1 << 3); // 16,15,13,4
+    t[17] = (1 << 16) | (1 << 13); // 17,14
+    t[18] = (1 << 17) | (1 << 10); // 18,11
+    t[19] = (1 << 18) | (1 << 5) | (1 << 1) | 1; // 19,6,2,1
+    t[20] = (1 << 19) | (1 << 16); // 20,17
+    t[21] = (1 << 20) | (1 << 18); // 21,19
+    t[22] = (1 << 21) | (1 << 20); // 22,21
+    t[23] = (1 << 22) | (1 << 17); // 23,18
+    t[24] = (1 << 23) | (1 << 22) | (1 << 21) | (1 << 16); // 24,23,22,17
+    t[25] = (1 << 24) | (1 << 21); // 25,22
+    t[26] = (1 << 25) | (1 << 5) | (1 << 1) | 1; // 26,6,2,1
+    t[27] = (1 << 26) | (1 << 4) | (1 << 1) | 1; // 27,5,2,1
+    t[28] = (1 << 27) | (1 << 24); // 28,25
+    t[29] = (1 << 28) | (1 << 26); // 29,27
+    t[30] = (1 << 29) | (1 << 5) | (1 << 3) | 1; // 30,6,4,1
+    t[31] = (1 << 30) | (1 << 27); // 31,28
+    t[32] = (1 << 31) | (1 << 21) | (1 << 1) | 1; // 32,22,2,1
+    t[33] = (1 << 32) | (1 << 19); // 33,20
+    t[34] = (1 << 33) | (1 << 26) | (1 << 1) | 1; // 34,27,2,1
+    t[35] = (1 << 34) | (1 << 32); // 35,33
+    t[36] = (1 << 35) | (1 << 24); // 36,25
+    t[37] = (1 << 36) | (1 << 4) | (1 << 3) | (1 << 2) | (1 << 1) | 1; // 37,5,4,3,2,1
+    t[38] = (1 << 37) | (1 << 5) | (1 << 4) | 1; // 38,6,5,1
+    t[39] = (1 << 38) | (1 << 34); // 39,35
+    t[40] = (1 << 39) | (1 << 37) | (1 << 20) | (1 << 18); // 40,38,21,19
+    t[41] = (1 << 40) | (1 << 37); // 41,38
+    t[42] = (1 << 41) | (1 << 40) | (1 << 19) | (1 << 18); // 42,41,20,19
+    t[43] = (1 << 42) | (1 << 41) | (1 << 37) | (1 << 36); // 43,42,38,37
+    t[44] = (1 << 43) | (1 << 42) | (1 << 17) | (1 << 16); // 44,43,18,17
+    t[45] = (1 << 44) | (1 << 43) | (1 << 41) | (1 << 40); // 45,44,42,41
+    t[46] = (1 << 45) | (1 << 44) | (1 << 25) | (1 << 24); // 46,45,26,25
+    t[47] = (1 << 46) | (1 << 41); // 47,42
+    t[48] = (1 << 47) | (1 << 46) | (1 << 20) | (1 << 19); // 48,47,21,20
+    t[49] = (1 << 48) | (1 << 39); // 49,40
+    t[50] = (1 << 49) | (1 << 48) | (1 << 23) | (1 << 22); // 50,49,24,23
+    t[51] = (1 << 50) | (1 << 49) | (1 << 35) | (1 << 34); // 51,50,36,35
+    t[52] = (1 << 51) | (1 << 48); // 52,49
+    t[53] = (1 << 52) | (1 << 51) | (1 << 37) | (1 << 36); // 53,52,38,37
+    t[54] = (1 << 53) | (1 << 52) | (1 << 17) | (1 << 16); // 54,53,18,17
+    t[55] = (1 << 54) | (1 << 30); // 55,31
+    t[56] = (1 << 55) | (1 << 54) | (1 << 34) | (1 << 33); // 56,55,35,34
+    t[57] = (1 << 56) | (1 << 49); // 57,50
+    t[58] = (1 << 57) | (1 << 38); // 58,39
+    t[59] = (1 << 58) | (1 << 57) | (1 << 37) | (1 << 36); // 59,58,38,37
+    t[60] = (1 << 59) | (1 << 58); // 60,59
+    t[61] = (1 << 60) | (1 << 59) | (1 << 45) | (1 << 44); // 61,60,46,45
+    t[62] = (1 << 61) | (1 << 60) | (1 << 5) | (1 << 4); // 62,61,6,5
+    t[63] = (1 << 62) | (1 << 61); // 63,62
+    t[64] = (1 << 63) | (1 << 62) | (1 << 60) | (1 << 59); // 64,63,61,60
+    t
+};
+
+/// A Fibonacci (external-feedback) linear-feedback shift register.
+///
+/// A width-`w` maximal-length LFSR cycles through all `2^w − 1` non-zero
+/// states. [`Lfsr::next_u64`] shifts 64 times per call so the LFSR can also
+/// serve as a generic [`Prng`], while [`Lfsr::step`] exposes the per-cycle
+/// hardware behaviour used by the pseudo-random pattern generator.
+///
+/// # Examples
+///
+/// ```
+/// use musa_prng::Lfsr;
+///
+/// let mut lfsr = Lfsr::new(8, 0b1)?;
+/// // A maximal 8-bit LFSR visits all 255 non-zero states.
+/// let start = lfsr.state();
+/// let mut period = 0u32;
+/// loop {
+///     lfsr.step();
+///     period += 1;
+///     if lfsr.state() == start { break; }
+/// }
+/// assert_eq!(period, 255);
+/// # Ok::<(), musa_prng::LfsrError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Lfsr {
+    width: u32,
+    taps: u64,
+    state: u64,
+}
+
+/// Error constructing an [`Lfsr`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LfsrError {
+    /// Width outside the supported `2..=64` range.
+    UnsupportedWidth(u32),
+    /// An all-zero seed would lock the register.
+    ZeroSeed,
+}
+
+impl std::fmt::Display for LfsrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LfsrError::UnsupportedWidth(w) => {
+                write!(f, "unsupported LFSR width {w}, expected 2..=64")
+            }
+            LfsrError::ZeroSeed => write!(f, "LFSR seed must be non-zero"),
+        }
+    }
+}
+
+impl std::error::Error for LfsrError {}
+
+impl Lfsr {
+    /// Creates a maximal-length LFSR of the given width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LfsrError::UnsupportedWidth`] for widths outside `2..=64`
+    /// and [`LfsrError::ZeroSeed`] when the masked seed is zero (an LFSR in
+    /// the all-zero state never leaves it).
+    pub fn new(width: u32, seed: u64) -> Result<Self, LfsrError> {
+        if !(2..=64).contains(&width) {
+            return Err(LfsrError::UnsupportedWidth(width));
+        }
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
+        let state = seed & mask;
+        if state == 0 {
+            return Err(LfsrError::ZeroSeed);
+        }
+        Ok(Self {
+            width,
+            taps: TAPS[width as usize],
+            state,
+        })
+    }
+
+    /// The register width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// The current register contents (low `width` bits).
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Advances the register one clock cycle and returns the new state.
+    pub fn step(&mut self) -> u64 {
+        let feedback = (self.state & self.taps).count_ones() as u64 & 1;
+        let mask = if self.width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width) - 1
+        };
+        self.state = ((self.state << 1) | feedback) & mask;
+        self.state
+    }
+}
+
+impl Prng for Lfsr {
+    fn next_u64(&mut self) -> u64 {
+        // Collect one output bit (the MSB of the register) per clock.
+        let mut out = 0u64;
+        for _ in 0..64 {
+            self.step();
+            out = (out << 1) | (self.state >> (self.width - 1));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn period(width: u32) -> u64 {
+        let mut lfsr = Lfsr::new(width, 1).unwrap();
+        let start = lfsr.state();
+        let mut n = 0u64;
+        loop {
+            lfsr.step();
+            n += 1;
+            if lfsr.state() == start {
+                return n;
+            }
+            assert!(n <= 1 << width, "period overflow at width {width}");
+        }
+    }
+
+    #[test]
+    fn small_widths_are_maximal_length() {
+        for width in 2..=16u32 {
+            assert_eq!(period(width), (1u64 << width) - 1, "width {width}");
+        }
+    }
+
+    #[test]
+    fn medium_widths_are_maximal_length() {
+        for width in [17u32, 18, 19, 20] {
+            assert_eq!(period(width), (1u64 << width) - 1, "width {width}");
+        }
+    }
+
+    #[test]
+    fn zero_seed_rejected() {
+        assert_eq!(Lfsr::new(8, 0), Err(LfsrError::ZeroSeed));
+        // Seed with only high garbage bits masks down to zero.
+        assert_eq!(Lfsr::new(8, 0xFF00), Err(LfsrError::ZeroSeed));
+    }
+
+    #[test]
+    fn unsupported_widths_rejected() {
+        assert_eq!(Lfsr::new(0, 1), Err(LfsrError::UnsupportedWidth(0)));
+        assert_eq!(Lfsr::new(1, 1), Err(LfsrError::UnsupportedWidth(1)));
+        assert_eq!(Lfsr::new(65, 1), Err(LfsrError::UnsupportedWidth(65)));
+    }
+
+    #[test]
+    fn state_never_zero() {
+        for width in [2u32, 3, 8, 16, 32, 64] {
+            let mut lfsr = Lfsr::new(width, 0xABCD_EF12_3456_789A).unwrap();
+            for _ in 0..10_000 {
+                lfsr.step();
+                assert_ne!(lfsr.state(), 0, "width {width}");
+            }
+        }
+    }
+
+    #[test]
+    fn prng_interface_produces_varied_output() {
+        let mut lfsr = Lfsr::new(32, 1).unwrap();
+        let a = lfsr.next_u64();
+        let b = lfsr.next_u64();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(
+            LfsrError::UnsupportedWidth(65).to_string(),
+            "unsupported LFSR width 65, expected 2..=64"
+        );
+        assert_eq!(LfsrError::ZeroSeed.to_string(), "LFSR seed must be non-zero");
+    }
+}

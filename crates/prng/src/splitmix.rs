@@ -1,0 +1,107 @@
+//! SplitMix64 — the canonical 64-bit seeding generator.
+
+use crate::Prng;
+
+/// SplitMix64 pseudo-random generator (Steele, Lea & Flood, OOPSLA 2014).
+///
+/// Period 2⁶⁴; every seed, including 0, is valid. It is used throughout the
+/// workspace both as a general-purpose stream and to expand a single `u64`
+/// experiment seed into independent sub-seeds for each pipeline stage.
+///
+/// # Examples
+///
+/// ```
+/// use musa_prng::{Prng, SplitMix64};
+///
+/// let mut seeder = SplitMix64::new(0xDEADBEEF);
+/// let stage_a_seed = seeder.next_u64();
+/// let stage_b_seed = seeder.next_u64();
+/// assert_ne!(stage_a_seed, stage_b_seed);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. All seeds are valid.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Returns the current internal state (useful for checkpointing).
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Derives an independent child generator.
+    ///
+    /// The child is seeded from the next value of this stream, so calling
+    /// `split()` repeatedly yields statistically independent generators.
+    pub fn split(&mut self) -> Self {
+        Self::new(self.next_u64())
+    }
+}
+
+impl Default for SplitMix64 {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+impl Prng for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference values from the public-domain C implementation
+    /// (Sebastiano Vigna, <https://prng.di.unimi.it/splitmix64.c>).
+    #[test]
+    fn matches_reference_vectors() {
+        let mut rng = SplitMix64::new(0);
+        assert_eq!(rng.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(rng.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(rng.next_u64(), 0x06C4_5D18_8009_454F);
+
+        // Pinned from this implementation after validating the seed-0
+        // stream against the reference; guards against regressions.
+        let mut rng = SplitMix64::new(1234567);
+        assert_eq!(rng.next_u64(), 0x599E_D017_FB08_FC85);
+    }
+
+    #[test]
+    fn split_children_are_independent_streams() {
+        let mut parent = SplitMix64::new(7);
+        let mut a = parent.split();
+        let mut b = parent.split();
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn default_equals_seed_zero() {
+        assert_eq!(SplitMix64::default(), SplitMix64::new(0));
+    }
+
+    #[test]
+    fn state_roundtrip() {
+        let mut rng = SplitMix64::new(99);
+        let _ = rng.next_u64();
+        let snapshot = rng.state();
+        let mut restored = SplitMix64::new(0);
+        restored.state = snapshot;
+        // Direct state restoration is private; rebuild via new + skip.
+        let mut replay = SplitMix64::new(99);
+        let _ = replay.next_u64();
+        assert_eq!(replay.next_u64(), rng.next_u64());
+        let _ = restored;
+    }
+}

@@ -1,0 +1,98 @@
+//! XorShift64* — a fast inner-loop generator.
+
+use crate::{Prng, SplitMix64};
+
+/// XorShift64* pseudo-random generator (Vigna, 2016).
+///
+/// Period 2⁶⁴ − 1 over its non-zero states; faster than [`SplitMix64`] in
+/// tight simulation loops. A zero seed is remapped through SplitMix64 so
+/// every `u64` is a valid seed.
+///
+/// # Examples
+///
+/// ```
+/// use musa_prng::{Prng, XorShift64Star};
+///
+/// let mut rng = XorShift64Star::new(2024);
+/// let sample: Vec<u64> = (0..4).map(|_| rng.below(100)).collect();
+/// assert!(sample.iter().all(|&x| x < 100));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct XorShift64Star {
+    state: u64,
+}
+
+impl XorShift64Star {
+    /// Creates a generator from a seed. All seeds (including 0) are valid:
+    /// the raw seed is conditioned through one SplitMix64 step and the rare
+    /// all-zero state is replaced by a fixed non-zero constant.
+    pub fn new(seed: u64) -> Self {
+        let conditioned = SplitMix64::new(seed).next_u64();
+        Self {
+            state: if conditioned == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                conditioned
+            },
+        }
+    }
+}
+
+impl Default for XorShift64Star {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+impl Prng for XorShift64Star {
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_seed_is_valid_and_nonconstant() {
+        let mut rng = XorShift64Star::new(0);
+        let a = rng.next_u64();
+        let b = rng.next_u64();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn streams_differ_by_seed() {
+        let mut a = XorShift64Star::new(1);
+        let mut b = XorShift64Star::new(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let mut a = XorShift64Star::new(31337);
+        let mut b = XorShift64Star::new(31337);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn state_never_becomes_zero() {
+        // xorshift state 0 is a fixed point; ensure conditioning avoids it.
+        let mut rng = XorShift64Star::new(0xFFFF_FFFF_FFFF_FFFF);
+        for _ in 0..10_000 {
+            let _ = rng.next_u64();
+            assert_ne!(rng.state, 0);
+        }
+    }
+}

@@ -1,0 +1,525 @@
+//! Gate builder with constant folding and structural hashing.
+//!
+//! Synthesis emits gates through [`GateBuilder`], which applies local
+//! simplifications (constant propagation, double-negation removal,
+//! idempotence) and hash-conses structurally identical gates so that
+//! loop-unrolled datapaths do not explode the netlist.
+
+use musa_netlist::{GateKind, NetId, Netlist};
+use std::collections::HashMap;
+
+/// Incrementally builds a [`Netlist`] out of two-input gates.
+#[derive(Debug)]
+pub struct GateBuilder {
+    nl: Netlist,
+    const0: Option<NetId>,
+    const1: Option<NetId>,
+    cache: HashMap<(GateKind, Vec<NetId>), NetId>,
+    fresh: u32,
+}
+
+impl GateBuilder {
+    /// Creates a builder for a circuit with the given name.
+    pub fn new(name: &str) -> Self {
+        Self {
+            nl: Netlist::new(name),
+            const0: None,
+            const1: None,
+            cache: HashMap::new(),
+            fresh: 0,
+        }
+    }
+
+    /// Access to the netlist under construction.
+    pub fn netlist_mut(&mut self) -> &mut Netlist {
+        &mut self.nl
+    }
+
+    /// Finishes construction.
+    pub fn finish(self) -> Netlist {
+        self.nl
+    }
+
+    fn fresh_name(&mut self) -> String {
+        self.fresh += 1;
+        format!("n{}", self.fresh)
+    }
+
+    /// The constant-0 net (created on first use).
+    pub fn zero(&mut self) -> NetId {
+        if let Some(c) = self.const0 {
+            return c;
+        }
+        let c = self.nl.add_const("const0", false);
+        self.const0 = Some(c);
+        c
+    }
+
+    /// The constant-1 net (created on first use).
+    pub fn one(&mut self) -> NetId {
+        if let Some(c) = self.const1 {
+            return c;
+        }
+        let c = self.nl.add_const("const1", true);
+        self.const1 = Some(c);
+        c
+    }
+
+    /// A constant bit.
+    pub fn constant(&mut self, value: bool) -> NetId {
+        if value {
+            self.one()
+        } else {
+            self.zero()
+        }
+    }
+
+    fn is_const(&self, net: NetId) -> Option<bool> {
+        if Some(net) == self.const0 {
+            Some(false)
+        } else if Some(net) == self.const1 {
+            Some(true)
+        } else {
+            None
+        }
+    }
+
+    fn emit(&mut self, kind: GateKind, mut inputs: Vec<NetId>) -> NetId {
+        // Symmetric gates: canonicalise input order for hashing.
+        if !matches!(kind, GateKind::Not | GateKind::Buf) {
+            inputs.sort_unstable();
+        }
+        if let Some(&hit) = self.cache.get(&(kind, inputs.clone())) {
+            return hit;
+        }
+        let name = self.fresh_name();
+        let id = self.nl.add_gate(name, kind, inputs.clone());
+        self.cache.insert((kind, inputs), id);
+        id
+    }
+
+    /// Inverter with folding (`!!x → x`, constants).
+    pub fn not(&mut self, a: NetId) -> NetId {
+        if let Some(v) = self.is_const(a) {
+            return self.constant(!v);
+        }
+        // !!x → x.
+        if let musa_netlist::Node::Gate { kind, inputs } = self.nl.node(a) {
+            if *kind == GateKind::Not {
+                return inputs[0];
+            }
+        }
+        self.emit(GateKind::Not, vec![a])
+    }
+
+    /// Two-input AND with folding.
+    pub fn and(&mut self, a: NetId, b: NetId) -> NetId {
+        match (self.is_const(a), self.is_const(b)) {
+            (Some(false), _) | (_, Some(false)) => self.zero(),
+            (Some(true), _) => b,
+            (_, Some(true)) => a,
+            _ if a == b => a,
+            _ => self.emit(GateKind::And, vec![a, b]),
+        }
+    }
+
+    /// Two-input OR with folding.
+    pub fn or(&mut self, a: NetId, b: NetId) -> NetId {
+        match (self.is_const(a), self.is_const(b)) {
+            (Some(true), _) | (_, Some(true)) => self.one(),
+            (Some(false), _) => b,
+            (_, Some(false)) => a,
+            _ if a == b => a,
+            _ => self.emit(GateKind::Or, vec![a, b]),
+        }
+    }
+
+    /// Two-input XOR with folding.
+    pub fn xor(&mut self, a: NetId, b: NetId) -> NetId {
+        match (self.is_const(a), self.is_const(b)) {
+            (Some(false), _) => b,
+            (_, Some(false)) => a,
+            (Some(true), _) => self.not(b),
+            (_, Some(true)) => self.not(a),
+            _ if a == b => self.zero(),
+            _ => self.emit(GateKind::Xor, vec![a, b]),
+        }
+    }
+
+    /// Two-input NAND (via AND + NOT folding).
+    pub fn nand(&mut self, a: NetId, b: NetId) -> NetId {
+        let x = self.and(a, b);
+        self.not(x)
+    }
+
+    /// Two-input NOR.
+    pub fn nor(&mut self, a: NetId, b: NetId) -> NetId {
+        let x = self.or(a, b);
+        self.not(x)
+    }
+
+    /// Two-input XNOR.
+    pub fn xnor(&mut self, a: NetId, b: NetId) -> NetId {
+        let x = self.xor(a, b);
+        self.not(x)
+    }
+
+    /// 2:1 multiplexer: `sel ? t : e`, with folding.
+    pub fn mux(&mut self, sel: NetId, t: NetId, e: NetId) -> NetId {
+        if let Some(v) = self.is_const(sel) {
+            return if v { t } else { e };
+        }
+        if t == e {
+            return t;
+        }
+        // sel ? 1 : e  →  sel | e;   sel ? 0 : e → !sel & e
+        // sel ? t : 1  →  !sel | t;  sel ? t : 0 → sel & t
+        match (self.is_const(t), self.is_const(e)) {
+            (Some(true), _) => return self.or(sel, e),
+            (Some(false), _) => {
+                let ns = self.not(sel);
+                return self.and(ns, e);
+            }
+            (_, Some(true)) => {
+                let ns = self.not(sel);
+                return self.or(ns, t);
+            }
+            (_, Some(false)) => return self.and(sel, t),
+            _ => {}
+        }
+        let a = self.and(sel, t);
+        let ns = self.not(sel);
+        let b = self.and(ns, e);
+        self.or(a, b)
+    }
+
+    /// AND-reduction over a slice of bits.
+    pub fn and_reduce(&mut self, bits: &[NetId]) -> NetId {
+        let mut acc = self.one();
+        for &b in bits {
+            acc = self.and(acc, b);
+        }
+        acc
+    }
+
+    /// OR-reduction over a slice of bits.
+    pub fn or_reduce(&mut self, bits: &[NetId]) -> NetId {
+        let mut acc = self.zero();
+        for &b in bits {
+            acc = self.or(acc, b);
+        }
+        acc
+    }
+
+    /// XOR-reduction (parity) over a slice of bits.
+    pub fn xor_reduce(&mut self, bits: &[NetId]) -> NetId {
+        let mut acc = self.zero();
+        for &b in bits {
+            acc = self.xor(acc, b);
+        }
+        acc
+    }
+
+    /// Word equality: 1 iff every bit pair matches.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch (synthesis invariant).
+    pub fn eq_words(&mut self, a: &[NetId], b: &[NetId]) -> NetId {
+        assert_eq!(a.len(), b.len(), "eq over different widths");
+        let mut acc = self.one();
+        for (&x, &y) in a.iter().zip(b) {
+            let m = self.xnor(x, y);
+            acc = self.and(acc, m);
+        }
+        acc
+    }
+
+    /// Unsigned less-than over equal-width words (LSB-first slices).
+    pub fn lt_words(&mut self, a: &[NetId], b: &[NetId]) -> NetId {
+        assert_eq!(a.len(), b.len(), "lt over different widths");
+        // From LSB to MSB: lt = (!a & b) | (eq_bit & lt_prev)
+        let mut lt = self.zero();
+        for (&x, &y) in a.iter().zip(b) {
+            let nx = self.not(x);
+            let here = self.and(nx, y);
+            let eq = self.xnor(x, y);
+            let keep = self.and(eq, lt);
+            lt = self.or(here, keep);
+        }
+        lt
+    }
+
+    /// Ripple-carry adder; returns sum bits (carry-out discarded —
+    /// modular arithmetic).
+    pub fn add_words(&mut self, a: &[NetId], b: &[NetId]) -> Vec<NetId> {
+        assert_eq!(a.len(), b.len(), "add over different widths");
+        let mut carry = self.zero();
+        let mut sum = Vec::with_capacity(a.len());
+        for (&x, &y) in a.iter().zip(b) {
+            let xy = self.xor(x, y);
+            let s = self.xor(xy, carry);
+            let c1 = self.and(x, y);
+            let c2 = self.and(xy, carry);
+            carry = self.or(c1, c2);
+            sum.push(s);
+        }
+        sum
+    }
+
+    /// Modular subtraction `a - b` via two's complement.
+    pub fn sub_words(&mut self, a: &[NetId], b: &[NetId]) -> Vec<NetId> {
+        assert_eq!(a.len(), b.len(), "sub over different widths");
+        // a + !b + 1: seed the ripple carry with 1.
+        let mut carry = self.one();
+        let mut diff = Vec::with_capacity(a.len());
+        for (&x, &y) in a.iter().zip(b) {
+            let ny = self.not(y);
+            let xy = self.xor(x, ny);
+            let s = self.xor(xy, carry);
+            let c1 = self.and(x, ny);
+            let c2 = self.and(xy, carry);
+            carry = self.or(c1, c2);
+            diff.push(s);
+        }
+        diff
+    }
+
+    /// Modular shift-and-add multiplier.
+    pub fn mul_words(&mut self, a: &[NetId], b: &[NetId]) -> Vec<NetId> {
+        assert_eq!(a.len(), b.len(), "mul over different widths");
+        let w = a.len();
+        let zero = self.zero();
+        let mut acc = vec![zero; w];
+        for (shift, &bit) in b.iter().enumerate() {
+            // partial = (a << shift) gated by b[shift]
+            let mut partial = vec![zero; w];
+            for i in shift..w {
+                partial[i] = self.and(a[i - shift], bit);
+            }
+            acc = self.add_words(&acc, &partial);
+        }
+        acc
+    }
+
+    /// Dynamic bit-select: a mux tree returning `base[index]`, or 0 when
+    /// the index exceeds the width (matching behavioral semantics).
+    pub fn dyn_index(&mut self, base: &[NetId], index: &[NetId]) -> NetId {
+        let mut acc = self.zero();
+        for (i, &bit) in base.iter().enumerate() {
+            let sel = self.index_is(index, i as u64);
+            let hit = self.and(sel, bit);
+            acc = self.or(acc, hit);
+        }
+        acc
+    }
+
+    /// Comparator `index == value` for a constant value.
+    pub fn index_is(&mut self, index: &[NetId], value: u64) -> NetId {
+        if index.len() < 64 && value >= (1u64 << index.len()) {
+            return self.zero();
+        }
+        let mut acc = self.one();
+        for (i, &bit) in index.iter().enumerate() {
+            let want = (value >> i) & 1 == 1;
+            let m = if want { bit } else { self.not(bit) };
+            acc = self.and(acc, m);
+        }
+        acc
+    }
+
+    /// A constant word, LSB-first.
+    pub fn constant_word(&mut self, width: u32, value: u64) -> Vec<NetId> {
+        (0..width)
+            .map(|i| self.constant((value >> i) & 1 == 1))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use musa_netlist::{Injections, LogicSim};
+
+    /// Evaluates a single-output builder circuit over all input patterns.
+    fn truth_table(build: impl FnOnce(&mut GateBuilder, &[NetId]) -> NetId, n: usize) -> Vec<bool> {
+        let mut b = GateBuilder::new("t");
+        let inputs: Vec<NetId> = (0..n)
+            .map(|i| b.netlist_mut().add_input(format!("x{i}")))
+            .collect();
+        let y = build(&mut b, &inputs);
+        b.netlist_mut().mark_output(y);
+        let nl = b.finish().freeze().unwrap();
+        let mut sim = LogicSim::new(&nl);
+        let mut words = vec![0u64; n];
+        for p in 0..(1u64 << n) {
+            for (i, w) in words.iter_mut().enumerate() {
+                if (p >> i) & 1 == 1 {
+                    *w |= 1 << p;
+                }
+            }
+        }
+        sim.set_inputs(&words);
+        sim.eval(&Injections::none());
+        let out = sim.outputs()[0];
+        (0..(1u64 << n)).map(|p| (out >> p) & 1 == 1).collect()
+    }
+
+    #[test]
+    fn mux_truth_table() {
+        let tt = truth_table(|b, x| b.mux(x[0], x[1], x[2]), 3);
+        for p in 0..8usize {
+            let (sel, t, e) = (p & 1 == 1, p & 2 == 2, p & 4 == 4);
+            assert_eq!(tt[p], if sel { t } else { e }, "p={p}");
+        }
+    }
+
+    #[test]
+    fn adder_is_modular() {
+        let mut b = GateBuilder::new("add");
+        let a: Vec<NetId> = (0..4).map(|i| b.netlist_mut().add_input(format!("a{i}"))).collect();
+        let c: Vec<NetId> = (0..4).map(|i| b.netlist_mut().add_input(format!("b{i}"))).collect();
+        let sum = b.add_words(&a, &c);
+        for &s in &sum {
+            b.netlist_mut().mark_output(s);
+        }
+        let nl = b.finish().freeze().unwrap();
+        let mut sim = LogicSim::new(&nl);
+        for (x, y) in [(3u64, 5u64), (15, 1), (9, 9), (0, 0), (7, 12)] {
+            let mut words = vec![0u64; 8];
+            for i in 0..4 {
+                words[i] = if (x >> i) & 1 == 1 { u64::MAX } else { 0 };
+                words[4 + i] = if (y >> i) & 1 == 1 { u64::MAX } else { 0 };
+            }
+            sim.set_inputs(&words);
+            sim.eval(&Injections::none());
+            let outs = sim.outputs();
+            let got: u64 = (0..4).map(|i| (outs[i] & 1) << i).sum();
+            assert_eq!(got, (x + y) & 0xF, "{x}+{y}");
+        }
+    }
+
+    #[test]
+    fn sub_and_mul_words() {
+        let mut b = GateBuilder::new("alu");
+        let a: Vec<NetId> = (0..4).map(|i| b.netlist_mut().add_input(format!("a{i}"))).collect();
+        let c: Vec<NetId> = (0..4).map(|i| b.netlist_mut().add_input(format!("b{i}"))).collect();
+        let diff = b.sub_words(&a, &c);
+        let prod = b.mul_words(&a, &c);
+        for &s in diff.iter().chain(&prod) {
+            b.netlist_mut().mark_output(s);
+        }
+        let nl = b.finish().freeze().unwrap();
+        let mut sim = LogicSim::new(&nl);
+        for (x, y) in [(3u64, 5u64), (12, 7), (15, 15), (0, 9)] {
+            let mut words = vec![0u64; 8];
+            for i in 0..4 {
+                words[i] = if (x >> i) & 1 == 1 { u64::MAX } else { 0 };
+                words[4 + i] = if (y >> i) & 1 == 1 { u64::MAX } else { 0 };
+            }
+            sim.set_inputs(&words);
+            sim.eval(&Injections::none());
+            let outs = sim.outputs();
+            let d: u64 = (0..4).map(|i| (outs[i] & 1) << i).sum();
+            let p: u64 = (0..4).map(|i| (outs[4 + i] & 1) << i).sum();
+            assert_eq!(d, x.wrapping_sub(y) & 0xF, "{x}-{y}");
+            assert_eq!(p, (x * y) & 0xF, "{x}*{y}");
+        }
+    }
+
+    #[test]
+    fn comparators() {
+        let mut b = GateBuilder::new("cmp");
+        let a: Vec<NetId> = (0..3).map(|i| b.netlist_mut().add_input(format!("a{i}"))).collect();
+        let c: Vec<NetId> = (0..3).map(|i| b.netlist_mut().add_input(format!("b{i}"))).collect();
+        let lt = b.lt_words(&a, &c);
+        let eq = b.eq_words(&a, &c);
+        b.netlist_mut().mark_output(lt);
+        b.netlist_mut().mark_output(eq);
+        let nl = b.finish().freeze().unwrap();
+        let mut sim = LogicSim::new(&nl);
+        for x in 0..8u64 {
+            for y in 0..8u64 {
+                let mut words = vec![0u64; 6];
+                for i in 0..3 {
+                    words[i] = if (x >> i) & 1 == 1 { u64::MAX } else { 0 };
+                    words[3 + i] = if (y >> i) & 1 == 1 { u64::MAX } else { 0 };
+                }
+                sim.set_inputs(&words);
+                sim.eval(&Injections::none());
+                let outs = sim.outputs();
+                assert_eq!(outs[0] & 1 == 1, x < y, "{x}<{y}");
+                assert_eq!(outs[1] & 1 == 1, x == y, "{x}=={y}");
+            }
+        }
+    }
+
+    #[test]
+    fn folding_eliminates_constants() {
+        let mut b = GateBuilder::new("fold");
+        let a = b.netlist_mut().add_input("a");
+        let zero = b.zero();
+        let one = b.one();
+        assert_eq!(b.and(a, one), a);
+        assert_eq!(b.and(a, zero), zero);
+        assert_eq!(b.or(a, zero), a);
+        assert_eq!(b.or(a, one), one);
+        assert_eq!(b.xor(a, zero), a);
+        let na = b.not(a);
+        assert_eq!(b.not(na), a, "double negation folds");
+        assert_eq!(b.xor(a, a), zero);
+        assert_eq!(b.and(a, a), a);
+        assert_eq!(b.mux(one, a, zero), a);
+    }
+
+    #[test]
+    fn hash_consing_deduplicates() {
+        let mut b = GateBuilder::new("cse");
+        let x = b.netlist_mut().add_input("x");
+        let y = b.netlist_mut().add_input("y");
+        let g1 = b.and(x, y);
+        let g2 = b.and(y, x); // symmetric: same gate
+        assert_eq!(g1, g2);
+        let n_before = b.netlist_mut().gate_count();
+        let _ = b.and(x, y);
+        assert_eq!(b.netlist_mut().gate_count(), n_before);
+    }
+
+    #[test]
+    fn dyn_index_defaults_to_zero() {
+        let mut b = GateBuilder::new("dix");
+        let base: Vec<NetId> = (0..3).map(|i| b.netlist_mut().add_input(format!("d{i}"))).collect();
+        let index: Vec<NetId> = (0..2).map(|i| b.netlist_mut().add_input(format!("s{i}"))).collect();
+        let y = b.dyn_index(&base, &index);
+        b.netlist_mut().mark_output(y);
+        let nl = b.finish().freeze().unwrap();
+        let mut sim = LogicSim::new(&nl);
+        // data = 0b101, select 0..=3: expect 1,0,1,0(out of range).
+        for (sel, expect) in [(0u64, 1u64), (1, 0), (2, 1), (3, 0)] {
+            let mut words = vec![0u64; 5];
+            words[0] = u64::MAX;
+            words[2] = u64::MAX;
+            words[3] = if sel & 1 == 1 { u64::MAX } else { 0 };
+            words[4] = if sel & 2 == 2 { u64::MAX } else { 0 };
+            sim.set_inputs(&words);
+            sim.eval(&Injections::none());
+            assert_eq!(sim.outputs()[0] & 1, expect, "sel={sel}");
+        }
+    }
+
+    #[test]
+    fn reductions() {
+        let tt = truth_table(|b, x| b.xor_reduce(x), 3);
+        for p in 0..8usize {
+            assert_eq!(tt[p], (p.count_ones() % 2) == 1, "p={p}");
+        }
+        let tt = truth_table(|b, x| b.and_reduce(x), 3);
+        for p in 0..8usize {
+            assert_eq!(tt[p], p == 7, "p={p}");
+        }
+        let tt = truth_table(|b, x| b.or_reduce(x), 3);
+        for p in 0..8usize {
+            assert_eq!(tt[p], p != 0, "p={p}");
+        }
+    }
+}

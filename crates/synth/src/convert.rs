@@ -1,0 +1,123 @@
+//! Conversions between behavioral [`Bits`] vectors and netlist patterns.
+//!
+//! The synthesis bit-order convention (see
+//! [`elaborate`](crate::synthesize)): data-input ports in declaration
+//! order, each contributing its bits LSB first; outputs likewise.
+
+use musa_hdl::{Bits, EntityInfo};
+use musa_netlist::Pattern;
+
+/// Flattens one behavioral input vector into a netlist [`Pattern`].
+///
+/// # Panics
+///
+/// Panics if `inputs` does not match the entity's data-input ports.
+pub fn flatten_inputs(info: &EntityInfo, inputs: &[Bits]) -> Pattern {
+    assert_eq!(
+        inputs.len(),
+        info.data_inputs.len(),
+        "expected {} input values",
+        info.data_inputs.len()
+    );
+    let mut bits = Vec::with_capacity(info.input_bits() as usize);
+    for (&port, value) in info.data_inputs.iter().zip(inputs) {
+        let width = info.symbol(port).width;
+        assert_eq!(value.width(), width, "width mismatch on input");
+        for i in 0..width {
+            bits.push(value.bit(i));
+        }
+    }
+    bits
+}
+
+/// Flattens a whole behavioral input sequence.
+pub fn flatten_sequence(info: &EntityInfo, sequence: &[Vec<Bits>]) -> Vec<Pattern> {
+    sequence.iter().map(|v| flatten_inputs(info, v)).collect()
+}
+
+/// Rebuilds behavioral output values from a flat output bit pattern.
+///
+/// # Panics
+///
+/// Panics if the bit count does not match the entity's outputs.
+pub fn unflatten_outputs(info: &EntityInfo, bits: &[bool]) -> Vec<Bits> {
+    assert_eq!(
+        bits.len(),
+        info.output_bits() as usize,
+        "output bit count mismatch"
+    );
+    let mut outputs = Vec::with_capacity(info.outputs.len());
+    let mut cursor = 0usize;
+    for &port in &info.outputs {
+        let width = info.symbol(port).width;
+        let mut raw = 0u64;
+        for i in 0..width {
+            if bits[cursor + i as usize] {
+                raw |= 1 << i;
+            }
+        }
+        cursor += width as usize;
+        outputs.push(Bits::new(width, raw));
+    }
+    outputs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use musa_hdl::{parse, CheckedDesign};
+
+    fn info() -> CheckedDesign {
+        CheckedDesign::new(
+            parse(
+                "entity e is
+                   port(a : in bits(3); b : in bit; y : out bits(2); z : out bit);
+                 comb begin
+                   y <= a[1:0];
+                   z <= b;
+                 end;
+                 end;",
+            )
+            .unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn flatten_orders_lsb_first() {
+        let checked = info();
+        let info = checked.entity_info("e").unwrap();
+        let pattern = flatten_inputs(info, &[Bits::new(3, 0b101), Bits::new(1, 1)]);
+        assert_eq!(pattern, vec![true, false, true, true]);
+    }
+
+    #[test]
+    fn unflatten_inverts_flatten_convention() {
+        let checked = info();
+        let info = checked.entity_info("e").unwrap();
+        let outs = unflatten_outputs(info, &[true, false, true]);
+        assert_eq!(outs[0], Bits::new(2, 0b01));
+        assert_eq!(outs[1], Bits::new(1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "input values")]
+    fn flatten_rejects_wrong_arity() {
+        let checked = info();
+        let info = checked.entity_info("e").unwrap();
+        let _ = flatten_inputs(info, &[Bits::new(3, 0)]);
+    }
+
+    #[test]
+    fn flatten_sequence_maps_each_vector() {
+        let checked = info();
+        let info = checked.entity_info("e").unwrap();
+        let seq = vec![
+            vec![Bits::new(3, 0), Bits::new(1, 0)],
+            vec![Bits::new(3, 7), Bits::new(1, 1)],
+        ];
+        let patterns = flatten_sequence(info, &seq);
+        assert_eq!(patterns.len(), 2);
+        assert_eq!(patterns[1], vec![true, true, true, true]);
+    }
+}

@@ -1,0 +1,203 @@
+//! Static test-set compaction (reverse-order restoration).
+//!
+//! Validation data admitted first-come carries redundancy: a vector
+//! admitted early for an easy mutant is often subsumed by later vectors
+//! admitted for hard ones. The classic remedy walks the test set in
+//! *reverse* order, tentatively dropping each element and keeping the
+//! drop whenever the kill set does not shrink.
+//!
+//! Compaction trades generation-time effort for shorter test data — the
+//! same trade the paper's ΔL% metric prices.
+
+use musa_hdl::CheckedDesign;
+use musa_mutation::{execute_mutants, Mutant, MutationError, TestSequence};
+
+/// Result of a compaction pass.
+#[derive(Debug, Clone)]
+pub struct CompactionOutcome {
+    /// The surviving sessions, in original order.
+    pub sessions: Vec<TestSequence>,
+    /// Vectors before compaction.
+    pub before: usize,
+    /// Vectors after compaction.
+    pub after: usize,
+}
+
+impl CompactionOutcome {
+    /// Fraction of vectors removed.
+    pub fn reduction(&self) -> f64 {
+        if self.before == 0 {
+            0.0
+        } else {
+            1.0 - self.after as f64 / self.before as f64
+        }
+    }
+}
+
+/// Kills achieved by a session set: the set of mutant indices killed by
+/// at least one session.
+fn killed_set(
+    checked: &CheckedDesign,
+    entity: &str,
+    mutants: &[Mutant],
+    sessions: &[TestSequence],
+) -> Result<Vec<bool>, MutationError> {
+    let mut killed = vec![false; mutants.len()];
+    for session in sessions {
+        let result = execute_mutants(checked, entity, mutants, session)?;
+        for (i, kill) in result.first_kill.iter().enumerate() {
+            if kill.is_some() {
+                killed[i] = true;
+            }
+        }
+    }
+    Ok(killed)
+}
+
+/// Reverse-order session compaction: drops whole sessions whose removal
+/// keeps every currently-killed mutant killed.
+///
+/// # Errors
+///
+/// Propagates [`MutationError`] when a mutant does not belong to the
+/// design.
+pub fn compact_sessions(
+    checked: &CheckedDesign,
+    entity: &str,
+    mutants: &[Mutant],
+    sessions: &[TestSequence],
+) -> Result<CompactionOutcome, MutationError> {
+    let before: usize = sessions.iter().map(|s| s.len()).sum();
+    let reference = killed_set(checked, entity, mutants, sessions)?;
+    let mut kept: Vec<TestSequence> = sessions.to_vec();
+    let mut index = kept.len();
+    while index > 0 {
+        index -= 1;
+        let candidate = kept.remove(index);
+        let killed = killed_set(checked, entity, mutants, &kept)?;
+        if killed != reference {
+            kept.insert(index, candidate);
+        }
+    }
+    let after: usize = kept.iter().map(|s| s.len()).sum();
+    Ok(CompactionOutcome {
+        sessions: kept,
+        before,
+        after,
+    })
+}
+
+/// Reverse-order *vector* compaction for combinational data (a single
+/// session whose vectors are order-independent).
+///
+/// # Errors
+///
+/// Propagates [`MutationError`] when a mutant does not belong to the
+/// design.
+pub fn compact_vectors(
+    checked: &CheckedDesign,
+    entity: &str,
+    mutants: &[Mutant],
+    session: &TestSequence,
+) -> Result<CompactionOutcome, MutationError> {
+    let as_sessions: Vec<TestSequence> = session.iter().map(|v| vec![v.clone()]).collect();
+    let outcome = compact_sessions(checked, entity, mutants, &as_sessions)?;
+    let merged: TestSequence = outcome.sessions.into_iter().flatten().collect();
+    Ok(CompactionOutcome {
+        before: outcome.before,
+        after: merged.len(),
+        sessions: vec![merged],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mutation_guided::{mutation_guided_tests, MgConfig};
+    use musa_hdl::parse;
+    use musa_mutation::{generate_mutants, GenerateOptions};
+
+    fn checked(src: &str) -> CheckedDesign {
+        CheckedDesign::new(parse(src).unwrap()).unwrap()
+    }
+
+    const COMB: &str = "
+        entity g is
+          port(a : in bits(5); b : in bits(5); y : out bits(5); f : out bit);
+        comb begin
+          y <= (a and b) + 1;
+          f <= a < b;
+        end;
+        end;
+    ";
+
+    #[test]
+    fn compaction_preserves_kills_and_never_grows() {
+        let d = checked(COMB);
+        let mutants = generate_mutants(&d, "g", &GenerateOptions::default());
+        let generated =
+            mutation_guided_tests(&d, "g", &mutants, &MgConfig::fast(0xC0)).unwrap();
+        let before_kills = killed_set(&d, "g", &mutants, &generated.sessions).unwrap();
+        let outcome =
+            compact_vectors(&d, "g", &mutants, &generated.sessions[0]).unwrap();
+        assert!(outcome.after <= outcome.before);
+        let after_kills = killed_set(&d, "g", &mutants, &outcome.sessions).unwrap();
+        assert_eq!(before_kills, after_kills, "compaction must not lose kills");
+    }
+
+    #[test]
+    fn redundant_duplicates_are_removed() {
+        let d = checked(COMB);
+        let mutants = generate_mutants(&d, "g", &GenerateOptions::default());
+        let generated =
+            mutation_guided_tests(&d, "g", &mutants, &MgConfig::fast(0xC1)).unwrap();
+        // Duplicate every vector: compaction must strip at least the copies.
+        let mut doubled = generated.sessions[0].clone();
+        doubled.extend(generated.sessions[0].clone());
+        let outcome = compact_vectors(&d, "g", &mutants, &doubled).unwrap();
+        assert!(
+            outcome.after <= generated.sessions[0].len(),
+            "{} vectors survived from {} doubled",
+            outcome.after,
+            doubled.len()
+        );
+        assert!(outcome.reduction() >= 0.5 - 1e-9);
+    }
+
+    #[test]
+    fn sequential_sessions_compact() {
+        let src = "
+            entity t is
+              port(clk : in bit; rst : in bit; en : in bit; q : out bits(3));
+            signal c : bits(3);
+            seq(clk) begin
+              if rst = 1 then
+                c <= 0;
+              elsif en = 1 then
+                c <= c + 1;
+              end if;
+            end;
+            comb begin q <= c; end;
+            end;
+        ";
+        let d = checked(src);
+        let mutants = generate_mutants(&d, "t", &GenerateOptions::default());
+        let generated =
+            mutation_guided_tests(&d, "t", &mutants, &MgConfig::fast(0xC2)).unwrap();
+        let reference = killed_set(&d, "t", &mutants, &generated.sessions).unwrap();
+        let outcome =
+            compact_sessions(&d, "t", &mutants, &generated.sessions).unwrap();
+        let after = killed_set(&d, "t", &mutants, &outcome.sessions).unwrap();
+        assert_eq!(reference, after);
+        assert!(outcome.after <= outcome.before);
+    }
+
+    #[test]
+    fn empty_input_is_a_noop() {
+        let d = checked(COMB);
+        let outcome = compact_sessions(&d, "g", &[], &[]).unwrap();
+        assert_eq!(outcome.before, 0);
+        assert_eq!(outcome.after, 0);
+        assert_eq!(outcome.reduction(), 0.0);
+    }
+}

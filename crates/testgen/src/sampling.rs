@@ -1,0 +1,372 @@
+//! Mutant sampling strategies — the paper's §4 contribution.
+//!
+//! Both strategies select the **same total number** of mutants (a fixed
+//! fraction of the population, 10 % in the paper):
+//!
+//! * [`SamplingStrategy::Random`] — the classical approach \[Offutt &
+//!   Untch, *Mutation 2000*\]: a uniform sample of the whole population.
+//! * [`SamplingStrategy::TestOriented`] — the paper's proposal:
+//!   per-operator quotas proportional to each operator's stuck-at
+//!   fault-coverage efficiency (its weight), so efficient operators
+//!   (CR, CVR) contribute more mutants than inefficient ones (LOR).
+
+use musa_mutation::{Mutant, MutationOperator};
+use musa_prng::{Prng, SplitMix64};
+use std::collections::HashMap;
+
+/// Per-operator efficiency weights driving test-oriented sampling.
+///
+/// Weights are relative; only ratios matter. Operators absent from the
+/// table default to weight 1. Non-positive weights are clamped to a
+/// small epsilon so every operator keeps a nonzero chance of
+/// representation (the paper still samples *some* LOR mutants).
+#[derive(Debug, Clone, Default)]
+pub struct OperatorWeights {
+    weights: HashMap<MutationOperator, f64>,
+}
+
+impl OperatorWeights {
+    /// Empty table: every operator weighs 1 (test-oriented sampling then
+    /// degenerates to stratified uniform sampling).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a table from `(operator, weight)` pairs.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (MutationOperator, f64)>) -> Self {
+        Self {
+            weights: pairs.into_iter().collect(),
+        }
+    }
+
+    /// Sets one operator's weight.
+    pub fn set(&mut self, op: MutationOperator, weight: f64) {
+        self.weights.insert(op, weight);
+    }
+
+    /// The effective (clamped) weight of an operator.
+    pub fn weight(&self, op: MutationOperator) -> f64 {
+        const EPSILON: f64 = 1e-3;
+        self.weights.get(&op).copied().unwrap_or(1.0).max(EPSILON)
+    }
+}
+
+/// How to pick the mutant subset.
+#[derive(Debug, Clone)]
+pub enum SamplingStrategy {
+    /// Uniform sampling of `fraction` of the population.
+    Random {
+        /// Fraction of mutants to keep, in `(0, 1]`.
+        fraction: f64,
+    },
+    /// Efficiency-weighted per-operator quotas, same total count.
+    TestOriented {
+        /// Fraction of mutants to keep, in `(0, 1]`.
+        fraction: f64,
+        /// Operator efficiency weights (e.g. NLFCE from an operator
+        /// profile).
+        weights: OperatorWeights,
+    },
+}
+
+impl SamplingStrategy {
+    /// The classical uniform strategy.
+    pub fn random(fraction: f64) -> Self {
+        SamplingStrategy::Random { fraction }
+    }
+
+    /// The paper's strategy with the given weights.
+    pub fn test_oriented(fraction: f64, weights: OperatorWeights) -> Self {
+        SamplingStrategy::TestOriented { fraction, weights }
+    }
+
+    /// The sampling fraction.
+    pub fn fraction(&self) -> f64 {
+        match self {
+            SamplingStrategy::Random { fraction }
+            | SamplingStrategy::TestOriented { fraction, .. } => *fraction,
+        }
+    }
+
+    /// A short label for tables (`random` / `test-oriented`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            SamplingStrategy::Random { .. } => "random",
+            SamplingStrategy::TestOriented { .. } => "test-oriented",
+        }
+    }
+}
+
+/// Selects mutant indices according to the strategy.
+///
+/// Both strategies return exactly `round(fraction × population)` indices
+/// (at least 1 for a non-empty population), sorted ascending,
+/// deterministically for a given seed.
+///
+/// # Panics
+///
+/// Panics if `fraction` is not within `(0, 1]`.
+pub fn sample_mutants(mutants: &[Mutant], strategy: &SamplingStrategy, seed: u64) -> Vec<usize> {
+    let fraction = strategy.fraction();
+    assert!(
+        fraction > 0.0 && fraction <= 1.0,
+        "sampling fraction must be in (0, 1], got {fraction}"
+    );
+    if mutants.is_empty() {
+        return Vec::new();
+    }
+    let k = ((mutants.len() as f64 * fraction).round() as usize)
+        .clamp(1, mutants.len());
+    let mut rng = SplitMix64::new(seed);
+    match strategy {
+        SamplingStrategy::Random { .. } => rng.sample_indices(mutants.len(), k),
+        SamplingStrategy::TestOriented { weights, .. } => {
+            weighted_quota_sample(mutants, weights, k, &mut rng)
+        }
+    }
+}
+
+/// Largest-remainder quota allocation followed by uniform sampling
+/// within each operator class.
+fn weighted_quota_sample(
+    mutants: &[Mutant],
+    weights: &OperatorWeights,
+    k: usize,
+    rng: &mut SplitMix64,
+) -> Vec<usize> {
+    // Group mutant indices by operator, in canonical operator order.
+    let mut groups: Vec<(MutationOperator, Vec<usize>)> = MutationOperator::all()
+        .into_iter()
+        .map(|op| {
+            (
+                op,
+                mutants
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, m)| m.operator == op)
+                    .map(|(i, _)| i)
+                    .collect::<Vec<_>>(),
+            )
+        })
+        .filter(|(_, g)| !g.is_empty())
+        .collect();
+
+    // Ideal (real-valued) quota per group: the share of the budget is
+    // proportional to the operator's efficiency weight alone ("the
+    // proportion of mutants selected from each operator is function of
+    // its efficiency", paper §4) — capacity-capped, with redistribution.
+    let total_mass: f64 = groups.iter().map(|(op, _)| weights.weight(*op)).sum();
+    let mut quotas: Vec<usize> = Vec::with_capacity(groups.len());
+    let mut remainders: Vec<(usize, f64)> = Vec::with_capacity(groups.len());
+    let mut assigned = 0usize;
+    for (gi, (op, group)) in groups.iter().enumerate() {
+        let ideal = k as f64 * weights.weight(*op) / total_mass;
+        let base = (ideal.floor() as usize).min(group.len());
+        quotas.push(base);
+        remainders.push((gi, ideal - base as f64));
+        assigned += base;
+    }
+    // Distribute the remaining slots by largest remainder, respecting
+    // group capacities.
+    remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    let mut cursor = 0usize;
+    while assigned < k {
+        let mut progressed = false;
+        for _ in 0..remainders.len() {
+            let (gi, _) = remainders[cursor % remainders.len()];
+            cursor += 1;
+            if quotas[gi] < groups[gi].1.len() {
+                quotas[gi] += 1;
+                assigned += 1;
+                progressed = true;
+                break;
+            }
+        }
+        if !progressed {
+            break; // every group saturated (k > population; cannot happen)
+        }
+    }
+
+    let mut selected = Vec::with_capacity(k);
+    for (gi, (_, group)) in groups.iter_mut().enumerate() {
+        let quota = quotas[gi];
+        let picks = rng.sample_indices(group.len(), quota);
+        selected.extend(picks.into_iter().map(|p| group[p]));
+    }
+    selected.sort_unstable();
+    selected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use musa_hdl::{parse, CheckedDesign};
+    use musa_mutation::{generate_mutants, GenerateOptions};
+
+    fn population() -> Vec<Mutant> {
+        let checked = CheckedDesign::new(
+            parse(
+                "entity p is
+                   port(a : in bits(4); b : in bits(4); y : out bits(4); f : out bit);
+                 constant K : bits(4) := 7;
+                 comb begin
+                   if a < K then
+                     y <= a + b;
+                   else
+                     y <= a and b;
+                   end if;
+                   f <= not (a = b);
+                 end;
+                 end;",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        generate_mutants(&checked, "p", &GenerateOptions::default())
+    }
+
+    #[test]
+    fn both_strategies_select_same_count() {
+        let mutants = population();
+        let k_expected = ((mutants.len() as f64 * 0.10).round() as usize).max(1);
+        let random = sample_mutants(&mutants, &SamplingStrategy::random(0.10), 1);
+        let weights = OperatorWeights::from_pairs([
+            (MutationOperator::Cr, 400.0),
+            (MutationOperator::Cvr, 300.0),
+            (MutationOperator::Vr, 100.0),
+            (MutationOperator::Lor, 10.0),
+        ]);
+        let oriented =
+            sample_mutants(&mutants, &SamplingStrategy::test_oriented(0.10, weights), 1);
+        assert_eq!(random.len(), k_expected);
+        assert_eq!(
+            oriented.len(),
+            k_expected,
+            "the paper's strategy keeps the identical sample size"
+        );
+    }
+
+    #[test]
+    fn indices_are_sorted_unique_in_range() {
+        let mutants = population();
+        for strategy in [
+            SamplingStrategy::random(0.25),
+            SamplingStrategy::test_oriented(0.25, OperatorWeights::new()),
+        ] {
+            let sample = sample_mutants(&mutants, &strategy, 7);
+            for w in sample.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+            assert!(sample.iter().all(|&i| i < mutants.len()));
+        }
+    }
+
+    #[test]
+    fn heavier_operators_get_more_slots() {
+        let mutants = population();
+        let mut heavy_cr = OperatorWeights::new();
+        heavy_cr.set(MutationOperator::Cr, 1000.0);
+        heavy_cr.set(MutationOperator::Lor, 0.001);
+        let cr_total = mutants
+            .iter()
+            .filter(|m| m.operator == MutationOperator::Cr)
+            .count();
+        assert!(cr_total > 0, "population must contain CR mutants");
+        // Choose a budget smaller than the CR class so the dominant
+        // weight can absorb the entire sample.
+        let fraction = (cr_total as f64 / mutants.len() as f64) * 0.8;
+        let oriented = sample_mutants(
+            &mutants,
+            &SamplingStrategy::test_oriented(fraction, heavy_cr),
+            3,
+        );
+        let cr_sampled = oriented
+            .iter()
+            .filter(|&&i| mutants[i].operator == MutationOperator::Cr)
+            .count();
+        // All but at most one rounding slot must come from CR.
+        assert!(
+            cr_sampled + 1 >= oriented.len(),
+            "cr_sampled={cr_sampled} of {} selected",
+            oriented.len()
+        );
+    }
+
+    #[test]
+    fn uniform_weights_split_budget_evenly_across_operators() {
+        let mutants = population();
+        let oriented = sample_mutants(
+            &mutants,
+            &SamplingStrategy::test_oriented(0.5, OperatorWeights::new()),
+            11,
+        );
+        // With unit weights every applicable operator class receives the
+        // same budget share (up to capacity and redistribution).
+        let applicable: Vec<MutationOperator> = MutationOperator::all()
+            .into_iter()
+            .filter(|&op| mutants.iter().any(|m| m.operator == op))
+            .collect();
+        let even_share = oriented.len() / applicable.len();
+        for &op in &applicable {
+            let capacity = mutants.iter().filter(|m| m.operator == op).count();
+            let sampled = oriented
+                .iter()
+                .filter(|&&i| mutants[i].operator == op)
+                .count();
+            assert!(
+                sampled >= even_share.min(capacity).saturating_sub(1),
+                "{op}: {sampled} sampled, capacity {capacity}, share {even_share}"
+            );
+        }
+    }
+
+    #[test]
+    fn full_fraction_selects_everything() {
+        let mutants = population();
+        let all = sample_mutants(&mutants, &SamplingStrategy::random(1.0), 5);
+        assert_eq!(all.len(), mutants.len());
+        let all = sample_mutants(
+            &mutants,
+            &SamplingStrategy::test_oriented(1.0, OperatorWeights::new()),
+            5,
+        );
+        assert_eq!(all.len(), mutants.len());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mutants = population();
+        let s = SamplingStrategy::random(0.2);
+        assert_eq!(sample_mutants(&mutants, &s, 9), sample_mutants(&mutants, &s, 9));
+        assert_ne!(sample_mutants(&mutants, &s, 9), sample_mutants(&mutants, &s, 10));
+    }
+
+    #[test]
+    fn empty_population_yields_empty_sample() {
+        assert!(sample_mutants(&[], &SamplingStrategy::random(0.1), 1).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn zero_fraction_panics() {
+        let mutants = population();
+        let _ = sample_mutants(&mutants, &SamplingStrategy::random(0.0), 1);
+    }
+
+    #[test]
+    fn weight_clamping() {
+        let mut w = OperatorWeights::new();
+        w.set(MutationOperator::Lor, -5.0);
+        assert!(w.weight(MutationOperator::Lor) > 0.0);
+        assert_eq!(w.weight(MutationOperator::Cr), 1.0);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(SamplingStrategy::random(0.1).label(), "random");
+        assert_eq!(
+            SamplingStrategy::test_oriented(0.1, OperatorWeights::new()).label(),
+            "test-oriented"
+        );
+    }
+}

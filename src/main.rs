@@ -1,0 +1,211 @@
+//! `musa` — command-line front door to the workspace.
+//!
+//! ```text
+//! musa info   <file.mhdl> <entity>      parse/check/synthesize, print stats
+//! musa synth  <file.mhdl> <entity>      emit the synthesized .bench netlist
+//! musa mutants <file.mhdl> <entity>     enumerate the mutant population
+//! musa faultsim <file.bench> [N] [SEED] grade N LFSR patterns (default 64)
+//! musa scoap  <file.bench> [TOP]        SCOAP testability, hardest nets
+//! musa atpg   <file.bench> [LIMIT]      PODEM over the collapsed faults
+//! musa bench  <name>                    stats for a bundled benchmark
+//! musa list                             list bundled benchmarks
+//! ```
+
+use musa::circuits::{Benchmark, Circuit};
+use musa::hdl::{parse, CheckedDesign};
+use musa::metrics::CoverageCurve;
+use musa::mutation::{count_by_operator, generate_mutants, GenerateOptions};
+use musa::netlist::{
+    collapsed_faults, fault_simulate, parse_bench, write_bench, Netlist, Testability,
+};
+use musa::synth::synthesize;
+use musa::testgen::{atpg_all, lfsr_patterns};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("info") => cmd_info(&args[1..]),
+        Some("synth") => cmd_synth(&args[1..]),
+        Some("mutants") => cmd_mutants(&args[1..]),
+        Some("faultsim") => cmd_faultsim(&args[1..]),
+        Some("atpg") => cmd_atpg(&args[1..]),
+        Some("scoap") => cmd_scoap(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
+        Some("list") => cmd_list(),
+        _ => {
+            eprintln!("usage: musa <info|synth|mutants|faultsim|atpg|scoap|bench|list> ...");
+            eprintln!("see the crate docs for per-command arguments");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn load_design(args: &[String]) -> Result<(CheckedDesign, String), String> {
+    let [path, entity] = args else {
+        return Err("expected <file.mhdl> <entity>".into());
+    };
+    let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let design = parse(&source).map_err(|e| e.render(&source))?;
+    let checked = CheckedDesign::new(design).map_err(|e| e.render(&source))?;
+    Ok((checked, entity.clone()))
+}
+
+fn load_netlist(path: &str) -> Result<Netlist, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse_bench(&text, path).map_err(|e| e.to_string())
+}
+
+fn print_netlist_stats(nl: &Netlist) {
+    println!(
+        "  {} inputs, {} outputs, {} gates, {} flops, depth {}",
+        nl.inputs().len(),
+        nl.outputs().len(),
+        nl.gate_count(),
+        nl.dff_count(),
+        nl.depth()
+    );
+    println!(
+        "  collapsed stuck-at faults: {}",
+        collapsed_faults(nl).len()
+    );
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let (checked, entity) = load_design(args)?;
+    let info = checked
+        .entity_info(&entity)
+        .ok_or_else(|| format!("no entity `{entity}`"))?;
+    println!("{entity}:");
+    println!(
+        "  {} data inputs ({} bits), {} outputs ({} bits), {}",
+        info.data_inputs.len(),
+        info.input_bits(),
+        info.outputs.len(),
+        info.output_bits(),
+        if info.is_combinational() {
+            "combinational"
+        } else {
+            "sequential"
+        }
+    );
+    let nl = synthesize(&checked, &entity).map_err(|e| e.to_string())?;
+    print_netlist_stats(&nl);
+    Ok(())
+}
+
+fn cmd_synth(args: &[String]) -> Result<(), String> {
+    let (checked, entity) = load_design(args)?;
+    let nl = synthesize(&checked, &entity).map_err(|e| e.to_string())?;
+    print!("{}", write_bench(&nl));
+    Ok(())
+}
+
+fn cmd_mutants(args: &[String]) -> Result<(), String> {
+    let (checked, entity) = load_design(args)?;
+    let mutants = generate_mutants(&checked, &entity, &GenerateOptions::default());
+    println!("{} valid mutants:", mutants.len());
+    for (op, count) in count_by_operator(&mutants) {
+        println!("  {:<4} {count:>5}   {}", op.acronym(), op.description());
+    }
+    Ok(())
+}
+
+fn cmd_faultsim(args: &[String]) -> Result<(), String> {
+    let Some(path) = args.first() else {
+        return Err("expected <file.bench> [vectors] [seed]".into());
+    };
+    let vectors: usize = args.get(1).map_or(Ok(64), |s| s.parse().map_err(|_| "bad vector count"))?;
+    let seed: u64 = args.get(2).map_or(Ok(1), |s| s.parse().map_err(|_| "bad seed"))?;
+    let nl = load_netlist(path)?;
+    let faults = collapsed_faults(&nl);
+    let patterns = lfsr_patterns(nl.inputs().len(), vectors, seed);
+    let result = fault_simulate(&nl, &faults, &patterns);
+    let curve = CoverageCurve::new(result.coverage_curve());
+    println!(
+        "{}: {} faults, {} vectors -> {:.2}% coverage",
+        nl.name(),
+        faults.len(),
+        vectors,
+        100.0 * curve.final_coverage()
+    );
+    for (len, cov) in curve.sample(10) {
+        println!("  {len:>6} : {:>6.2}%", 100.0 * cov);
+    }
+    Ok(())
+}
+
+fn cmd_atpg(args: &[String]) -> Result<(), String> {
+    let Some(path) = args.first() else {
+        return Err("expected <file.bench> [backtrack-limit]".into());
+    };
+    let limit: u64 = args.get(1).map_or(Ok(10_000), |s| s.parse().map_err(|_| "bad limit"))?;
+    let nl = load_netlist(path)?;
+    if !nl.is_combinational() {
+        return Err("PODEM targets combinational netlists".into());
+    }
+    let faults = collapsed_faults(&nl);
+    let (_, stats) = atpg_all(&nl, &faults, limit);
+    println!(
+        "{}: {} faults -> {} tested, {} untestable, {} aborted ({} backtracks)",
+        nl.name(),
+        stats.targeted,
+        stats.tested,
+        stats.untestable,
+        stats.aborted,
+        stats.backtracks
+    );
+    Ok(())
+}
+
+fn cmd_scoap(args: &[String]) -> Result<(), String> {
+    let Some(path) = args.first() else {
+        return Err("expected <file.bench> [top]".into());
+    };
+    let top: usize = args.get(1).map_or(Ok(10), |s| s.parse().map_err(|_| "bad count"))?;
+    let nl = load_netlist(path)?;
+    let scoap = Testability::analyze(&nl);
+    println!("{}: hardest nets (CC0/CC1/CO, combined effort):", nl.name());
+    for (net, effort) in scoap.hardest_nets(&nl, top) {
+        println!(
+            "  {:<16} cc0={:<6} cc1={:<6} co={:<6} effort={}",
+            nl.net_name(net),
+            scoap.cc0(net),
+            scoap.cc1(net),
+            scoap.co(net),
+            effort
+        );
+    }
+    Ok(())
+}
+
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    let Some(name) = args.first() else {
+        return Err("expected a benchmark name (see `musa list`)".into());
+    };
+    let bench = Benchmark::from_name(name).ok_or_else(|| format!("unknown benchmark `{name}`"))?;
+    let circuit: Circuit = bench.load().map_err(|e| e.to_string())?;
+    println!("{}:", circuit.name);
+    print_netlist_stats(&circuit.netlist);
+    let mutants = generate_mutants(
+        &circuit.checked,
+        &circuit.name,
+        &GenerateOptions::default(),
+    );
+    println!("  mutant population: {}", mutants.len());
+    Ok(())
+}
+
+fn cmd_list() -> Result<(), String> {
+    for bench in Benchmark::all() {
+        println!("{bench}");
+    }
+    Ok(())
+}

@@ -1,0 +1,78 @@
+//! Cross-layer consistency: behavioral simulation, synthesized gates
+//! and `.bench` round-trips must all agree, for every bundled benchmark.
+
+use musa::circuits::Benchmark;
+use musa::hdl::{Bits, Simulator};
+use musa::netlist::{good_outputs, parse_bench, write_bench};
+use musa::prng::{Prng, SplitMix64};
+use musa::synth::{flatten_sequence, unflatten_outputs};
+
+fn random_sequence_for(
+    circuit: &musa::circuits::Circuit,
+    cycles: usize,
+    seed: u64,
+) -> Vec<Vec<Bits>> {
+    let info = circuit.info();
+    let mut rng = SplitMix64::new(seed);
+    (0..cycles)
+        .map(|_| {
+            info.data_inputs
+                .iter()
+                .map(|&p| {
+                    let w = info.symbol(p).width;
+                    Bits::new(w, rng.bits(w))
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn behavioral_equals_gates_for_every_benchmark() {
+    for bench in Benchmark::all() {
+        let circuit = bench.load().expect("benchmark loads");
+        let sequence = random_sequence_for(&circuit, 120, 0xC0DE ^ bench.name().len() as u64);
+        let mut behav = Simulator::new(&circuit.checked, &circuit.name).unwrap();
+        let expected = behav.run(&sequence);
+        let patterns = flatten_sequence(circuit.info(), &sequence);
+        let gate_outs = good_outputs(&circuit.netlist, &patterns);
+        for (t, bits) in gate_outs.iter().enumerate() {
+            assert_eq!(
+                unflatten_outputs(circuit.info(), bits),
+                expected[t],
+                "{bench}: cycle {t} diverges"
+            );
+        }
+    }
+}
+
+#[test]
+fn bench_roundtrip_preserves_behaviour() {
+    for bench in Benchmark::all() {
+        let circuit = bench.load().expect("benchmark loads");
+        let text = write_bench(&circuit.netlist);
+        let reparsed = parse_bench(&text, bench.name()).expect("roundtrip parses");
+        assert_eq!(reparsed.gate_count(), circuit.netlist.gate_count());
+        assert_eq!(reparsed.dff_count(), circuit.netlist.dff_count());
+
+        // Same outputs on a shared stimulus.
+        let sequence = random_sequence_for(&circuit, 60, 0xBEC4);
+        let patterns = flatten_sequence(circuit.info(), &sequence);
+        let original = good_outputs(&circuit.netlist, &patterns);
+        let roundtripped = good_outputs(&reparsed, &patterns);
+        assert_eq!(original, roundtripped, "{bench}: roundtrip diverges");
+    }
+}
+
+#[test]
+fn sweep_is_idempotent_on_benchmarks() {
+    for bench in Benchmark::all() {
+        let circuit = bench.load().expect("benchmark loads");
+        let swept = circuit.netlist.sweep_dead().freeze().expect("sweep freezes");
+        assert_eq!(
+            swept.gate_count(),
+            circuit.netlist.gate_count(),
+            "{bench}: synthesis output must already be swept"
+        );
+    }
+}
