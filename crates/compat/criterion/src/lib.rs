@@ -1,0 +1,212 @@
+//! Offline stand-in for the [`criterion`](https://docs.rs/criterion)
+//! benchmark harness.
+//!
+//! The container this workspace builds in has no access to a crates
+//! registry, so the real `criterion` cannot be vendored. This shim
+//! implements exactly the API surface the `musa_bench` benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`],
+//! [`BenchmarkId`] and the [`criterion_group!`]/[`criterion_main!`]
+//! macros — with a simple wall-clock measurement loop instead of
+//! criterion's statistical machinery.
+//!
+//! Behavior:
+//!
+//! * `cargo bench` runs each benchmark `sample_size` times (after one
+//!   warm-up run) and reports the minimum, mean and maximum time per
+//!   iteration;
+//! * `cargo test`/`--test` mode runs every benchmark exactly once so
+//!   benches stay compile- and run-checked in CI without burning time;
+//! * a positional CLI filter restricts which benchmark IDs run, like
+//!   criterion's own substring filter.
+//!
+//! To switch back to real criterion, point the `criterion` entry of
+//! `[workspace.dependencies]` in the workspace root at crates.io.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver handed to every `criterion_group!` target.
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                // Flags cargo and the real criterion CLI pass through;
+                // irrelevant to the shim's fixed measurement loop.
+                "--bench" | "--verbose" | "--quiet" | "-q" | "--noplot" => {}
+                other if other.starts_with('-') => {}
+                other => filter = Some(other.to_string()),
+            }
+        }
+        Criterion { test_mode, filter }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of measured runs per benchmark (criterion-compatible knob).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmark a closure under `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.to_string(), &mut f);
+        self
+    }
+
+    /// Benchmark a closure over a borrowed input under `group/id`.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.to_string(), &mut |b| f(b, input));
+        self
+    }
+
+    /// Close the group. Present for API compatibility; the shim reports
+    /// each benchmark as it completes, so there is nothing to flush.
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let samples = if self.criterion.test_mode { 1 } else { self.sample_size };
+        let mut bencher = Bencher {
+            samples,
+            per_iter: Vec::with_capacity(samples),
+        };
+        f(&mut bencher);
+        report(&full, &bencher.per_iter);
+    }
+}
+
+/// Timing context passed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    per_iter: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Run `f` once as warm-up, then `sample_size` timed times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std::hint::black_box(f());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            self.per_iter.push(start.elapsed());
+        }
+    }
+}
+
+/// Identifies one benchmark within a group, mirroring criterion's type.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("128_vectors", "c432")` → `128_vectors/c432`.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// `BenchmarkId::from_parameter("c432")` → `c432`.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+fn report(id: &str, per_iter: &[Duration]) {
+    if per_iter.is_empty() {
+        println!("{id:<48} (no samples)");
+        return;
+    }
+    let min = per_iter.iter().min().copied().unwrap_or_default();
+    let max = per_iter.iter().max().copied().unwrap_or_default();
+    let mean = per_iter.iter().sum::<Duration>() / per_iter.len() as u32;
+    println!(
+        "{id:<48} time: [{} {} {}]  ({} samples)",
+        fmt_duration(min),
+        fmt_duration(mean),
+        fmt_duration(max),
+        per_iter.len()
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Declare a benchmark group function, like criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        /// Benchmark group declared by `criterion_group!`.
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the bench `main` running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

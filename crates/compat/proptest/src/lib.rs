@@ -1,0 +1,270 @@
+//! Offline stand-in for [`proptest`](https://docs.rs/proptest).
+//!
+//! The container this workspace builds in has no access to a crates
+//! registry, so the real `proptest` cannot be vendored. This shim
+//! implements the API surface the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro wrapping `fn name(pat in strategy, ...)`
+//!   test bodies;
+//! * [`Strategy`] implementations for integer ranges (`a..b`, `a..=b`,
+//!   `a..`), tuples, `any::<T>()` and string regex literals (only the
+//!   `.{m,n}` form the tests use is honored; other patterns fall back
+//!   to short random strings);
+//! * [`collection::vec`] for vectors with a sampled length;
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`, mapped to
+//!   the std assertions.
+//!
+//! Differences from real proptest: cases are generated from a fixed
+//! per-test seed (deterministic across runs and platforms), there is no
+//! shrinking, and failures report the panicking case index via the
+//! standard assertion message. `PROPTEST_CASES` overrides the number of
+//! cases per test (default 256).
+//!
+//! To switch back to real proptest, point the `proptest` entry of
+//! `[workspace.dependencies]` in the workspace root at crates.io.
+
+use std::ops::{Range, RangeFrom, RangeInclusive};
+
+/// Everything the `proptest!` tests need in scope.
+pub mod prelude {
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Strategy};
+}
+
+/// Number of cases each property runs (env `PROPTEST_CASES`, default 256).
+pub fn cases() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256)
+}
+
+/// Deterministic splitmix64 generator driving all strategies.
+///
+/// Self-contained rather than reusing `musa_prng` so the shim has no
+/// dependencies and can never entangle test randomness with the code
+/// under test.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed deterministically from the test function's name.
+    pub fn for_test(name: &str) -> Self {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+        for byte in name.bytes() {
+            seed ^= u64::from(byte);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        // Multiply-shift bounded sampling; bias is negligible for test
+        // generation purposes.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+}
+
+/// A source of random values for one test parameter.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_ranges {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                assert!(span > 0, "empty range strategy");
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                let span = (end as u64).wrapping_sub(start as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full-width range, e.g. `0u64..=u64::MAX`.
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+        impl Strategy for RangeFrom<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                (self.start..=<$t>::MAX).generate(rng)
+            }
+        }
+    )+};
+}
+
+int_ranges!(u8, u16, u32, u64, usize);
+
+/// Strategy for "any value of `T`" — see [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// `any::<T>()` — the full value range of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Types `any::<T>()` can produce.
+pub trait Arbitrary {
+    /// Draw an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_ints {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )+};
+}
+
+arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng), self.2.generate(rng))
+    }
+}
+
+/// String literals act as regex strategies in proptest. The shim honors
+/// the `.{m,n}` shape (random printable-heavy strings of length m..=n,
+/// never containing `\n`, just like regex `.`); anything else falls
+/// back to length 0..=64.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (min, max) = parse_dot_repetition(self).unwrap_or((0, 64));
+        let len = min + rng.below((max - min + 1) as u64) as usize;
+        (0..len).map(|_| random_char(rng)).collect()
+    }
+}
+
+fn parse_dot_repetition(pattern: &str) -> Option<(usize, usize)> {
+    let body = pattern.strip_prefix(".{")?.strip_suffix('}')?;
+    let (min, max) = body.split_once(',')?;
+    Some((min.trim().parse().ok()?, max.trim().parse().ok()?))
+}
+
+fn random_char(rng: &mut TestRng) -> char {
+    match rng.below(8) {
+        // Weight towards printable ASCII: that's where lexers live.
+        0..=5 => char::from(32 + rng.below(95) as u8),
+        6 => {
+            let c = char::from(rng.below(32) as u8);
+            if c == '\n' {
+                '\t'
+            } else {
+                c
+            }
+        }
+        _ => char::from_u32(rng.next_u64() as u32 % 0x11_0000)
+            .filter(|c| *c != '\n')
+            .unwrap_or('\u{FFFD}'),
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy producing a `Vec` with sampled length — see [`vec()`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// A vector of `element` values with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.clone().generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Wrap property functions: `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases()` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$attr:meta])*
+        fn $name:ident ( $( $pat:pat_param in $strategy:expr ),+ $(,)? ) $body:block
+    )+) => {$(
+        $(#[$attr])*
+        fn $name() {
+            let mut rng = $crate::TestRng::for_test(stringify!($name));
+            for case in 0..$crate::cases() {
+                let _ = case;
+                $( let $pat = $crate::Strategy::generate(&$strategy, &mut rng); )+
+                $body
+            }
+        }
+    )+};
+}
+
+/// `prop_assert!` — panics (std `assert!`) instead of returning `Err`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// `prop_assert_eq!` — panics (std `assert_eq!`) instead of returning `Err`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// `prop_assert_ne!` — panics (std `assert_ne!`) instead of returning `Err`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}

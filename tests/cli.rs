@@ -1,0 +1,69 @@
+//! CLI contract tests for the `musa` binary: argument parsing, exit
+//! codes and the shape of `list`/`bench` output.
+
+use std::process::{Command, Output};
+
+fn musa(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_musa"))
+        .args(args)
+        .output()
+        .expect("musa binary runs")
+}
+
+#[test]
+fn no_subcommand_exits_2_with_usage() {
+    let out = musa(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage: musa"), "stderr: {stderr}");
+}
+
+#[test]
+fn unknown_subcommand_exits_2() {
+    let out = musa(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage: musa"));
+}
+
+#[test]
+fn list_prints_every_bundled_benchmark() {
+    let out = musa(&["list"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let names: Vec<&str> = stdout.lines().collect();
+    assert!(!names.is_empty(), "list output must be non-empty");
+    for expected in ["b01", "b03", "c432", "c499"] {
+        assert!(names.contains(&expected), "missing {expected}: {names:?}");
+    }
+}
+
+#[test]
+fn bench_subcommand_reports_stats() {
+    let out = musa(&["bench", "b01"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("b01:"), "stdout: {stdout}");
+    assert!(stdout.contains("mutant population"), "stdout: {stdout}");
+}
+
+#[test]
+fn bench_with_unknown_name_exits_1() {
+    let out = musa(&["bench", "zz99"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown benchmark"));
+}
+
+#[test]
+fn missing_file_reports_error_not_panic() {
+    let out = musa(&["faultsim", "/nonexistent/x.bench"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error:"), "stderr: {stderr}");
+}
+
+#[test]
+fn info_requires_file_and_entity() {
+    let out = musa(&["info", "only-one-arg"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("expected <file.mhdl> <entity>"));
+}
