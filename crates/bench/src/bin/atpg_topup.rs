@@ -2,7 +2,7 @@
 //! without re-used validation data (the paper's §1 motivation).
 //!
 //! ```text
-//! cargo run --release -p musa_bench --bin atpg_topup [--fast] [--seed N]
+//! cargo run --release -p musa_bench --bin atpg_topup [--fast] [--seed N] [--jobs N]
 //! ```
 
 use musa_bench::CliOptions;

@@ -1,7 +1,7 @@
 //! E2 — the MFC/RFC coverage-versus-length curves behind ΔFC%/ΔL%.
 //!
 //! ```text
-//! cargo run --release -p musa_bench --bin coverage_curves [--fast] [--seed N]
+//! cargo run --release -p musa_bench --bin coverage_curves [--fast] [--seed N] [--jobs N]
 //! ```
 
 use musa_bench::CliOptions;

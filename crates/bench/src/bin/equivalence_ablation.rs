@@ -2,7 +2,7 @@
 //! the Mutation Score.
 //!
 //! ```text
-//! cargo run --release -p musa_bench --bin equivalence_ablation [--fast] [--seed N]
+//! cargo run --release -p musa_bench --bin equivalence_ablation [--fast] [--seed N] [--jobs N]
 //! ```
 
 use musa_bench::CliOptions;

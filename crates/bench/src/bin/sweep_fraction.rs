@@ -2,7 +2,7 @@
 //! sample fraction grows.
 //!
 //! ```text
-//! cargo run --release -p musa_bench --bin sweep_fraction [--fast] [--seed N]
+//! cargo run --release -p musa_bench --bin sweep_fraction [--fast] [--seed N] [--jobs N]
 //! ```
 
 use musa_bench::CliOptions;

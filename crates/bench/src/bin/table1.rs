@@ -1,7 +1,7 @@
 //! Regenerates **Table 1** — mutation-operator fault-coverage efficiency.
 //!
 //! ```text
-//! cargo run --release -p musa_bench --bin table1 [--fast] [--seed N]
+//! cargo run --release -p musa_bench --bin table1 [--fast] [--seed N] [--jobs N]
 //! ```
 
 use musa_bench::{paper, CliOptions};

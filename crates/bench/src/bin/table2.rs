@@ -2,7 +2,7 @@
 //! sampling.
 //!
 //! ```text
-//! cargo run --release -p musa_bench --bin table2 [--fast] [--seed N]
+//! cargo run --release -p musa_bench --bin table2 [--fast] [--seed N] [--jobs N]
 //! ```
 
 use musa_bench::{paper, CliOptions};

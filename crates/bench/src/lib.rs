@@ -12,8 +12,10 @@
 //! | `equivalence_ablation` | E4 — MS vs equivalence budget |
 //!
 //! Every binary accepts `--fast` to run a scaled-down configuration
-//! (seconds instead of minutes) and `--seed N` to change the master
-//! seed. Criterion micro-benchmarks live under `benches/`.
+//! (seconds instead of minutes), `--seed N` to change the master seed,
+//! `--jobs N` to bound the worker-thread count (default: one per
+//! available CPU; results are bit-identical for every value) and
+//! `--help`. Criterion micro-benchmarks live under `benches/`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -56,38 +58,69 @@ pub struct CliOptions {
     pub fast: bool,
     /// Master seed.
     pub seed: u64,
+    /// Worker threads (`0` = one per available CPU).
+    pub jobs: usize,
 }
 
 impl CliOptions {
-    /// Parses `--fast` and `--seed N` from `std::env::args`.
+    /// The usage text every bench binary prints for `--help`.
+    pub const USAGE: &'static str = "\
+options (shared by every musa_bench experiment binary):
+  --fast      scaled-down configuration: seconds instead of minutes
+  --seed N    master seed (default 0xDA7E2005); every stage derives
+              its own sub-seeds from it
+  --jobs N    worker threads (default: one per available CPU);
+              results are bit-identical for every value, so this is
+              purely a wall-clock knob
+  --help      print this text";
+
+    /// Parses `--fast`, `--seed N` and `--jobs N` from
+    /// `std::env::args`; `--help` prints [`CliOptions::USAGE`] and
+    /// exits 0. A missing or unparsable `--seed`/`--jobs` value exits 2
+    /// rather than silently running with the default.
     pub fn from_args() -> Self {
         let mut fast = false;
         let mut seed = 0xDA7E_2005u64;
+        let mut jobs = 0usize;
         let args: Vec<String> = std::env::args().collect();
+        let value = |i: usize, flag: &str| -> u64 {
+            args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                eprintln!("{flag} expects an integer value");
+                eprintln!("{}", Self::USAGE);
+                std::process::exit(2);
+            })
+        };
         let mut i = 1;
         while i < args.len() {
             match args[i].as_str() {
                 "--fast" => fast = true,
                 "--seed" => {
-                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
-                        seed = v;
-                        i += 1;
-                    }
+                    seed = value(i, "--seed");
+                    i += 1;
+                }
+                "--jobs" => {
+                    jobs = value(i, "--jobs") as usize;
+                    i += 1;
+                }
+                "--help" | "-h" => {
+                    println!("{}", Self::USAGE);
+                    std::process::exit(0);
                 }
                 other => eprintln!("ignoring unknown argument `{other}`"),
             }
             i += 1;
         }
-        Self { fast, seed }
+        Self { fast, seed, jobs }
     }
 
     /// The experiment configuration these options select.
     pub fn config(&self) -> ExperimentConfig {
-        if self.fast {
+        let config = if self.fast {
             ExperimentConfig::fast(self.seed)
         } else {
             ExperimentConfig::paper(self.seed)
-        }
+        };
+        config.with_jobs(self.jobs)
     }
 }
 
@@ -122,8 +155,27 @@ mod tests {
         let opts = CliOptions {
             fast: true,
             seed: 42,
+            jobs: 0,
         };
         let cfg = opts.config();
         assert_eq!(cfg.seed, 42);
+        assert_eq!(cfg.jobs, 0, "0 = one worker per available CPU");
+    }
+
+    #[test]
+    fn jobs_option_reaches_the_config() {
+        let opts = CliOptions {
+            fast: false,
+            seed: 1,
+            jobs: 3,
+        };
+        assert_eq!(opts.config().jobs, 3);
+    }
+
+    #[test]
+    fn usage_documents_every_flag() {
+        for flag in ["--fast", "--seed", "--jobs", "--help"] {
+            assert!(CliOptions::USAGE.contains(flag), "usage lacks {flag}");
+        }
     }
 }

@@ -26,6 +26,10 @@ pub struct ExperimentConfig {
     /// derived seeds). Small NLFCE values are noisy single-shot; the
     /// mean stabilises operator orderings.
     pub repetitions: usize,
+    /// Worker threads for the parallel experiment paths (`0` = one per
+    /// available CPU). Results are bit-identical for every value — see
+    /// [`crate::parallel`] — so this is purely a wall-clock knob.
+    pub jobs: usize,
 }
 
 impl ExperimentConfig {
@@ -54,6 +58,7 @@ impl ExperimentConfig {
             baseline_multiple: 20,
             baseline_floor: 512,
             repetitions: 15,
+            jobs: 0,
         }
     }
 
@@ -66,7 +71,15 @@ impl ExperimentConfig {
             baseline_multiple: 8,
             baseline_floor: 128,
             repetitions: 2,
+            jobs: 0,
         }
+    }
+
+    /// Returns a copy with the given worker-thread count (`0` = auto).
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
     }
 
     /// The baseline length for a given mutation-data length.

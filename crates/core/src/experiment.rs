@@ -8,10 +8,11 @@
 
 use crate::config::ExperimentConfig;
 use crate::data::{coverage_of_sessions, fault_universe, random_baseline_curve};
+use crate::parallel::{split_jobs, try_par_map};
 use musa_circuits::Circuit;
 use musa_metrics::{Nlfce, NlfceInputs};
 use musa_mutation::{
-    classify_mutants, execute_mutants, generate_mutants, EquivalenceClass, GenerateOptions,
+    classify_mutants, execute_mutants_jobs, generate_mutants, EquivalenceClass, GenerateOptions,
     KillResult, Mutant, MutationError, MutationScore,
 };
 use musa_prng::{Prng, SplitMix64};
@@ -62,6 +63,10 @@ pub fn run_sampling_experiment(
 ///
 /// Averages `config.repetitions` independent repetitions (fresh sample,
 /// data and baseline seeds each time): single 10 % samples are noisy.
+/// Every repetition's three seeds are pre-drawn from the `SplitMix64`
+/// stream in serial order and the repetitions are then sharded across
+/// `config.jobs` worker threads, so the returned aggregate is
+/// bit-identical for every thread count (see [`crate::parallel`]).
 ///
 /// # Errors
 ///
@@ -74,30 +79,152 @@ pub fn run_sampling_experiment_on(
 ) -> Result<SamplingOutcome, MutationError> {
     let mut seeder = SplitMix64::new(config.seed ^ 0xA5A5_5A5A_1234_4321);
     let repetitions = config.repetitions.max(1);
-    let mut outcomes = Vec::with_capacity(repetitions);
-    for _ in 0..repetitions {
-        outcomes.push(run_sampling_once(
-            circuit,
-            population,
-            &strategy,
-            config,
-            seeder.next_u64(),
-            seeder.next_u64(),
-            seeder.next_u64(),
-        )?);
+    // Seed assignment happens serially, before any worker exists: seed
+    // triple i is exactly what serial repetition i would have drawn.
+    let seeds: Vec<[u64; 3]> = (0..repetitions)
+        .map(|_| [seeder.next_u64(), seeder.next_u64(), seeder.next_u64()])
+        .collect();
+    // Repetitions get the outer share of the thread budget; each
+    // repetition's mutant executions split what remains.
+    let (outer_jobs, inner_jobs) = split_jobs(config.jobs, repetitions);
+    let outcomes = try_par_map(outer_jobs, &seeds, |_, &[sample, mg, baseline]| {
+        run_sampling_once(
+            circuit, population, &strategy, config, sample, mg, baseline, inner_jobs,
+        )
+    })?;
+    let mut aggregate = SamplingAggregate::new();
+    for (repetition, outcome) in outcomes.into_iter().enumerate() {
+        aggregate.push(repetition, outcome);
     }
-    let n = outcomes.len() as f64;
-    let mut mean = outcomes.last().cloned().expect("repetitions >= 1");
-    mean.mutation_score_pct = outcomes.iter().map(|o| o.mutation_score_pct).sum::<f64>() / n;
-    mean.nlfce = outcomes.iter().map(|o| o.nlfce).sum::<f64>() / n;
-    mean.metrics.delta_fc_pct =
-        outcomes.iter().map(|o| o.metrics.delta_fc_pct).sum::<f64>() / n;
-    mean.metrics.delta_l_pct =
-        outcomes.iter().map(|o| o.metrics.delta_l_pct).sum::<f64>() / n;
-    mean.metrics.nlfce = mean.nlfce;
-    mean.data_len =
-        (outcomes.iter().map(|o| o.data_len).sum::<usize>() as f64 / n).round() as usize;
-    Ok(mean)
+    Ok(aggregate.finish())
+}
+
+/// Index-ordered merge of per-repetition [`SamplingOutcome`]s.
+///
+/// Replaces the former clone-the-last-repetition-and-patch-some-fields
+/// scheme, which silently reported repetition *N*'s values for every
+/// field it forgot to re-average. Here every field has an explicit,
+/// audited policy:
+///
+/// | field | aggregation |
+/// |---|---|
+/// | `strategy`, `population` | invariant across repetitions (asserted) |
+/// | `mutation_score_pct`, `nlfce`, `metrics.delta_fc_pct`, `metrics.delta_l_pct`, `metrics.nlfce` | arithmetic mean |
+/// | `sampled`, `data_len`, `metrics.mutation_len`, `score.killed`, `score.equivalent` | mean, rounded via [`SamplingAggregate::mean_rounded`] |
+/// | `score.generated` | invariant across repetitions (asserted) |
+/// | `metrics.random_len_at_equal_fc` | rounded mean when every repetition reports `Some`, else `None` (a single saturated baseline makes the mean meaningless) |
+///
+/// Outcomes are keyed by repetition index and [`finish`] always reduces
+/// in index order, so the merge is **order-independent**: push order —
+/// hence worker scheduling — cannot change a single output bit.
+///
+/// [`finish`]: SamplingAggregate::finish
+#[derive(Debug, Default)]
+pub struct SamplingAggregate {
+    outcomes: Vec<(usize, SamplingOutcome)>,
+}
+
+impl SamplingAggregate {
+    /// Creates an empty aggregate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the outcome of repetition `repetition`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the same repetition index is pushed twice.
+    pub fn push(&mut self, repetition: usize, outcome: SamplingOutcome) {
+        assert!(
+            self.outcomes.iter().all(|(r, _)| *r != repetition),
+            "repetition {repetition} pushed twice"
+        );
+        self.outcomes.push((repetition, outcome));
+    }
+
+    /// Number of repetitions recorded so far.
+    pub fn len(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Whether no repetition has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.outcomes.is_empty()
+    }
+
+    /// The workspace-wide rounding policy for averaged integer counts:
+    /// **round half up** (`⌊mean + 1/2⌋`), computed in exact integer
+    /// arithmetic so half-way cases can never wobble with float
+    /// representation. `mean_rounded(3, 2)` — lengths 1 and 2 — is 2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn mean_rounded(sum: usize, n: usize) -> usize {
+        assert!(n > 0, "mean of zero repetitions");
+        (2 * sum + n) / (2 * n)
+    }
+
+    /// Reduces the recorded repetitions, in repetition-index order, to
+    /// one aggregated [`SamplingOutcome`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no outcome was pushed, or if a field documented as
+    /// invariant differs between repetitions.
+    pub fn finish(mut self) -> SamplingOutcome {
+        assert!(!self.outcomes.is_empty(), "no repetitions to aggregate");
+        self.outcomes.sort_by_key(|(repetition, _)| *repetition);
+        let outcomes: Vec<SamplingOutcome> =
+            self.outcomes.into_iter().map(|(_, o)| o).collect();
+        let first = &outcomes[0];
+        let n = outcomes.len();
+        let nf = n as f64;
+        for o in &outcomes[1..] {
+            assert_eq!(o.strategy, first.strategy, "strategy varies between repetitions");
+            assert_eq!(
+                o.population, first.population,
+                "population varies between repetitions"
+            );
+            assert_eq!(
+                o.score.generated, first.score.generated,
+                "generated count varies between repetitions"
+            );
+        }
+        let mean_f = |field: fn(&SamplingOutcome) -> f64| -> f64 {
+            outcomes.iter().map(field).sum::<f64>() / nf
+        };
+        let mean_n = |field: fn(&SamplingOutcome) -> usize| -> usize {
+            Self::mean_rounded(outcomes.iter().map(field).sum(), n)
+        };
+        let nlfce = mean_f(|o| o.nlfce);
+        let random_len_at_equal_fc = outcomes
+            .iter()
+            .map(|o| o.metrics.random_len_at_equal_fc)
+            .collect::<Option<Vec<usize>>>()
+            .map(|lens| Self::mean_rounded(lens.iter().sum(), n));
+        SamplingOutcome {
+            strategy: first.strategy,
+            population: first.population,
+            sampled: mean_n(|o| o.sampled),
+            mutation_score_pct: mean_f(|o| o.mutation_score_pct),
+            score: MutationScore {
+                generated: first.score.generated,
+                killed: mean_n(|o| o.score.killed),
+                equivalent: mean_n(|o| o.score.equivalent),
+            },
+            metrics: Nlfce {
+                delta_fc_pct: mean_f(|o| o.metrics.delta_fc_pct),
+                delta_l_pct: mean_f(|o| o.metrics.delta_l_pct),
+                nlfce,
+                mutation_len: mean_n(|o| o.metrics.mutation_len),
+                random_len_at_equal_fc,
+            },
+            nlfce,
+            data_len: mean_n(|o| o.data_len),
+        }
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -109,6 +236,7 @@ fn run_sampling_once(
     sample_seed: u64,
     mg_seed: u64,
     baseline_seed: u64,
+    jobs: usize,
 ) -> Result<SamplingOutcome, MutationError> {
     // 1. Sample the population.
     let selected = sample_mutants(population, strategy, sample_seed);
@@ -122,7 +250,7 @@ fn run_sampling_once(
     let generated = mutation_guided_tests(&circuit.checked, &circuit.name, &subset, &mg)?;
 
     // 3. Mutation Score on the FULL population.
-    let kills = kills_over_sessions(circuit, population, &generated.sessions)?;
+    let kills = kills_over_sessions(circuit, population, &generated.sessions, jobs)?;
     let classes = classify_survivors(circuit, population, &kills, config)?;
     let score = MutationScore::from_results(&kills, &classes);
 
@@ -150,11 +278,13 @@ fn run_sampling_once(
 }
 
 /// Executes the whole population against multi-session data with fault
-/// dropping across sessions.
+/// dropping across sessions, sharding each session's live mutants
+/// across `jobs` worker threads.
 pub(crate) fn kills_over_sessions(
     circuit: &Circuit,
     population: &[Mutant],
     sessions: &[Vec<Vec<musa_hdl::Bits>>],
+    jobs: usize,
 ) -> Result<KillResult, MutationError> {
     let mut first_kill: Vec<Option<usize>> = vec![None; population.len()];
     let mut base = 0usize;
@@ -167,7 +297,8 @@ pub(crate) fn kills_over_sessions(
             continue;
         }
         let subset: Vec<Mutant> = live.iter().map(|&i| population[i].clone()).collect();
-        let result = execute_mutants(&circuit.checked, &circuit.name, &subset, session)?;
+        let result =
+            execute_mutants_jobs(&circuit.checked, &circuit.name, &subset, session, jobs)?;
         for (slot, &mi) in live.iter().enumerate() {
             if let Some(t) = result.first_kill[slot] {
                 first_kill[mi] = Some(base + t);
@@ -206,6 +337,196 @@ mod tests {
     use super::*;
     use musa_circuits::Benchmark;
     use musa_testgen::OperatorWeights;
+    use proptest::prelude::*;
+
+    /// A synthetic outcome whose every field is derived from `k`, so
+    /// repetitions are guaranteed to differ wherever aggregation must
+    /// actually aggregate.
+    fn synthetic(k: usize) -> SamplingOutcome {
+        SamplingOutcome {
+            strategy: "random",
+            population: 100,
+            sampled: 10 + k,
+            mutation_score_pct: 50.0 + k as f64,
+            score: MutationScore {
+                generated: 100,
+                killed: 40 + 2 * k,
+                equivalent: k,
+            },
+            metrics: Nlfce {
+                delta_fc_pct: 1.0 + k as f64,
+                delta_l_pct: 10.0 + k as f64,
+                nlfce: 100.0 + k as f64,
+                mutation_len: 20 + k,
+                random_len_at_equal_fc: Some(200 + k),
+            },
+            nlfce: 100.0 + k as f64,
+            data_len: 30 + k,
+        }
+    }
+
+    /// Byte-identical comparison: `Debug` for `f64` round-trips the
+    /// exact bit pattern, so equal strings mean equal bits everywhere.
+    fn assert_identical(a: &SamplingOutcome, b: &SamplingOutcome, what: &str) {
+        assert_eq!(format!("{a:?}"), format!("{b:?}"), "{what}");
+    }
+
+    #[test]
+    fn aggregate_averages_every_field_not_just_the_headline_ones() {
+        // Regression: the old merge cloned the LAST repetition and only
+        // re-averaged MS/NLFCE/ΔFC/ΔL/data_len, so sampled, kill
+        // counts and curve lengths silently reported repetition N.
+        let mut agg = SamplingAggregate::new();
+        agg.push(0, synthetic(0));
+        agg.push(1, synthetic(4));
+        let mean = agg.finish();
+        assert_eq!(mean.strategy, "random");
+        assert_eq!(mean.population, 100);
+        assert_eq!(mean.sampled, 12, "sampled must be the mean, not rep N's");
+        assert_eq!(mean.score.generated, 100);
+        assert_eq!(mean.score.killed, 44, "killed must be the mean, not rep N's");
+        assert_eq!(mean.score.equivalent, 2);
+        assert_eq!(mean.metrics.mutation_len, 22);
+        assert_eq!(mean.metrics.random_len_at_equal_fc, Some(202));
+        assert_eq!(mean.data_len, 32);
+        assert!((mean.mutation_score_pct - 52.0).abs() < 1e-12);
+        assert!((mean.nlfce - 102.0).abs() < 1e-12);
+        assert!((mean.metrics.nlfce - 102.0).abs() < 1e-12);
+        assert!((mean.metrics.delta_fc_pct - 3.0).abs() < 1e-12);
+        assert!((mean.metrics.delta_l_pct - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_drops_saturation_length_when_any_rep_lacks_it() {
+        let mut agg = SamplingAggregate::new();
+        agg.push(0, synthetic(0));
+        let mut unsaturated = synthetic(2);
+        unsaturated.metrics.random_len_at_equal_fc = None;
+        agg.push(1, unsaturated);
+        assert_eq!(agg.finish().metrics.random_len_at_equal_fc, None);
+    }
+
+    #[test]
+    fn mean_rounding_policy_is_half_up_in_exact_arithmetic() {
+        // Lengths 1 and 2 average to 1.5: policy says round half UP.
+        assert_eq!(SamplingAggregate::mean_rounded(3, 2), 2);
+        // And never half-down on the other side of an integer.
+        assert_eq!(SamplingAggregate::mean_rounded(5, 2), 3);
+        assert_eq!(SamplingAggregate::mean_rounded(4, 2), 2);
+        assert_eq!(SamplingAggregate::mean_rounded(0, 3), 0);
+        assert_eq!(SamplingAggregate::mean_rounded(10, 4), 3); // 2.5 -> 3
+        // The half-way case that decides Table 1's vector-count column.
+        let mut agg = SamplingAggregate::new();
+        let mut a = synthetic(0);
+        a.data_len = 1;
+        let mut b = synthetic(1);
+        b.data_len = 2;
+        agg.push(0, a);
+        agg.push(1, b);
+        assert_eq!(agg.finish().data_len, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "pushed twice")]
+    fn aggregate_rejects_duplicate_repetition_indices() {
+        let mut agg = SamplingAggregate::new();
+        agg.push(0, synthetic(0));
+        agg.push(0, synthetic(1));
+    }
+
+    #[test]
+    fn parallel_jobs_are_bit_identical_to_serial_on_c17_and_b01() {
+        for bench in [Benchmark::C17, Benchmark::B01] {
+            let circuit = bench.load().unwrap();
+            let population = generate_mutants(
+                &circuit.checked,
+                &circuit.name,
+                &GenerateOptions::default(),
+            );
+            let config = ExperimentConfig::fast(0xD0_0D);
+            let serial = run_sampling_experiment_on(
+                &circuit,
+                &population,
+                SamplingStrategy::random(0.4),
+                &config.with_jobs(1),
+            )
+            .unwrap();
+            for jobs in [2, 8] {
+                let parallel = run_sampling_experiment_on(
+                    &circuit,
+                    &population,
+                    SamplingStrategy::random(0.4),
+                    &config.with_jobs(jobs),
+                )
+                .unwrap();
+                assert_identical(
+                    &serial,
+                    &parallel,
+                    &format!("{bench}: jobs=1 vs jobs={jobs}"),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kill_results_are_identical_across_job_counts_on_b01_and_c17() {
+        for bench in [Benchmark::B01, Benchmark::C17] {
+            let circuit = bench.load().unwrap();
+            let population = generate_mutants(
+                &circuit.checked,
+                &circuit.name,
+                &GenerateOptions::default(),
+            );
+            let info = circuit.checked.entity_info(&circuit.name).unwrap();
+            let sequence = musa_testgen::random_sequence(info, 24, 0xBEEF);
+            let serial = musa_mutation::execute_mutants(
+                &circuit.checked,
+                &circuit.name,
+                &population,
+                &sequence,
+            )
+            .unwrap();
+            for jobs in [0, 2, 8] {
+                let sharded = execute_mutants_jobs(
+                    &circuit.checked,
+                    &circuit.name,
+                    &population,
+                    &sequence,
+                    jobs,
+                )
+                .unwrap();
+                assert_eq!(
+                    sharded.first_kill, serial.first_kill,
+                    "{bench}: jobs={jobs}"
+                );
+            }
+        }
+    }
+
+    proptest! {
+        /// The merge is order-independent: pushing the same repetitions
+        /// in any arrival order yields a byte-identical aggregate —
+        /// the property that makes worker scheduling unobservable.
+        #[test]
+        fn aggregate_is_push_order_independent(
+            values in proptest::collection::vec(0usize..1000, 2..9),
+            rotation in 1usize..8,
+        ) {
+            let n = values.len();
+            let mut in_order = SamplingAggregate::new();
+            for (i, &v) in values.iter().enumerate() {
+                in_order.push(i, synthetic(v));
+            }
+            let mut rotated = SamplingAggregate::new();
+            for off in 0..n {
+                let i = (off + rotation) % n;
+                rotated.push(i, synthetic(values[i]));
+            }
+            let a = in_order.finish();
+            let b = rotated.finish();
+            prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        }
+    }
 
     #[test]
     fn random_sampling_experiment_runs_on_c17() {

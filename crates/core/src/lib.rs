@@ -15,6 +15,10 @@
 //!    [`coverage_curves`] (E2), [`atpg_topup`] (E3) and
 //!    [`equivalence_ablation`] (E4).
 //!
+//! Repetition loops and mutant executions are sharded across worker
+//! threads by the [`parallel`] module; outcomes are bit-identical for
+//! every [`ExperimentConfig::jobs`] value.
+//!
 //! # Example
 //!
 //! ```
@@ -39,6 +43,7 @@ mod config;
 mod data;
 mod experiment;
 mod extensions;
+pub mod parallel;
 mod profile;
 mod tables;
 
@@ -46,7 +51,10 @@ pub use config::ExperimentConfig;
 pub use data::{
     coverage_of_sessions, fault_universe, random_baseline_curve, sessions_to_patterns,
 };
-pub use experiment::{run_sampling_experiment, run_sampling_experiment_on, SamplingOutcome};
+pub use experiment::{
+    run_sampling_experiment, run_sampling_experiment_on, SamplingAggregate, SamplingOutcome,
+};
+pub use parallel::{available_jobs, par_map, resolve_jobs, split_jobs, try_par_map};
 pub use extensions::{
     atpg_topup, coverage_curves, equivalence_ablation, sweep_fractions, AblationPoint,
     CurvePair, SweepPoint, TopUpMode, TopUpOutcome,

@@ -8,9 +8,11 @@
 
 use crate::config::ExperimentConfig;
 use crate::data::{coverage_of_sessions, fault_universe, random_baseline_curve};
+use crate::experiment::SamplingAggregate;
+use crate::parallel::try_par_map;
 use musa_circuits::Circuit;
 use musa_metrics::{Nlfce, NlfceInputs};
-use musa_mutation::{generate_mutants, GenerateOptions, MutationError, MutationOperator};
+use musa_mutation::{generate_mutants, GenerateOptions, Mutant, MutationError, MutationOperator};
 use musa_prng::{Prng, SplitMix64};
 use musa_testgen::{mutation_guided_tests, MgConfig, OperatorWeights};
 
@@ -57,7 +59,19 @@ impl OperatorProfile {
         let faults = fault_universe(circuit);
         let mut seeder = SplitMix64::new(config.seed ^ 0x9E3779B97F4A7C15);
         let repetitions = config.repetitions.max(1);
-        let mut rows = Vec::new();
+
+        // Enumerate mutants serially, then pre-draw every repetition's
+        // (data, baseline) seed pair in exactly the order the serial
+        // loop consumed them — operator-major, repetition-minor, empty
+        // operators drawing nothing. The flattened (operator ×
+        // repetition) cells are then embarrassingly parallel.
+        struct Cell {
+            op_slot: usize,
+            mg_seed: u64,
+            baseline_seed: u64,
+        }
+        let mut populations: Vec<(MutationOperator, Vec<Mutant>)> = Vec::new();
+        let mut cells: Vec<Cell> = Vec::new();
         for &operator in operators {
             let mutants = generate_mutants(
                 &circuit.checked,
@@ -67,55 +81,81 @@ impl OperatorProfile {
             if mutants.is_empty() {
                 continue;
             }
-            // Average the metrics over independent repetitions: small
-            // NLFCE values are noisy under a single seed.
-            let mut sum = Nlfce {
-                delta_fc_pct: 0.0,
-                delta_l_pct: 0.0,
-                nlfce: 0.0,
-                mutation_len: 0,
-                random_len_at_equal_fc: None,
-            };
-            let mut total_len = 0usize;
-            let mut total_coverage = 0.0f64;
-            let mut last: Option<Nlfce> = None;
             for _ in 0..repetitions {
-                let mg = MgConfig {
-                    seed: seeder.next_u64(),
-                    ..config.mg
-                };
-                let generated =
-                    mutation_guided_tests(&circuit.checked, &circuit.name, &mutants, &mg)?;
-                let mutation_curve =
-                    coverage_of_sessions(circuit, &faults, &generated.sessions);
-                let baseline_len = config.baseline_len(mutation_curve.len());
-                let random_curve =
-                    random_baseline_curve(circuit, &faults, baseline_len, seeder.next_u64());
-                let metrics = NlfceInputs {
-                    mutation: &mutation_curve,
-                    random: &random_curve,
-                }
-                .compute();
-                sum.delta_fc_pct += metrics.delta_fc_pct;
-                sum.delta_l_pct += metrics.delta_l_pct;
-                sum.nlfce += metrics.nlfce;
-                total_len += generated.total_len();
-                total_coverage += mutation_curve.final_coverage();
-                last = Some(metrics);
+                cells.push(Cell {
+                    op_slot: populations.len(),
+                    mg_seed: seeder.next_u64(),
+                    baseline_seed: seeder.next_u64(),
+                });
             }
-            let n = repetitions as f64;
+            populations.push((operator, mutants));
+        }
+
+        struct RepMeasurement {
+            metrics: Nlfce,
+            data_len: usize,
+            coverage: f64,
+        }
+        let measurements = try_par_map(config.jobs, &cells, |_, cell| {
+            let (_, mutants) = &populations[cell.op_slot];
+            let mg = MgConfig {
+                seed: cell.mg_seed,
+                ..config.mg
+            };
+            let generated =
+                mutation_guided_tests(&circuit.checked, &circuit.name, mutants, &mg)?;
+            let mutation_curve = coverage_of_sessions(circuit, &faults, &generated.sessions);
+            let baseline_len = config.baseline_len(mutation_curve.len());
+            let random_curve =
+                random_baseline_curve(circuit, &faults, baseline_len, cell.baseline_seed);
+            let metrics = NlfceInputs {
+                mutation: &mutation_curve,
+                random: &random_curve,
+            }
+            .compute();
+            Ok::<RepMeasurement, MutationError>(RepMeasurement {
+                metrics,
+                data_len: generated.total_len(),
+                coverage: mutation_curve.final_coverage(),
+            })
+        })?;
+
+        // Index-ordered reduction per operator: cells arrive back in
+        // (operator, repetition) order, so the float sums fold exactly
+        // as the serial loop's did. Averaged integer lengths follow the
+        // workspace rounding policy (`SamplingAggregate::mean_rounded`);
+        // the saturation length is kept only when every repetition
+        // reports one.
+        let mut rows = Vec::with_capacity(populations.len());
+        for (slot, (operator, mutants)) in populations.iter().enumerate() {
+            let reps: Vec<&RepMeasurement> = cells
+                .iter()
+                .zip(&measurements)
+                .filter(|(cell, _)| cell.op_slot == slot)
+                .map(|(_, m)| m)
+                .collect();
+            let n = reps.len() as f64;
+            let data_len = SamplingAggregate::mean_rounded(
+                reps.iter().map(|r| r.data_len).sum(),
+                reps.len(),
+            );
+            let random_len_at_equal_fc = reps
+                .iter()
+                .map(|r| r.metrics.random_len_at_equal_fc)
+                .collect::<Option<Vec<usize>>>()
+                .map(|lens| SamplingAggregate::mean_rounded(lens.iter().sum(), reps.len()));
             let mean = Nlfce {
-                delta_fc_pct: sum.delta_fc_pct / n,
-                delta_l_pct: sum.delta_l_pct / n,
-                nlfce: sum.nlfce / n,
-                mutation_len: total_len / repetitions,
-                random_len_at_equal_fc: last.and_then(|m| m.random_len_at_equal_fc),
+                delta_fc_pct: reps.iter().map(|r| r.metrics.delta_fc_pct).sum::<f64>() / n,
+                delta_l_pct: reps.iter().map(|r| r.metrics.delta_l_pct).sum::<f64>() / n,
+                nlfce: reps.iter().map(|r| r.metrics.nlfce).sum::<f64>() / n,
+                mutation_len: data_len,
+                random_len_at_equal_fc,
             };
             rows.push(OperatorEfficiency {
-                operator,
+                operator: *operator,
                 mutants: mutants.len(),
-                data_len: total_len / repetitions,
-                mutation_fault_coverage: total_coverage / n,
+                data_len,
+                mutation_fault_coverage: reps.iter().map(|r| r.coverage).sum::<f64>() / n,
                 metrics: mean,
             });
         }
@@ -192,5 +232,23 @@ mod tests {
         let p2 = OperatorProfile::measure(&c17, &[MutationOperator::Lor], &config).unwrap();
         assert_eq!(p1.rows[0].data_len, p2.rows[0].data_len);
         assert_eq!(p1.rows[0].metrics.nlfce, p2.rows[0].metrics.nlfce);
+    }
+
+    #[test]
+    fn profile_is_bit_identical_for_every_job_count() {
+        let c17 = Benchmark::C17.load().unwrap();
+        let config = ExperimentConfig::fast(0x2B);
+        let operators = [MutationOperator::Lor, MutationOperator::Vr];
+        let serial =
+            OperatorProfile::measure(&c17, &operators, &config.with_jobs(1)).unwrap();
+        for jobs in [2, 8] {
+            let parallel =
+                OperatorProfile::measure(&c17, &operators, &config.with_jobs(jobs)).unwrap();
+            assert_eq!(
+                format!("{:?}", serial.rows),
+                format!("{:?}", parallel.rows),
+                "jobs={jobs}"
+            );
+        }
     }
 }

@@ -6,6 +6,8 @@
 
 use crate::mutant::{Mutant, MutationError};
 use musa_hdl::{Bits, CheckedDesign, Simulator};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// A test sequence: one `Vec<Bits>` (data inputs, declaration order) per
 /// clock cycle. Combinational circuits treat each vector independently.
@@ -64,12 +66,78 @@ pub fn execute_mutants(
     mutants: &[Mutant],
     sequence: &[Vec<Bits>],
 ) -> Result<KillResult, MutationError> {
+    execute_mutants_jobs(checked, entity, mutants, sequence, 1)
+}
+
+/// [`execute_mutants`] sharded across `jobs` worker threads (`0` = one
+/// per available CPU).
+///
+/// The reference transcript is computed once and shared read-only by
+/// every worker; mutants are pulled off an atomic counter for load
+/// balancing (mutant cost varies with how early the kill lands) and
+/// `first_kill` is merged back **by mutant index**, so the result is
+/// bit-identical to the serial loop for every thread count. On error
+/// the lowest-index failure is reported, exactly as the serial loop
+/// would.
+///
+/// This mirrors `musa_core::parallel::try_par_map` (same work-queue,
+/// deposit-by-index and lowest-index-error contract), re-implemented
+/// here because `musa_core` sits *above* this crate in the dependency
+/// graph — keep the two in sync.
+///
+/// # Errors
+///
+/// Propagates [`MutationError`] from mutant application (a mutant that
+/// does not belong to this design).
+pub fn execute_mutants_jobs(
+    checked: &CheckedDesign,
+    entity: &str,
+    mutants: &[Mutant],
+    sequence: &[Vec<Bits>],
+    jobs: usize,
+) -> Result<KillResult, MutationError> {
     let reference = reference_transcript(checked, entity, sequence)?;
+    let jobs = resolve_jobs(jobs).min(mutants.len().max(1));
+    if jobs <= 1 {
+        let mut first_kill = Vec::with_capacity(mutants.len());
+        for mutant in mutants {
+            first_kill.push(run_one(checked, entity, mutant, sequence, &reference)?);
+        }
+        return Ok(KillResult { first_kill });
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<Option<usize>, MutationError>>>> =
+        mutants.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(mutant) = mutants.get(i) else { break };
+                let result = run_one(checked, entity, mutant, sequence, &reference);
+                *slots[i].lock().expect("worker deposits its own slot") = Some(result);
+            });
+        }
+    });
+
     let mut first_kill = Vec::with_capacity(mutants.len());
-    for mutant in mutants {
-        first_kill.push(run_one(checked, entity, mutant, sequence, &reference)?);
+    for slot in slots {
+        match slot.into_inner().expect("scope joined all workers") {
+            Some(Ok(kill)) => first_kill.push(kill),
+            Some(Err(e)) => return Err(e),
+            None => unreachable!("every slot is filled before the scope exits"),
+        }
     }
     Ok(KillResult { first_kill })
+}
+
+/// `0` means one worker per available CPU; anything else is literal.
+fn resolve_jobs(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        requested
+    }
 }
 
 /// Executes a single mutant; returns the first killing vector index.
@@ -190,6 +258,22 @@ mod tests {
         let stuck1 = 1 - stuck0;
         assert_eq!(result.first_kill[stuck0], Some(1));
         assert_eq!(result.first_kill[stuck1], None, "stuck-1 identical when en held high");
+    }
+
+    #[test]
+    fn sharded_execution_matches_serial_for_every_job_count() {
+        let d = checked(GATE);
+        let mutants = generate_mutants(&d, "g", &GenerateOptions::default());
+        assert!(mutants.len() > 4, "need a population worth sharding");
+        let sequence: TestSequence = (0..4u64)
+            .map(|p| vec![bit(p & 1), bit((p >> 1) & 1)])
+            .collect();
+        let serial = execute_mutants(&d, "g", &mutants, &sequence).unwrap();
+        for jobs in [0, 2, 3, 8, 64] {
+            let sharded =
+                execute_mutants_jobs(&d, "g", &mutants, &sequence, jobs).unwrap();
+            assert_eq!(sharded.first_kill, serial.first_kill, "jobs={jobs}");
+        }
     }
 
     #[test]

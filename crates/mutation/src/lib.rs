@@ -46,7 +46,10 @@ mod operator;
 mod score;
 
 pub use equivalence::{classify_mutants, EquivalenceClass, EquivalencePolicy};
-pub use execute::{execute_mutants, reference_transcript, run_one, KillResult, TestSequence};
+pub use execute::{
+    execute_mutants, execute_mutants_jobs, reference_transcript, run_one, KillResult,
+    TestSequence,
+};
 pub use generate::{count_by_operator, generate_mutants, GenerateOptions};
 pub use mutant::{Mutant, MutantId, MutationError, Rewrite};
 pub use operator::MutationOperator;

@@ -47,6 +47,52 @@ fn bench_subcommand_reports_stats() {
 }
 
 #[test]
+fn sample_subcommand_reports_experiment_outcome() {
+    let out = musa(&["sample", "c17", "0.5", "--jobs", "2", "--seed", "9"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("c17:"), "stdout: {stdout}");
+    assert!(stdout.contains("2 jobs"), "stdout: {stdout}");
+    assert!(stdout.contains("MS "), "stdout: {stdout}");
+    assert!(stdout.contains("NLFCE "), "stdout: {stdout}");
+}
+
+#[test]
+fn sample_outcome_is_identical_across_job_counts() {
+    let serial = musa(&["sample", "c17", "0.5", "--jobs", "1", "--seed", "7"]);
+    let parallel = musa(&["sample", "c17", "0.5", "--jobs", "4", "--seed", "7"]);
+    assert_eq!(serial.status.code(), Some(0));
+    assert_eq!(parallel.status.code(), Some(0));
+    // Everything after the header line (which names the job count) must
+    // be byte-identical: the parallel engine guarantees bit-equal
+    // outcomes for every job count.
+    let tail = |out: &Output| -> String {
+        String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .skip(1)
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let serial_tail = tail(&serial);
+    assert!(!serial_tail.is_empty());
+    assert_eq!(serial_tail, tail(&parallel));
+}
+
+#[test]
+fn sample_without_benchmark_exits_1_with_usage() {
+    let out = musa(&["sample"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("expected <name>"));
+}
+
+#[test]
+fn sample_rejects_bad_fraction() {
+    let out = musa(&["sample", "c17", "1.5"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("fraction"));
+}
+
+#[test]
 fn bench_with_unknown_name_exits_1() {
     let out = musa(&["bench", "zz99"]);
     assert_eq!(out.status.code(), Some(1));
