@@ -3,7 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use musa_circuits::Benchmark;
-use musa_mutation::{execute_mutants, generate_mutants, GenerateOptions};
+use musa_mutation::{
+    execute_mutants, execute_mutants_lanes, generate_mutants, GenerateOptions,
+};
 use musa_testgen::random_sequence;
 use std::hint::black_box;
 
@@ -48,6 +50,23 @@ fn bench_execution(c: &mut Criterion) {
                     black_box(
                         execute_mutants(&circuit.checked, &circuit.name, mutants, sequence)
                             .expect("mutants belong to the design"),
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("32_vectors_lanes", bench.name()),
+            &(&circuit, &mutants, &sequence),
+            |b, (circuit, mutants, sequence)| {
+                b.iter(|| {
+                    black_box(
+                        execute_mutants_lanes(
+                            &circuit.checked,
+                            &circuit.name,
+                            mutants,
+                            sequence,
+                        )
+                        .expect("mutants belong to the design"),
                     )
                 })
             },

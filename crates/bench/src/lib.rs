@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 use musa_core::ExperimentConfig;
+use musa_mutation::Engine;
 
 /// Paper-reported values, for side-by-side printing.
 pub mod paper {
@@ -60,6 +61,8 @@ pub struct CliOptions {
     pub seed: u64,
     /// Worker threads (`0` = one per available CPU).
     pub jobs: usize,
+    /// Mutant-execution engine (`scalar` or `lanes`).
+    pub engine: Engine,
 }
 
 impl CliOptions {
@@ -72,16 +75,21 @@ options (shared by every musa_bench experiment binary):
   --jobs N    worker threads (default: one per available CPU);
               results are bit-identical for every value, so this is
               purely a wall-clock knob
+  --engine E  mutant-execution engine: `scalar` (one Simulator pass
+              per mutant) or `lanes` (63 mutants + the reference
+              machine per pass); outcomes are bit-identical, and
+              lanes compose multiplicatively with --jobs
   --help      print this text";
 
-    /// Parses `--fast`, `--seed N` and `--jobs N` from
+    /// Parses `--fast`, `--seed N`, `--jobs N` and `--engine E` from
     /// `std::env::args`; `--help` prints [`CliOptions::USAGE`] and
-    /// exits 0. A missing or unparsable `--seed`/`--jobs` value exits 2
-    /// rather than silently running with the default.
+    /// exits 0. A missing or unparsable `--seed`/`--jobs`/`--engine`
+    /// value exits 2 rather than silently running with the default.
     pub fn from_args() -> Self {
         let mut fast = false;
         let mut seed = 0xDA7E_2005u64;
         let mut jobs = 0usize;
+        let mut engine = Engine::Scalar;
         let args: Vec<String> = std::env::args().collect();
         let value = |i: usize, flag: &str| -> u64 {
             args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
@@ -102,6 +110,17 @@ options (shared by every musa_bench experiment binary):
                     jobs = value(i, "--jobs") as usize;
                     i += 1;
                 }
+                "--engine" => {
+                    engine = args
+                        .get(i + 1)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| {
+                            eprintln!("--engine expects `scalar` or `lanes`");
+                            eprintln!("{}", Self::USAGE);
+                            std::process::exit(2);
+                        });
+                    i += 1;
+                }
                 "--help" | "-h" => {
                     println!("{}", Self::USAGE);
                     std::process::exit(0);
@@ -110,7 +129,7 @@ options (shared by every musa_bench experiment binary):
             }
             i += 1;
         }
-        Self { fast, seed, jobs }
+        Self { fast, seed, jobs, engine }
     }
 
     /// The experiment configuration these options select.
@@ -120,7 +139,7 @@ options (shared by every musa_bench experiment binary):
         } else {
             ExperimentConfig::paper(self.seed)
         };
-        config.with_jobs(self.jobs)
+        config.with_jobs(self.jobs).with_engine(self.engine)
     }
 }
 
@@ -156,6 +175,7 @@ mod tests {
             fast: true,
             seed: 42,
             jobs: 0,
+            engine: Engine::Scalar,
         };
         let cfg = opts.config();
         assert_eq!(cfg.seed, 42);
@@ -168,13 +188,27 @@ mod tests {
             fast: false,
             seed: 1,
             jobs: 3,
+            engine: Engine::Scalar,
         };
         assert_eq!(opts.config().jobs, 3);
     }
 
     #[test]
+    fn engine_option_reaches_the_config_and_generation() {
+        let opts = CliOptions {
+            fast: true,
+            seed: 1,
+            jobs: 0,
+            engine: Engine::Lanes,
+        };
+        let cfg = opts.config();
+        assert_eq!(cfg.engine, Engine::Lanes);
+        assert_eq!(cfg.mg.engine, Engine::Lanes);
+    }
+
+    #[test]
     fn usage_documents_every_flag() {
-        for flag in ["--fast", "--seed", "--jobs", "--help"] {
+        for flag in ["--fast", "--seed", "--jobs", "--engine", "--help"] {
             assert!(CliOptions::USAGE.contains(flag), "usage lacks {flag}");
         }
     }

@@ -49,6 +49,8 @@ pub enum Benchmark {
     B03,
     /// ITC'99 b04 — min/max tracker (sequential).
     B04,
+    /// ITC'99 b05 — memory-contents mapper (sequential).
+    B05,
     /// ITC'99 b06 — interrupt handler (sequential).
     B06,
     /// ITC'99 b09 — serial-to-parallel converter (sequential).
@@ -65,13 +67,14 @@ pub enum Benchmark {
 
 impl Benchmark {
     /// Every bundled benchmark, smallest first.
-    pub fn all() -> [Benchmark; 10] {
+    pub fn all() -> [Benchmark; 11] {
         [
             Benchmark::C17,
             Benchmark::B01,
             Benchmark::B02,
             Benchmark::B03,
             Benchmark::B04,
+            Benchmark::B05,
             Benchmark::B06,
             Benchmark::B09,
             Benchmark::C432,
@@ -92,6 +95,7 @@ impl Benchmark {
             Benchmark::B02 => "b02",
             Benchmark::B03 => "b03",
             Benchmark::B04 => "b04",
+            Benchmark::B05 => "b05",
             Benchmark::B06 => "b06",
             Benchmark::B09 => "b09",
             Benchmark::C17 => "c17",
@@ -108,6 +112,7 @@ impl Benchmark {
             Benchmark::B02 => include_str!("hdl/b02.mhdl"),
             Benchmark::B03 => include_str!("hdl/b03.mhdl"),
             Benchmark::B04 => include_str!("hdl/b04.mhdl"),
+            Benchmark::B05 => include_str!("hdl/b05.mhdl"),
             Benchmark::B06 => include_str!("hdl/b06.mhdl"),
             Benchmark::B09 => include_str!("hdl/b09.mhdl"),
             Benchmark::C17 => include_str!("hdl/c17.mhdl"),
@@ -341,6 +346,11 @@ mod tests {
     }
 
     #[test]
+    fn cross_check_b05() {
+        cross_check(Benchmark::B05, 300, 0x05);
+    }
+
+    #[test]
     fn cross_check_b06() {
         cross_check(Benchmark::B06, 300, 0x06);
     }
@@ -537,6 +547,39 @@ mod tests {
         let outs = sim.step(&[zero, b(8, 120)]);
         assert_eq!(outs[0].raw(), 17, "min");
         assert_eq!(outs[1].raw(), 200, "max");
+    }
+
+    #[test]
+    fn b05_elaborates_simulates_and_yields_mutants() {
+        use musa_mutation::{generate_mutants, GenerateOptions};
+        // Smoke for the ROADMAP "larger circuit suite" item: the model
+        // must elaborate, synthesize, run a scan and produce a mutant
+        // population worth sampling.
+        let circuit = Benchmark::B05.load().unwrap();
+        assert!(!circuit.is_combinational());
+        assert!(circuit.netlist.gate_count() > 0);
+        let mut sim = Simulator::new(&circuit.checked, "b05").unwrap();
+        let zero = b(1, 0);
+        let one = b(1, 1);
+        // Kick off a scan; the walk takes 16 cycles, then `done` pulses.
+        sim.step(&[zero, one]);
+        let mut done_at = None;
+        for t in 0..20 {
+            let outs = sim.step(&[zero, zero]);
+            if outs[1].raw() == 1 {
+                done_at = Some(t);
+                // Max of the table is 15; checksum 0x70 >> 4 = 7.
+                assert_eq!(outs[0].raw() >> 4, 15, "max nibble");
+                break;
+            }
+        }
+        assert_eq!(done_at, Some(16), "scan takes 16 cycles plus the report");
+        let mutants = generate_mutants(
+            &circuit.checked,
+            &circuit.name,
+            &GenerateOptions::default(),
+        );
+        assert!(mutants.len() >= 50, "population {} too small", mutants.len());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Experiment configuration shared by every pipeline stage.
 
-use musa_mutation::EquivalencePolicy;
+use musa_mutation::{Engine, EquivalencePolicy};
 use musa_testgen::{MgConfig, Selection};
 
 /// Knobs of the end-to-end experiments.
@@ -30,6 +30,13 @@ pub struct ExperimentConfig {
     /// available CPU). Results are bit-identical for every value — see
     /// [`crate::parallel`] — so this is purely a wall-clock knob.
     pub jobs: usize,
+    /// Mutant-execution engine for every differential-simulation stage
+    /// (population grading and mutation-guided generation). `lanes`
+    /// packs up to 63 mutants plus the reference machine into one
+    /// simulation pass; outcomes are bit-identical across engines, so
+    /// like `jobs` this is purely a wall-clock knob — and the two
+    /// compose multiplicatively.
+    pub engine: Engine,
 }
 
 impl ExperimentConfig {
@@ -48,6 +55,7 @@ impl ExperimentConfig {
                 max_rounds: 2,
                 selection: Selection::FirstCome,
                 seed,
+                engine: Engine::Scalar,
             },
             equivalence: EquivalencePolicy {
                 budget: 2_000,
@@ -59,6 +67,7 @@ impl ExperimentConfig {
             baseline_floor: 512,
             repetitions: 15,
             jobs: 0,
+            engine: Engine::Scalar,
         }
     }
 
@@ -72,6 +81,7 @@ impl ExperimentConfig {
             baseline_floor: 128,
             repetitions: 2,
             jobs: 0,
+            engine: Engine::Scalar,
         }
     }
 
@@ -79,6 +89,15 @@ impl ExperimentConfig {
     #[must_use]
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs;
+        self
+    }
+
+    /// Returns a copy running every mutant-execution stage — population
+    /// grading *and* mutation-guided generation — on `engine`.
+    #[must_use]
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self.mg.engine = engine;
         self
     }
 
@@ -117,5 +136,15 @@ mod tests {
         assert_eq!(c.seed, 77);
         assert_eq!(c.mg.seed, 77);
         assert_eq!(c.equivalence.seed, 77);
+    }
+
+    #[test]
+    fn engine_propagates_to_generation() {
+        let c = ExperimentConfig::fast(1);
+        assert_eq!(c.engine, Engine::Scalar);
+        assert_eq!(c.mg.engine, Engine::Scalar);
+        let c = c.with_engine(Engine::Lanes);
+        assert_eq!(c.engine, Engine::Lanes);
+        assert_eq!(c.mg.engine, Engine::Lanes, "MG generation must follow the knob");
     }
 }

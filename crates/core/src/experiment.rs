@@ -12,8 +12,8 @@ use crate::parallel::{split_jobs, try_par_map};
 use musa_circuits::Circuit;
 use musa_metrics::{Nlfce, NlfceInputs};
 use musa_mutation::{
-    classify_mutants, execute_mutants_jobs, generate_mutants, EquivalenceClass, GenerateOptions,
-    KillResult, Mutant, MutationError, MutationScore,
+    classify_mutants, execute_mutants_engine, generate_mutants, Engine, EquivalenceClass,
+    GenerateOptions, KillResult, Mutant, MutationError, MutationScore,
 };
 use musa_prng::{Prng, SplitMix64};
 use musa_testgen::{mutation_guided_tests, sample_mutants, MgConfig, SamplingStrategy};
@@ -250,7 +250,8 @@ fn run_sampling_once(
     let generated = mutation_guided_tests(&circuit.checked, &circuit.name, &subset, &mg)?;
 
     // 3. Mutation Score on the FULL population.
-    let kills = kills_over_sessions(circuit, population, &generated.sessions, jobs)?;
+    let kills =
+        kills_over_sessions(circuit, population, &generated.sessions, jobs, config.engine)?;
     let classes = classify_survivors(circuit, population, &kills, config)?;
     let score = MutationScore::from_results(&kills, &classes);
 
@@ -278,13 +279,14 @@ fn run_sampling_once(
 }
 
 /// Executes the whole population against multi-session data with fault
-/// dropping across sessions, sharding each session's live mutants
-/// across `jobs` worker threads.
+/// dropping across sessions, sharding each session's live mutants (or
+/// lane groups, on the lane engine) across `jobs` worker threads.
 pub(crate) fn kills_over_sessions(
     circuit: &Circuit,
     population: &[Mutant],
     sessions: &[Vec<Vec<musa_hdl::Bits>>],
     jobs: usize,
+    engine: Engine,
 ) -> Result<KillResult, MutationError> {
     let mut first_kill: Vec<Option<usize>> = vec![None; population.len()];
     let mut base = 0usize;
@@ -297,8 +299,14 @@ pub(crate) fn kills_over_sessions(
             continue;
         }
         let subset: Vec<Mutant> = live.iter().map(|&i| population[i].clone()).collect();
-        let result =
-            execute_mutants_jobs(&circuit.checked, &circuit.name, &subset, session, jobs)?;
+        let result = execute_mutants_engine(
+            &circuit.checked,
+            &circuit.name,
+            &subset,
+            session,
+            jobs,
+            engine,
+        )?;
         for (slot, &mi) in live.iter().enumerate() {
             if let Some(t) = result.first_kill[slot] {
                 first_kill[mi] = Some(base + t);
@@ -469,6 +477,40 @@ mod tests {
     }
 
     #[test]
+    fn lane_engine_outcome_is_bit_identical_to_scalar() {
+        for bench in [Benchmark::C17, Benchmark::B01] {
+            let circuit = bench.load().unwrap();
+            let population = generate_mutants(
+                &circuit.checked,
+                &circuit.name,
+                &GenerateOptions::default(),
+            );
+            let config = ExperimentConfig::fast(0xE6);
+            let scalar = run_sampling_experiment_on(
+                &circuit,
+                &population,
+                SamplingStrategy::random(0.4),
+                &config,
+            )
+            .unwrap();
+            for jobs in [1, 4] {
+                let lanes = run_sampling_experiment_on(
+                    &circuit,
+                    &population,
+                    SamplingStrategy::random(0.4),
+                    &config.with_engine(Engine::Lanes).with_jobs(jobs),
+                )
+                .unwrap();
+                assert_identical(
+                    &scalar,
+                    &lanes,
+                    &format!("{bench}: scalar vs lanes (jobs={jobs})"),
+                );
+            }
+        }
+    }
+
+    #[test]
     fn kill_results_are_identical_across_job_counts_on_b01_and_c17() {
         for bench in [Benchmark::B01, Benchmark::C17] {
             let circuit = bench.load().unwrap();
@@ -487,7 +529,7 @@ mod tests {
             )
             .unwrap();
             for jobs in [0, 2, 8] {
-                let sharded = execute_mutants_jobs(
+                let sharded = musa_mutation::execute_mutants_jobs(
                     &circuit.checked,
                     &circuit.name,
                     &population,

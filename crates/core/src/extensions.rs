@@ -351,7 +351,13 @@ pub fn equivalence_ablation(
     };
     let generated = mutation_guided_tests(&circuit.checked, &circuit.name, &subset, &mg)
         .map_err(TableError::from)?;
-    let kills = kills_over_sessions(&circuit, &population, &generated.sessions, config.jobs)?;
+    let kills = kills_over_sessions(
+        &circuit,
+        &population,
+        &generated.sessions,
+        config.jobs,
+        config.engine,
+    )?;
 
     let mut points = Vec::with_capacity(budgets.len());
     for &budget in budgets {

@@ -235,6 +235,23 @@ mod tests {
     }
 
     #[test]
+    fn profile_is_bit_identical_across_engines() {
+        use musa_mutation::Engine;
+        let c17 = Benchmark::C17.load().unwrap();
+        let config = ExperimentConfig::fast(0x3C);
+        let operators = [MutationOperator::Lor, MutationOperator::Vr];
+        let scalar = OperatorProfile::measure(&c17, &operators, &config).unwrap();
+        let lanes =
+            OperatorProfile::measure(&c17, &operators, &config.with_engine(Engine::Lanes))
+                .unwrap();
+        assert_eq!(
+            format!("{:?}", scalar.rows),
+            format!("{:?}", lanes.rows),
+            "scalar vs lanes"
+        );
+    }
+
+    #[test]
     fn profile_is_bit_identical_for_every_job_count() {
         let c17 = Benchmark::C17.load().unwrap();
         let config = ExperimentConfig::fast(0x2B);

@@ -67,6 +67,23 @@ impl Bits {
 
     /// The low-`width` mask.
     fn mask(width: u32) -> u64 {
+        Self::mask_of(width)
+    }
+
+    /// The mask selecting the low `width` bits of a raw word — the
+    /// invariant every [`Bits`] value is kept under. Exposed for engines
+    /// that operate on raw `u64` words outside [`Bits`] (the lane-parallel
+    /// mutant simulator packs 64 machines per word array and needs the
+    /// same masking discipline).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than [`MAX_WIDTH`].
+    pub fn mask_of(width: u32) -> u64 {
+        assert!(
+            (1..=MAX_WIDTH).contains(&width),
+            "bit-vector width must be in 1..={MAX_WIDTH}, got {width}"
+        );
         if width == MAX_WIDTH {
             u64::MAX
         } else {
@@ -285,6 +302,23 @@ impl fmt::LowerHex for Bits {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn mask_of_matches_construction() {
+        assert_eq!(Bits::mask_of(1), 1);
+        assert_eq!(Bits::mask_of(4), 0xF);
+        assert_eq!(Bits::mask_of(63), u64::MAX >> 1);
+        assert_eq!(Bits::mask_of(64), u64::MAX);
+        for w in 1..=64u32 {
+            assert_eq!(Bits::ones(w).raw(), Bits::mask_of(w));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be in")]
+    fn mask_of_zero_panics() {
+        let _ = Bits::mask_of(0);
+    }
 
     #[test]
     fn construction_masks() {

@@ -6,8 +6,56 @@
 
 use crate::mutant::{Mutant, MutationError};
 use musa_hdl::{Bits, CheckedDesign, Simulator};
+use std::fmt;
+use std::str::FromStr;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Which mutant-execution engine grades a population.
+///
+/// Both engines produce **bit-identical** [`KillResult`]s for every
+/// population, sequence, lane count and job count; the knob exists for
+/// differential testing and because the scalar engine accepts arbitrary
+/// (even stillborn) mutants while the lane engine is built for
+/// validated populations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub enum Engine {
+    /// One full `Simulator` pass per mutant, early-exiting at its first
+    /// kill. The reference baseline.
+    #[default]
+    Scalar,
+    /// The bit-parallel lane engine ([`crate::lanes`]): up to 63 mutants
+    /// plus the reference machine per simulation pass.
+    Lanes,
+}
+
+impl Engine {
+    /// The CLI spelling (`scalar` / `lanes`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Scalar => "scalar",
+            Engine::Lanes => "lanes",
+        }
+    }
+}
+
+impl fmt::Display for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Engine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "scalar" => Ok(Engine::Scalar),
+            "lanes" => Ok(Engine::Lanes),
+            other => Err(format!("unknown engine `{other}` (expected scalar|lanes)")),
+        }
+    }
+}
 
 /// A test sequence: one `Vec<Bits>` (data inputs, declaration order) per
 /// clock cycle. Combinational circuits treat each vector independently.
@@ -80,7 +128,9 @@ pub fn execute_mutants(
 /// the lowest-index failure is reported, exactly as the serial loop
 /// would.
 ///
-/// This mirrors `musa_core::parallel::try_par_map` (same work-queue,
+/// The work queue itself is `try_shard`, shared with the lane
+/// engine's group sharding. It mirrors
+/// `musa_core::parallel::try_par_map` (same work-queue,
 /// deposit-by-index and lowest-index-error contract), re-implemented
 /// here because `musa_core` sits *above* this crate in the dependency
 /// graph — keep the two in sync.
@@ -97,42 +147,84 @@ pub fn execute_mutants_jobs(
     jobs: usize,
 ) -> Result<KillResult, MutationError> {
     let reference = reference_transcript(checked, entity, sequence)?;
-    let jobs = resolve_jobs(jobs).min(mutants.len().max(1));
-    if jobs <= 1 {
-        let mut first_kill = Vec::with_capacity(mutants.len());
-        for mutant in mutants {
-            first_kill.push(run_one(checked, entity, mutant, sequence, &reference)?);
-        }
-        return Ok(KillResult { first_kill });
-    }
+    let first_kill = try_shard(jobs, mutants.len(), |i| {
+        run_one(checked, entity, &mutants[i], sequence, &reference)
+    })?;
+    Ok(KillResult { first_kill })
+}
 
+/// Runs `count` independent work items across `jobs` worker threads
+/// (`0` = one per CPU; `<= 1` runs serially in index order), pulling
+/// items off an atomic counter for load balancing and depositing
+/// results **by index**. The merged output — including which error is
+/// reported when several items fail (the lowest-index one) — is
+/// therefore identical for every thread count. Shared by the scalar
+/// mutant loop and the lane engine's group sharding.
+pub(crate) fn try_shard<T: Send>(
+    jobs: usize,
+    count: usize,
+    run: impl Fn(usize) -> Result<T, MutationError> + Sync,
+) -> Result<Vec<T>, MutationError> {
+    let jobs = resolve_jobs(jobs).min(count.max(1));
+    if jobs <= 1 {
+        return (0..count).map(run).collect();
+    }
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<Result<Option<usize>, MutationError>>>> =
-        mutants.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<Result<T, MutationError>>>> =
+        (0..count).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..jobs {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(mutant) = mutants.get(i) else { break };
-                let result = run_one(checked, entity, mutant, sequence, &reference);
-                *slots[i].lock().expect("worker deposits its own slot") = Some(result);
+                if i >= count {
+                    break;
+                }
+                *slots[i].lock().expect("worker deposits its own slot") = Some(run(i));
             });
         }
     });
-
-    let mut first_kill = Vec::with_capacity(mutants.len());
+    let mut merged = Vec::with_capacity(count);
     for slot in slots {
         match slot.into_inner().expect("scope joined all workers") {
-            Some(Ok(kill)) => first_kill.push(kill),
+            Some(Ok(value)) => merged.push(value),
             Some(Err(e)) => return Err(e),
             None => unreachable!("every slot is filled before the scope exits"),
         }
     }
-    Ok(KillResult { first_kill })
+    Ok(merged)
+}
+
+/// [`execute_mutants_jobs`] with a selectable [`Engine`]. The outcome
+/// is bit-identical across engines; `jobs` shards mutants (scalar) or
+/// whole lane groups (lanes) across worker threads.
+///
+/// # Errors
+///
+/// Propagates [`MutationError`] from mutant application (a mutant that
+/// does not belong to this design), lowest mutant index first.
+pub fn execute_mutants_engine(
+    checked: &CheckedDesign,
+    entity: &str,
+    mutants: &[Mutant],
+    sequence: &[Vec<Bits>],
+    jobs: usize,
+    engine: Engine,
+) -> Result<KillResult, MutationError> {
+    match engine {
+        Engine::Scalar => execute_mutants_jobs(checked, entity, mutants, sequence, jobs),
+        Engine::Lanes => crate::lanes::execute_mutants_lanes_opts(
+            checked,
+            entity,
+            mutants,
+            sequence,
+            &crate::lanes::LaneOptions::default().with_jobs(jobs),
+        )
+        .map(|(kills, _)| kills),
+    }
 }
 
 /// `0` means one worker per available CPU; anything else is literal.
-fn resolve_jobs(requested: usize) -> usize {
+pub(crate) fn resolve_jobs(requested: usize) -> usize {
     if requested == 0 {
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
     } else {
@@ -273,6 +365,29 @@ mod tests {
             let sharded =
                 execute_mutants_jobs(&d, "g", &mutants, &sequence, jobs).unwrap();
             assert_eq!(sharded.first_kill, serial.first_kill, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn engine_knob_parses_and_dispatches_identically() {
+        assert_eq!("scalar".parse::<Engine>().unwrap(), Engine::Scalar);
+        assert_eq!("lanes".parse::<Engine>().unwrap(), Engine::Lanes);
+        assert!("turbo".parse::<Engine>().is_err());
+        assert_eq!(Engine::default(), Engine::Scalar);
+        assert_eq!(Engine::Lanes.to_string(), "lanes");
+
+        let d = checked(GATE);
+        let mutants = generate_mutants(&d, "g", &GenerateOptions::default());
+        let sequence: TestSequence = (0..4u64)
+            .map(|p| vec![bit(p & 1), bit((p >> 1) & 1)])
+            .collect();
+        let scalar =
+            execute_mutants_engine(&d, "g", &mutants, &sequence, 1, Engine::Scalar).unwrap();
+        for jobs in [1, 4] {
+            let lanes =
+                execute_mutants_engine(&d, "g", &mutants, &sequence, jobs, Engine::Lanes)
+                    .unwrap();
+            assert_eq!(lanes.first_kill, scalar.first_kill, "jobs={jobs}");
         }
     }
 

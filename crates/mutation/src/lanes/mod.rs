@@ -1,0 +1,715 @@
+//! Bit-parallel behavioral mutant lanes: up to 63 mutants + the
+//! reference machine evaluated in **one** simulation pass.
+//!
+//! This is the behavioral-layer counterpart of `musa_netlist::fsim`'s
+//! 63-faults-plus-good-machine word packing. The population is batched
+//! into lane groups of at most 63 mutants of the same entity; each
+//! group compiles the entity **once** into a flat instruction tape over
+//! 64-lane words with every mutation site folded in as a mask-driven
+//! lane select, then steps all lanes through reset
+//! and the test sequence together. Per-lane first-kill cycles fall out
+//! of XOR-ing each output lane against lane 0, so a population of `N`
+//! mutants costs `⌈N/63⌉` simulation passes instead of `N` — and lane
+//! groups shard across worker threads, so lanes compose multiplicatively
+//! with `jobs`.
+//!
+//! Results are **bit-identical** to the scalar engine
+//! ([`crate::execute_mutants_jobs`]) for every lane count and job
+//! count. Mutants the tape cannot represent (an unknown site, a rewrite
+//! that does not fit its node, a replacement the checker would reject)
+//! are executed through the scalar engine lane-by-lane, so even
+//! pathological inputs keep exact behavioural parity; populations from
+//! [`crate::generate_mutants`] with validation on never need that path.
+
+mod compile;
+mod tape;
+
+use crate::execute::{reference_transcript, run_one, try_shard, KillResult};
+use crate::mutant::{Mutant, MutationError};
+use compile::{compile_group, CompileError, Compiled};
+use musa_hdl::{Bits, CheckedDesign, Simulator};
+use tape::{LaneVm, LANES};
+
+/// Maximum number of mutants per simulation pass (lane 0 is the
+/// reference machine).
+pub const MAX_LANES: usize = LANES - 1;
+
+/// Knobs of the lane engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneOptions {
+    /// Mutants packed per pass, clamped to `1..=`[`MAX_LANES`]. Lower
+    /// values exist for differential testing; 63 is the throughput
+    /// setting.
+    pub lanes_per_pass: usize,
+    /// Worker threads sharding the lane groups (`0` = one per CPU).
+    pub jobs: usize,
+}
+
+impl Default for LaneOptions {
+    fn default() -> Self {
+        Self { lanes_per_pass: MAX_LANES, jobs: 1 }
+    }
+}
+
+impl LaneOptions {
+    /// Options with the given worker-thread count.
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    fn lanes(&self) -> usize {
+        self.lanes_per_pass.clamp(1, MAX_LANES)
+    }
+}
+
+/// Execution counters, used by tests and benchmarks to assert the
+/// engine's complexity claims.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LaneStats {
+    /// Simulation passes executed: `⌈N/lanes⌉` on the happy path, plus
+    /// one per scalar-fallback mutant (whether from an uncompilable
+    /// rewrite inside a compiled group or a single-mutant cycle split).
+    pub passes: usize,
+    /// Total simulation steps executed across all passes; early exit
+    /// (lane groups stop once every mutant is killed, scalar fallbacks
+    /// at their own first kill) makes this less than
+    /// `passes × sequence_len`.
+    pub steps: usize,
+}
+
+/// [`crate::execute_mutants`] on the lane engine with default options.
+///
+/// # Errors
+///
+/// Propagates [`MutationError`] exactly as the scalar engine does.
+pub fn execute_mutants_lanes(
+    checked: &CheckedDesign,
+    entity: &str,
+    mutants: &[Mutant],
+    sequence: &[Vec<Bits>],
+) -> Result<KillResult, MutationError> {
+    execute_mutants_lanes_opts(checked, entity, mutants, sequence, &LaneOptions::default())
+        .map(|(kills, _)| kills)
+}
+
+/// The lane engine with explicit options, returning its [`LaneStats`].
+///
+/// # Errors
+///
+/// Propagates [`MutationError`] exactly as the scalar engine does: the
+/// lowest-index failing mutant is reported.
+pub fn execute_mutants_lanes_opts(
+    checked: &CheckedDesign,
+    entity: &str,
+    mutants: &[Mutant],
+    sequence: &[Vec<Bits>],
+    options: &LaneOptions,
+) -> Result<(KillResult, LaneStats), MutationError> {
+    let per_group = run_groups(checked, entity, mutants, options, |group| {
+        run_group_first_kill(checked, entity, group, sequence)
+    })?;
+    let mut first_kill = Vec::with_capacity(mutants.len());
+    let mut stats = LaneStats::default();
+    for (kills, group_stats) in per_group {
+        first_kill.extend(kills);
+        stats.passes += group_stats.passes;
+        stats.steps += group_stats.steps;
+    }
+    Ok((KillResult { first_kill }, stats))
+}
+
+/// Full kill matrix on the lane engine: `rows[mutant][t]` is `true`
+/// when the mutant's outputs differ from the reference at cycle `t`.
+/// No early exit — every cycle is graded (the mutation-guided
+/// generator's combinational path consumes whole rows).
+///
+/// # Errors
+///
+/// Propagates [`MutationError`] exactly as the scalar engine does.
+pub fn kill_rows_lanes(
+    checked: &CheckedDesign,
+    entity: &str,
+    mutants: &[Mutant],
+    sequence: &[Vec<Bits>],
+    options: &LaneOptions,
+) -> Result<Vec<Vec<bool>>, MutationError> {
+    let per_group = run_groups(checked, entity, mutants, options, |group| {
+        run_group_rows(checked, entity, group, sequence)
+    })?;
+    Ok(per_group.into_iter().flat_map(|(rows, _)| rows).collect())
+}
+
+/// Splits the population into lane groups and runs `run` over them,
+/// serially or across `options.jobs` worker threads (the shared
+/// [`try_shard`] work queue). Group results merge back **by group
+/// index** and the lowest-index error wins, so the outcome is
+/// identical for every job count.
+fn run_groups<T: Send>(
+    checked: &CheckedDesign,
+    entity: &str,
+    mutants: &[Mutant],
+    options: &LaneOptions,
+    run: impl Fn(&[Mutant]) -> Result<(T, LaneStats), MutationError> + Sync,
+) -> Result<Vec<(T, LaneStats)>, MutationError> {
+    // Surface a bad entity before touching any mutant, exactly like the
+    // scalar engine's up-front reference transcript does.
+    if checked.entity(entity).is_none() {
+        return Err(MutationError::EntityNotFound(entity.to_string()));
+    }
+    let groups: Vec<&[Mutant]> = mutants.chunks(options.lanes()).collect();
+    try_shard(options.jobs, groups.len(), |i| run(groups[i]))
+}
+
+/// One compiled lane group stepping through a test sequence.
+struct GroupSim {
+    vm: LaneVm,
+    compiled: Compiled,
+    used_mask: u64,
+}
+
+impl GroupSim {
+    fn new(compiled: Compiled, group_len: usize) -> Self {
+        let vm = LaneVm::new(&compiled.init, compiled.scratch);
+        let used_mask = if group_len + 1 >= LANES {
+            !1u64
+        } else {
+            ((1u64 << (group_len + 1)) - 1) & !1
+        };
+        Self { vm, compiled, used_mask }
+    }
+
+    fn reset(&mut self) {
+        self.vm.reset(&self.compiled.init);
+        self.vm.run(&self.compiled.comb);
+    }
+
+    /// Applies one test vector with the scalar simulator's protocol
+    /// (inputs, settle, sample, clock) and returns the mask of lanes
+    /// whose sampled outputs differ from lane 0.
+    fn step(&mut self, inputs: &[Bits]) -> u64 {
+        assert_eq!(
+            inputs.len(),
+            self.compiled.data_inputs.len(),
+            "expected {} input values",
+            self.compiled.data_inputs.len()
+        );
+        for (&(sym, width), bits) in self.compiled.data_inputs.iter().zip(inputs) {
+            assert_eq!(width, bits.width(), "width mismatch on data input");
+            self.vm.state[sym.0 as usize] = [bits.raw(); LANES];
+        }
+        self.vm.run(&self.compiled.comb);
+        let mut diff = 0u64;
+        for &sym in &self.compiled.outputs {
+            let lanes = &self.vm.state[sym.0 as usize];
+            let reference = lanes[0];
+            for (l, &value) in lanes.iter().enumerate().skip(1) {
+                diff |= u64::from(value != reference) << l;
+            }
+        }
+        if !self.compiled.combinational {
+            self.vm.run(&self.compiled.edge);
+            self.vm.run(&self.compiled.comb);
+        }
+        diff & self.used_mask
+    }
+}
+
+fn run_group_first_kill(
+    checked: &CheckedDesign,
+    entity: &str,
+    group: &[Mutant],
+    sequence: &[Vec<Bits>],
+) -> Result<(Vec<Option<usize>>, LaneStats), MutationError> {
+    let refs: Vec<&Mutant> = group.iter().collect();
+    match compile_group(checked, entity, &refs) {
+        Err(CompileError::EntityNotFound) => {
+            Err(MutationError::EntityNotFound(entity.to_string()))
+        }
+        Err(CompileError::Cycle) if group.len() > 1 => {
+            // Two mutants' added read edges can cycle jointly even though
+            // each alone is fine: split the group and retry.
+            let mid = group.len() / 2;
+            let (mut left, ls) =
+                run_group_first_kill(checked, entity, &group[..mid], sequence)?;
+            let (right, rs) = run_group_first_kill(checked, entity, &group[mid..], sequence)?;
+            left.extend(right);
+            Ok((left, merge_stats(ls, rs)))
+        }
+        Err(CompileError::Cycle) => {
+            // A single mutant whose union graph still cycles would be
+            // stillborn under re-checking; the scalar engine reports it.
+            let reference = reference_transcript(checked, entity, sequence)?;
+            let kill = run_one(checked, entity, &group[0], sequence, &reference)?;
+            let steps = kill.map_or(sequence.len(), |t| t + 1);
+            Ok((vec![kill], LaneStats { passes: 1, steps }))
+        }
+        Ok(compiled) => {
+            let fallback = compiled.fallback.clone();
+            let mut fallback_mask = 0u64;
+            for &slot in &fallback {
+                fallback_mask |= 1u64 << (slot + 1);
+            }
+            let mut sim = GroupSim::new(compiled, group.len());
+            let mut stats = LaneStats { passes: 1, steps: 0 };
+            let mut first_kill = vec![None; group.len()];
+            let mut alive = sim.used_mask & !fallback_mask;
+            sim.reset();
+            for (t, vector) in sequence.iter().enumerate() {
+                if alive == 0 {
+                    break; // every mutant in the batch is killed
+                }
+                let newly = sim.step(vector) & alive;
+                stats.steps += 1;
+                let mut bits = newly;
+                while bits != 0 {
+                    let lane = bits.trailing_zeros() as usize;
+                    first_kill[lane - 1] = Some(t);
+                    bits &= bits - 1;
+                }
+                alive &= !newly;
+            }
+            if !fallback.is_empty() {
+                let reference = reference_transcript(checked, entity, sequence)?;
+                for &slot in &fallback {
+                    let kill = run_one(checked, entity, &group[slot], sequence, &reference)?;
+                    stats.passes += 1;
+                    stats.steps += kill.map_or(sequence.len(), |t| t + 1);
+                    first_kill[slot] = kill;
+                }
+            }
+            Ok((first_kill, stats))
+        }
+    }
+}
+
+fn run_group_rows(
+    checked: &CheckedDesign,
+    entity: &str,
+    group: &[Mutant],
+    sequence: &[Vec<Bits>],
+) -> Result<(Vec<Vec<bool>>, LaneStats), MutationError> {
+    let refs: Vec<&Mutant> = group.iter().collect();
+    match compile_group(checked, entity, &refs) {
+        Err(CompileError::EntityNotFound) => {
+            Err(MutationError::EntityNotFound(entity.to_string()))
+        }
+        Err(CompileError::Cycle) if group.len() > 1 => {
+            let mid = group.len() / 2;
+            let (mut left, ls) = run_group_rows(checked, entity, &group[..mid], sequence)?;
+            let (right, rs) = run_group_rows(checked, entity, &group[mid..], sequence)?;
+            left.extend(right);
+            Ok((left, merge_stats(ls, rs)))
+        }
+        Err(CompileError::Cycle) => {
+            let stats = LaneStats { passes: 1, steps: sequence.len() };
+            let reference = reference_transcript(checked, entity, sequence)?;
+            let row = scalar_row(checked, entity, &group[0], sequence, &reference)?;
+            Ok((vec![row], stats))
+        }
+        Ok(compiled) => {
+            let fallback = compiled.fallback.clone();
+            let mut sim = GroupSim::new(compiled, group.len());
+            let mut stats = LaneStats { passes: 1, steps: 0 };
+            let mut rows = vec![vec![false; sequence.len()]; group.len()];
+            sim.reset();
+            for (t, vector) in sequence.iter().enumerate() {
+                let diff = sim.step(vector);
+                stats.steps += 1;
+                for (slot, row) in rows.iter_mut().enumerate() {
+                    row[t] = diff & (1u64 << (slot + 1)) != 0;
+                }
+            }
+            if !fallback.is_empty() {
+                let reference = reference_transcript(checked, entity, sequence)?;
+                for &slot in &fallback {
+                    rows[slot] =
+                        scalar_row(checked, entity, &group[slot], sequence, &reference)?;
+                    stats.passes += 1;
+                    stats.steps += sequence.len();
+                }
+            }
+            Ok((rows, stats))
+        }
+    }
+}
+
+fn merge_stats(a: LaneStats, b: LaneStats) -> LaneStats {
+    LaneStats { passes: a.passes + b.passes, steps: a.steps + b.steps }
+}
+
+/// Scalar fallback for one row of the kill matrix (the reference
+/// transcript is computed once per group and shared).
+fn scalar_row(
+    checked: &CheckedDesign,
+    entity: &str,
+    mutant: &Mutant,
+    sequence: &[Vec<Bits>],
+    reference: &[Vec<Bits>],
+) -> Result<Vec<bool>, MutationError> {
+    let mutated = mutant.apply(checked)?;
+    let mut sim = Simulator::new(&mutated, entity)
+        .map_err(|_| MutationError::EntityNotFound(entity.to_string()))?;
+    sim.reset();
+    Ok(sequence
+        .iter()
+        .zip(reference)
+        .map(|(vector, expected)| sim.step(vector) != *expected)
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::execute::{execute_mutants, TestSequence};
+    use crate::generate::{generate_mutants, GenerateOptions};
+    use crate::mutant::{MutantId, Rewrite};
+    use crate::operator::MutationOperator;
+    use musa_hdl::parse;
+
+    fn checked(src: &str) -> CheckedDesign {
+        CheckedDesign::new(parse(src).unwrap()).unwrap()
+    }
+
+    fn bit(v: u64) -> Bits {
+        Bits::new(1, v)
+    }
+
+    const GATE: &str = "
+        entity g is
+          port(a : in bit; b : in bit; y : out bit);
+        comb begin
+          y <= a and b;
+        end;
+        end;
+    ";
+
+    const COUNTER: &str = "
+        entity t is
+          port(clk : in bit; rst : in bit; en : in bit; q : out bits(3));
+        signal c : bits(3);
+        seq(clk) begin
+          if rst = 1 then
+            c <= 0;
+          elsif en = 1 then
+            c <= c + 1;
+          end if;
+        end;
+        comb begin q <= c; end;
+        end;
+    ";
+
+    fn exhaustive_pairs() -> TestSequence {
+        (0..4u64).map(|p| vec![bit(p & 1), bit((p >> 1) & 1)]).collect()
+    }
+
+    #[test]
+    fn lane_engine_matches_scalar_on_the_gate() {
+        let d = checked(GATE);
+        let mutants = generate_mutants(&d, "g", &GenerateOptions::default());
+        let sequence = exhaustive_pairs();
+        let scalar = execute_mutants(&d, "g", &mutants, &sequence).unwrap();
+        let lanes = execute_mutants_lanes(&d, "g", &mutants, &sequence).unwrap();
+        assert_eq!(lanes.first_kill, scalar.first_kill);
+    }
+
+    #[test]
+    fn lane_engine_matches_scalar_on_a_sequential_counter() {
+        let d = checked(COUNTER);
+        let mutants = generate_mutants(&d, "t", &GenerateOptions::default());
+        assert!(mutants.len() > 20, "population {}", mutants.len());
+        let mut rng = 0x1234_5678_9ABC_DEF0u64;
+        let sequence: TestSequence = (0..24)
+            .map(|_| {
+                rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+                vec![bit((rng >> 60) & 1), bit((rng >> 61) & 1)]
+            })
+            .collect();
+        let scalar = execute_mutants(&d, "t", &mutants, &sequence).unwrap();
+        for lanes_per_pass in [1, 2, 63] {
+            let opts = LaneOptions { lanes_per_pass, jobs: 1 };
+            let (lanes, _) =
+                execute_mutants_lanes_opts(&d, "t", &mutants, &sequence, &opts).unwrap();
+            assert_eq!(
+                lanes.first_kill, scalar.first_kill,
+                "lanes_per_pass={lanes_per_pass}"
+            );
+        }
+    }
+
+    #[test]
+    fn population_of_n_takes_ceil_n_over_63_passes() {
+        let d = checked(COUNTER);
+        let mutants = generate_mutants(&d, "t", &GenerateOptions::default());
+        let n = mutants.len();
+        let sequence: TestSequence = vec![vec![bit(0), bit(1)]; 4];
+        let opts = LaneOptions::default();
+        let (_, stats) =
+            execute_mutants_lanes_opts(&d, "t", &mutants, &sequence, &opts).unwrap();
+        assert_eq!(
+            stats.passes,
+            n.div_ceil(MAX_LANES),
+            "population {n} must take ⌈N/63⌉ passes"
+        );
+        // And at one mutant per pass the engine degenerates to N passes.
+        let opts = LaneOptions { lanes_per_pass: 1, jobs: 1 };
+        let (_, stats) =
+            execute_mutants_lanes_opts(&d, "t", &mutants, &sequence, &opts).unwrap();
+        assert_eq!(stats.passes, n);
+    }
+
+    #[test]
+    fn lane_group_early_exits_once_every_mutant_is_killed() {
+        let d = checked(GATE);
+        let mutants = generate_mutants(&d, "g", &GenerateOptions::only(MutationOperator::Lor));
+        // The exhaustive four vectors kill all five LOR mutants by t=2;
+        // padding the sequence must not cost extra steps.
+        let mut sequence = exhaustive_pairs();
+        let kill_by = {
+            let scalar = execute_mutants(&d, "g", &mutants, &sequence).unwrap();
+            scalar.first_kill.iter().map(|k| k.unwrap()).max().unwrap()
+        };
+        for _ in 0..100 {
+            sequence.push(vec![bit(0), bit(0)]);
+        }
+        let (lanes, stats) = execute_mutants_lanes_opts(
+            &d,
+            "g",
+            &mutants,
+            &sequence,
+            &LaneOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(lanes.killed_count(), mutants.len());
+        assert_eq!(
+            stats.steps,
+            kill_by + 1,
+            "group must stop right after its last first-kill"
+        );
+    }
+
+    #[test]
+    fn two_mutants_on_the_same_site_stay_in_their_lanes() {
+        // Mask-select correctness: several rewrites of the SAME binary
+        // site must not bleed into each other's lanes (regression guard
+        // for the MaskSel chaining order).
+        let d = checked(GATE);
+        let mutants = generate_mutants(&d, "g", &GenerateOptions::only(MutationOperator::Lor));
+        assert_eq!(mutants.len(), 5, "five same-site alternatives");
+        assert!(
+            mutants.windows(2).all(|w| w[0].site == w[1].site),
+            "all five target one site"
+        );
+        let sequence = exhaustive_pairs();
+        let scalar = execute_mutants(&d, "g", &mutants, &sequence).unwrap();
+        let lanes = execute_mutants_lanes(&d, "g", &mutants, &sequence).unwrap();
+        assert_eq!(lanes.first_kill, scalar.first_kill);
+        // And per-kill cycles differ between the alternatives, so a
+        // lane-bleed would be visible.
+        assert!(scalar.first_kill.iter().collect::<std::collections::HashSet<_>>().len() > 1);
+    }
+
+    #[test]
+    fn same_site_uoi_and_lor_mix_is_lane_exact() {
+        let d = checked(GATE);
+        let mut mutants = generate_mutants(&d, "g", &GenerateOptions::only(MutationOperator::Lor));
+        let site = mutants[0].site;
+        mutants.push(Mutant {
+            id: MutantId(99),
+            operator: MutationOperator::Uoi,
+            site,
+            rewrite: Rewrite::InsertNot,
+            description: "UOI on the shared site".into(),
+        });
+        let sequence = exhaustive_pairs();
+        let scalar = execute_mutants(&d, "g", &mutants, &sequence).unwrap();
+        let lanes = execute_mutants_lanes(&d, "g", &mutants, &sequence).unwrap();
+        assert_eq!(lanes.first_kill, scalar.first_kill);
+    }
+
+    #[test]
+    fn kill_rows_match_per_cycle_differences() {
+        let d = checked(GATE);
+        let mutants = generate_mutants(&d, "g", &GenerateOptions::default());
+        let sequence = exhaustive_pairs();
+        let rows =
+            kill_rows_lanes(&d, "g", &mutants, &sequence, &LaneOptions::default()).unwrap();
+        assert_eq!(rows.len(), mutants.len());
+        for (mi, row) in rows.iter().enumerate() {
+            let reference = reference_transcript(&d, "g", &sequence).unwrap();
+            let mutated = mutants[mi].apply(&d).unwrap();
+            let mut sim = Simulator::new(&mutated, "g").unwrap();
+            for (t, vector) in sequence.iter().enumerate() {
+                assert_eq!(
+                    row[t],
+                    sim.step(vector) != reference[t],
+                    "mutant {mi} cycle {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn slice_targets_dynamic_indices_and_reductions_match_scalar() {
+        // Constructs no bundled benchmark exercises together: slice
+        // writes, a dynamically indexed write under a guard, reductions
+        // and shifts — with the full operator population (including CR
+        // mutants inside the target index expression).
+        let d = checked(
+            "entity m is
+               port(clk : in bit; a : in bits(4); s : in bits(2); y : out bits(8); p : out bit);
+             signal r : bits(8);
+             signal hot : bits(4);
+             seq(clk) begin
+               r[7:4] <= a;
+               r[3:0] <= r[7:4];
+             end;
+             comb begin
+               hot <= 0;
+               if orr(a) = 1 then
+                 hot[s] <= 1;
+               end if;
+             end;
+             comb begin
+               y <= r xor (hot & (a srl 1));
+               p <= xorr(r) xor andr(a);
+             end;
+             end;",
+        );
+        let mutants = generate_mutants(&d, "m", &GenerateOptions::default());
+        assert!(mutants.len() > 40, "population {}", mutants.len());
+        let mut rng = 0xFEEDu64;
+        let sequence: TestSequence = (0..20)
+            .map(|_| {
+                rng = rng.wrapping_mul(6364136223846793005).wrapping_add(99);
+                vec![Bits::new(4, rng >> 50), Bits::new(2, rng >> 40)]
+            })
+            .collect();
+        let scalar = execute_mutants(&d, "m", &mutants, &sequence).unwrap();
+        for lanes_per_pass in [1, 63] {
+            let opts = LaneOptions { lanes_per_pass, jobs: 1 };
+            let (lanes, _) =
+                execute_mutants_lanes_opts(&d, "m", &mutants, &sequence, &opts).unwrap();
+            assert_eq!(
+                lanes.first_kill, scalar.first_kill,
+                "lanes_per_pass={lanes_per_pass}"
+            );
+        }
+    }
+
+    #[test]
+    fn jobs_shard_lane_groups_identically() {
+        let d = checked(COUNTER);
+        let mutants = generate_mutants(&d, "t", &GenerateOptions::default());
+        let sequence: TestSequence =
+            (0..16).map(|i| vec![bit(u64::from(i % 7 == 0)), bit(1)]).collect();
+        let serial = execute_mutants_lanes(&d, "t", &mutants, &sequence).unwrap();
+        for jobs in [0, 2, 8] {
+            let opts = LaneOptions { lanes_per_pass: 4, jobs };
+            let (sharded, _) =
+                execute_mutants_lanes_opts(&d, "t", &mutants, &sequence, &opts).unwrap();
+            assert_eq!(sharded.first_kill, serial.first_kill, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn invalid_mutants_fall_back_to_scalar_errors() {
+        use musa_hdl::ast::NodeId;
+        let d = checked(GATE);
+        let bogus = Mutant {
+            id: MutantId(0),
+            operator: MutationOperator::Cr,
+            site: NodeId(999_999),
+            rewrite: Rewrite::Literal { value: 0 },
+            description: String::new(),
+        };
+        let err = execute_mutants_lanes(&d, "g", &[bogus], &exhaustive_pairs()).unwrap_err();
+        assert!(matches!(err, MutationError::SiteNotFound(_)), "{err}");
+    }
+
+    #[test]
+    fn stillborn_sdl_mutant_errors_exactly_like_scalar() {
+        // Deleting the only driver of a combinational output violates
+        // full assignment: the scalar engine rejects the mutant as
+        // stillborn at apply time, and the lane engine must report the
+        // very same error instead of silently simulating the deletion.
+        let d = checked(GATE);
+        let site = d.design().entities[0].processes[0].body[0].id();
+        let sdl = Mutant {
+            id: MutantId(0),
+            operator: MutationOperator::Sdl,
+            site,
+            rewrite: Rewrite::DeleteStmt,
+            description: "delete the y driver".into(),
+        };
+        let sequence = exhaustive_pairs();
+        let scalar = execute_mutants(&d, "g", std::slice::from_ref(&sdl), &sequence);
+        let lanes = execute_mutants_lanes(&d, "g", std::slice::from_ref(&sdl), &sequence);
+        assert!(
+            matches!(scalar, Err(MutationError::Stillborn(_))),
+            "scalar: {scalar:?}"
+        );
+        assert_eq!(
+            format!("{scalar:?}"),
+            format!("{lanes:?}"),
+            "engines must agree on the stillborn error"
+        );
+    }
+
+    #[test]
+    fn stillborn_duplicate_case_choice_errors_exactly_like_scalar() {
+        let d = checked(
+            "entity c is
+               port(a : in bits(2); y : out bit);
+             comb begin
+               case a is
+                 when 0 => y <= 1;
+                 when 1 => y <= 0;
+                 when others => y <= 0;
+               end case;
+             end;
+             end;",
+        );
+        // Rewriting choice 0 to 1 collides with the second arm: stillborn.
+        let entity = d.design().entities[0].clone();
+        let mut arm_site = None;
+        musa_hdl::ast::walk_stmts(&entity.processes[0].body, &mut |s| {
+            if let musa_hdl::ast::Stmt::Case { arms, .. } = s {
+                arm_site = Some(arms[0].id);
+            }
+        });
+        let dup = Mutant {
+            id: MutantId(0),
+            operator: MutationOperator::Cr,
+            site: arm_site.unwrap(),
+            rewrite: Rewrite::CaseChoice { index: 0, value: 1 },
+            description: "case choice 0 -> 1 (duplicate)".into(),
+        };
+        let sequence: TestSequence = (0..4u64).map(|v| vec![Bits::new(2, v)]).collect();
+        let scalar = execute_mutants(&d, "c", std::slice::from_ref(&dup), &sequence);
+        let lanes = execute_mutants_lanes(&d, "c", std::slice::from_ref(&dup), &sequence);
+        assert!(
+            matches!(scalar, Err(MutationError::Stillborn(_))),
+            "scalar: {scalar:?}"
+        );
+        assert_eq!(format!("{scalar:?}"), format!("{lanes:?}"));
+    }
+
+    #[test]
+    fn unknown_entity_is_reported_before_any_work() {
+        let d = checked(GATE);
+        let err = execute_mutants_lanes(&d, "zz", &[], &[]).unwrap_err();
+        assert!(matches!(err, MutationError::EntityNotFound(_)));
+    }
+
+    #[test]
+    fn empty_population_and_empty_sequence_are_harmless() {
+        let d = checked(GATE);
+        let kills = execute_mutants_lanes(&d, "g", &[], &exhaustive_pairs()).unwrap();
+        assert!(kills.first_kill.is_empty());
+        let mutants = generate_mutants(&d, "g", &GenerateOptions::default());
+        let kills = execute_mutants_lanes(&d, "g", &mutants, &[]).unwrap();
+        assert_eq!(kills.killed_count(), 0);
+    }
+}

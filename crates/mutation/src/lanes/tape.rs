@@ -1,0 +1,283 @@
+//! The lane tape: a flat SSA instruction stream over 64-lane words.
+//!
+//! Every value in the lane engine is a [`LaneWord`] — one `u64` per
+//! lane, where lane 0 is the reference machine and lanes 1..=63 carry
+//! mutants. An instruction's destination is its own index in the tape
+//! (pure SSA), so evaluation is a single forward sweep with no register
+//! allocation. Per-lane divergence introduced by mutants is expressed
+//! with [`Instr::MaskSel`] (compile-time lane mask) and control-flow
+//! divergence with [`Instr::Sel`] (runtime per-lane predicate); there is
+//! no per-lane branching anywhere in the executor.
+
+use musa_hdl::ast::{BinOp, ReduceOp, ShiftOp};
+use musa_hdl::Bits;
+
+/// Number of lanes per word array: the reference plus up to 63 mutants.
+pub(crate) const LANES: usize = 64;
+
+/// One simulator value across all lanes.
+pub(crate) type LaneWord = [u64; LANES];
+
+/// Index of an instruction's result (SSA: instruction `i` defines reg `i`).
+pub(crate) type Reg = u32;
+
+/// A lane-tape instruction. The destination register is implicit (the
+/// instruction's index); `width` fields carry the result width so the
+/// executor can uphold the [`Bits`] masking invariant on raw words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Instr {
+    /// Read a symbol's current lanes from persistent state.
+    Load { sym: u32 },
+    /// Broadcast a constant (already masked) to every lane.
+    Const { value: u64 },
+    /// Compile-time lane select: lanes in `mask` take `a`, others `b`.
+    /// This is the mutation-site primitive.
+    MaskSel { mask: u64, a: Reg, b: Reg },
+    /// Runtime per-lane select on a width-1 predicate.
+    Sel { cond: Reg, a: Reg, b: Reg },
+    /// Bitwise complement, masked to `width`.
+    Not { a: Reg, width: u32 },
+    /// A binary operator, exactly as [`Bits`] computes it per lane.
+    Bin { op: BinOp, a: Reg, b: Reg, width: u32 },
+    /// OR/AND/XOR reduction of an operand of width `width`.
+    Reduce { op: ReduceOp, a: Reg, width: u32 },
+    /// Constant-amount shift within `width`.
+    Shift { op: ShiftOp, a: Reg, amount: u32, width: u32 },
+    /// Constant slice `[hi:lo]`.
+    Slice { a: Reg, hi: u32, lo: u32 },
+    /// Concatenation: `a` is the high part, `b` the `rhs_width`-bit low.
+    Concat { a: Reg, b: Reg, rhs_width: u32 },
+    /// Dynamic single-bit read `base[index]` (out of range reads 0).
+    DynGet { base: Reg, index: Reg, width: u32 },
+    /// Dynamic single-bit write (out of range writes are dropped).
+    DynSet { cur: Reg, index: Reg, bit: Reg, width: u32 },
+    /// Constant-slice write `cur[hi:lo] <= v`.
+    WithSlice { cur: Reg, v: Reg, hi: u32, lo: u32 },
+}
+
+/// A compiled tape: the instruction stream plus the write-back list
+/// committing results to persistent symbol state after the sweep.
+#[derive(Debug, Default)]
+pub(crate) struct Tape {
+    /// The SSA instruction stream.
+    pub instrs: Vec<Instr>,
+    /// `(symbol, reg)` pairs stored to state after the sweep; for the
+    /// clock-edge tape this is the register commit (non-blocking).
+    pub stores: Vec<(u32, Reg)>,
+}
+
+/// The lane virtual machine: persistent per-symbol lane state plus a
+/// scratch register file sized to the longest tape.
+#[derive(Debug)]
+pub(crate) struct LaneVm {
+    /// Per-symbol lanes, indexed by `SymbolId`.
+    pub state: Vec<LaneWord>,
+    regs: Vec<LaneWord>,
+}
+
+impl LaneVm {
+    /// Creates a VM with the given initial symbol state and scratch size.
+    pub fn new(init: &[LaneWord], scratch: usize) -> Self {
+        Self {
+            state: init.to_vec(),
+            regs: vec![[0u64; LANES]; scratch],
+        }
+    }
+
+    /// Resets the persistent state to `init` (the power-on lanes).
+    pub fn reset(&mut self, init: &[LaneWord]) {
+        self.state.copy_from_slice(init);
+    }
+
+    /// Evaluates a tape: one forward sweep, then the write-back commits.
+    pub fn run(&mut self, tape: &Tape) {
+        for (i, instr) in tape.instrs.iter().enumerate() {
+            let mut out = [0u64; LANES];
+            match *instr {
+                Instr::Load { sym } => out = self.state[sym as usize],
+                Instr::Const { value } => out = [value; LANES],
+                Instr::MaskSel { mask, a, b } => {
+                    let (x, y) = (&self.regs[a as usize], &self.regs[b as usize]);
+                    for l in 0..LANES {
+                        out[l] = if (mask >> l) & 1 == 1 { x[l] } else { y[l] };
+                    }
+                }
+                Instr::Sel { cond, a, b } => {
+                    let c = &self.regs[cond as usize];
+                    let (x, y) = (&self.regs[a as usize], &self.regs[b as usize]);
+                    for l in 0..LANES {
+                        out[l] = if c[l] != 0 { x[l] } else { y[l] };
+                    }
+                }
+                Instr::Not { a, width } => {
+                    let m = Bits::mask_of(width);
+                    let x = &self.regs[a as usize];
+                    for l in 0..LANES {
+                        out[l] = !x[l] & m;
+                    }
+                }
+                Instr::Bin { op, a, b, width } => {
+                    let m = Bits::mask_of(width);
+                    let (x, y) = (&self.regs[a as usize], &self.regs[b as usize]);
+                    for l in 0..LANES {
+                        let (a, b) = (x[l], y[l]);
+                        out[l] = match op {
+                            BinOp::And => a & b,
+                            BinOp::Or => a | b,
+                            BinOp::Xor => a ^ b,
+                            BinOp::Nand => !(a & b) & m,
+                            BinOp::Nor => !(a | b) & m,
+                            BinOp::Xnor => !(a ^ b) & m,
+                            BinOp::Add => a.wrapping_add(b) & m,
+                            BinOp::Sub => a.wrapping_sub(b) & m,
+                            BinOp::Mul => a.wrapping_mul(b) & m,
+                            BinOp::Eq => u64::from(a == b),
+                            BinOp::Ne => u64::from(a != b),
+                            BinOp::Lt => u64::from(a < b),
+                            BinOp::Le => u64::from(a <= b),
+                            BinOp::Gt => u64::from(a > b),
+                            BinOp::Ge => u64::from(a >= b),
+                        };
+                    }
+                }
+                Instr::Reduce { op, a, width } => {
+                    let m = Bits::mask_of(width);
+                    let x = &self.regs[a as usize];
+                    for l in 0..LANES {
+                        out[l] = match op {
+                            ReduceOp::Or => u64::from(x[l] != 0),
+                            ReduceOp::And => u64::from(x[l] == m),
+                            ReduceOp::Xor => u64::from(x[l].count_ones() % 2 == 1),
+                        };
+                    }
+                }
+                Instr::Shift { op, a, amount, width } => {
+                    let m = Bits::mask_of(width);
+                    let x = &self.regs[a as usize];
+                    for l in 0..LANES {
+                        out[l] = if amount >= width {
+                            0
+                        } else {
+                            match op {
+                                ShiftOp::Left => (x[l] << amount) & m,
+                                ShiftOp::Right => x[l] >> amount,
+                            }
+                        };
+                    }
+                }
+                Instr::Slice { a, hi, lo } => {
+                    let m = Bits::mask_of(hi - lo + 1);
+                    let x = &self.regs[a as usize];
+                    for l in 0..LANES {
+                        out[l] = (x[l] >> lo) & m;
+                    }
+                }
+                Instr::Concat { a, b, rhs_width } => {
+                    let (x, y) = (&self.regs[a as usize], &self.regs[b as usize]);
+                    for l in 0..LANES {
+                        out[l] = (x[l] << rhs_width) | y[l];
+                    }
+                }
+                Instr::DynGet { base, index, width } => {
+                    let (x, ix) = (&self.regs[base as usize], &self.regs[index as usize]);
+                    for l in 0..LANES {
+                        out[l] = if ix[l] < u64::from(width) {
+                            (x[l] >> ix[l]) & 1
+                        } else {
+                            0
+                        };
+                    }
+                }
+                Instr::DynSet { cur, index, bit, width } => {
+                    let c = &self.regs[cur as usize];
+                    let ix = &self.regs[index as usize];
+                    let v = &self.regs[bit as usize];
+                    for l in 0..LANES {
+                        out[l] = if ix[l] < u64::from(width) {
+                            (c[l] & !(1 << ix[l])) | ((v[l] & 1) << ix[l])
+                        } else {
+                            c[l]
+                        };
+                    }
+                }
+                Instr::WithSlice { cur, v, hi, lo } => {
+                    let field = Bits::mask_of(hi - lo + 1) << lo;
+                    let (c, x) = (&self.regs[cur as usize], &self.regs[v as usize]);
+                    for l in 0..LANES {
+                        out[l] = (c[l] & !field) | (x[l] << lo);
+                    }
+                }
+            }
+            self.regs[i] = out;
+        }
+        for &(sym, reg) in &tape.stores {
+            self.state[sym as usize] = self.regs[reg as usize];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_one(instrs: Vec<Instr>, stores: Vec<(u32, Reg)>, init: &[LaneWord]) -> LaneVm {
+        let tape = Tape { instrs, stores };
+        let mut vm = LaneVm::new(init, tape.instrs.len());
+        vm.run(&tape);
+        vm
+    }
+
+    #[test]
+    fn mask_sel_routes_lanes() {
+        let vm = run_one(
+            vec![
+                Instr::Const { value: 1 },
+                Instr::Const { value: 0 },
+                Instr::MaskSel { mask: 0b1010, a: 0, b: 1 },
+            ],
+            vec![(0, 2)],
+            &[[9u64; LANES]],
+        );
+        assert_eq!(vm.state[0][0], 0);
+        assert_eq!(vm.state[0][1], 1);
+        assert_eq!(vm.state[0][2], 0);
+        assert_eq!(vm.state[0][3], 1);
+        assert_eq!(vm.state[0][4], 0);
+    }
+
+    #[test]
+    fn arithmetic_masks_to_width() {
+        // 15 + 1 in 4 bits wraps to 0, per lane.
+        let vm = run_one(
+            vec![
+                Instr::Const { value: 15 },
+                Instr::Const { value: 1 },
+                Instr::Bin { op: BinOp::Add, a: 0, b: 1, width: 4 },
+            ],
+            vec![(0, 2)],
+            &[[0u64; LANES]],
+        );
+        assert!(vm.state[0].iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn dyn_ops_match_bits_semantics() {
+        let mut base = [0u64; LANES];
+        let mut index = [0u64; LANES];
+        base[0] = 0b1010;
+        index[0] = 1;
+        base[1] = 0b1010;
+        index[1] = 7; // out of range for width 4 -> 0
+        let mut vm = LaneVm::new(&[base, index], 3);
+        vm.run(&Tape {
+            instrs: vec![
+                Instr::Load { sym: 0 },
+                Instr::Load { sym: 1 },
+                Instr::DynGet { base: 0, index: 1, width: 4 },
+            ],
+            stores: vec![(0, 2)],
+        });
+        assert_eq!(vm.state[0][0], 1);
+        assert_eq!(vm.state[0][1], 0);
+    }
+}

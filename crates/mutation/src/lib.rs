@@ -7,6 +7,13 @@
 //! equivalent-mutant policy ([`classify_mutants`]) and the paper's
 //! Mutation Score `MS = K/(M−E)` ([`MutationScore`]).
 //!
+//! Two execution engines grade populations with bit-identical results
+//! (select one with [`Engine`] / [`execute_mutants_engine`]): the
+//! scalar engine simulates one mutant per pass, while the bit-parallel
+//! [`lanes`] engine packs up to 63 mutants plus the reference machine
+//! into each pass — `⌈N/63⌉` simulation passes for a population of
+//! `N`, composing multiplicatively with thread sharding.
+//!
 //! # Example: measuring a test set's mutation score
 //!
 //! ```
@@ -41,14 +48,19 @@
 mod equivalence;
 mod execute;
 mod generate;
+pub mod lanes;
 mod mutant;
 mod operator;
 mod score;
 
 pub use equivalence::{classify_mutants, EquivalenceClass, EquivalencePolicy};
 pub use execute::{
-    execute_mutants, execute_mutants_jobs, reference_transcript, run_one, KillResult,
-    TestSequence,
+    execute_mutants, execute_mutants_engine, execute_mutants_jobs, reference_transcript,
+    run_one, Engine, KillResult, TestSequence,
+};
+pub use lanes::{
+    execute_mutants_lanes, execute_mutants_lanes_opts, kill_rows_lanes, LaneOptions,
+    LaneStats, MAX_LANES,
 };
 pub use generate::{count_by_operator, generate_mutants, GenerateOptions};
 pub use mutant::{Mutant, MutantId, MutationError, Rewrite};

@@ -13,7 +13,10 @@
 //!   truncated right after its last new kill.
 
 use musa_hdl::{Bits, CheckedDesign, Simulator};
-use musa_mutation::{reference_transcript, run_one, Mutant, MutationError, TestSequence};
+use musa_mutation::{
+    execute_mutants_lanes, kill_rows_lanes, reference_transcript, run_one, Engine, LaneOptions,
+    Mutant, MutationError, TestSequence,
+};
 use musa_prng::{Prng, SplitMix64};
 
 use crate::random::random_sequence;
@@ -55,6 +58,10 @@ pub struct MgConfig {
     pub selection: Selection,
     /// PRNG seed.
     pub seed: u64,
+    /// Mutant-execution engine grading the candidate pools. Both
+    /// engines emit bit-identical data; `lanes` grades up to 63 live
+    /// mutants per simulation pass.
+    pub engine: Engine,
 }
 
 impl Default for MgConfig {
@@ -65,6 +72,7 @@ impl Default for MgConfig {
             max_rounds: 12,
             selection: Selection::FirstCome,
             seed: 0x6D67,
+            engine: Engine::Scalar,
         }
     }
 }
@@ -78,7 +86,15 @@ impl MgConfig {
             max_rounds: 6,
             selection: Selection::FirstCome,
             seed,
+            engine: Engine::Scalar,
         }
+    }
+
+    /// Returns a copy graded by the given engine.
+    #[must_use]
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
     }
 }
 
@@ -144,23 +160,35 @@ fn combinational(
     while killed.iter().any(|&k| !k) && rounds < config.max_rounds {
         rounds += 1;
         let pool = random_sequence(info, config.pool_size, rng.next_u64());
-        let reference = reference_transcript(checked, entity, &pool)?;
 
         // Kill matrix: per live mutant, the set of pool vectors that kill
         // it. Combinational ⇒ vectors are independent, one run suffices.
+        // The lane engine grades 63 live mutants per pass; the scalar
+        // engine one — the matrices are bit-identical.
         let live: Vec<usize> = (0..mutants.len()).filter(|&i| !killed[i]).collect();
-        let mut kills: Vec<Vec<bool>> = Vec::with_capacity(live.len());
-        for &mi in &live {
-            let mutated = mutants[mi].apply(checked)?;
-            let mut sim = Simulator::new(&mutated, entity)
-                .map_err(|_| MutationError::EntityNotFound(entity.to_string()))?;
-            let row: Vec<bool> = pool
-                .iter()
-                .zip(&reference)
-                .map(|(vector, expected)| sim.step(vector) != *expected)
-                .collect();
-            kills.push(row);
-        }
+        let kills: Vec<Vec<bool>> = match config.engine {
+            Engine::Scalar => {
+                let reference = reference_transcript(checked, entity, &pool)?;
+                let mut kills = Vec::with_capacity(live.len());
+                for &mi in &live {
+                    let mutated = mutants[mi].apply(checked)?;
+                    let mut sim = Simulator::new(&mutated, entity)
+                        .map_err(|_| MutationError::EntityNotFound(entity.to_string()))?;
+                    let row: Vec<bool> = pool
+                        .iter()
+                        .zip(&reference)
+                        .map(|(vector, expected)| sim.step(vector) != *expected)
+                        .collect();
+                    kills.push(row);
+                }
+                kills
+            }
+            Engine::Lanes => {
+                let subset: Vec<Mutant> =
+                    live.iter().map(|&mi| mutants[mi].clone()).collect();
+                kill_rows_lanes(checked, entity, &subset, &pool, &LaneOptions::default())?
+            }
+        };
 
         // Admit vectors from this pool.
         let mut live_mask: Vec<bool> = vec![true; live.len()];
@@ -259,24 +287,43 @@ fn sequential(
         let pool: Vec<TestSequence> = (0..pool_count)
             .map(|_| random_sequence(info, config.subseq_len, rng.next_u64()))
             .collect();
-        let references: Vec<Vec<Vec<Bits>>> = pool
-            .iter()
-            .map(|s| reference_transcript(checked, entity, s))
-            .collect::<Result<_, _>>()?;
 
         let live: Vec<usize> = (0..mutants.len()).filter(|&i| !killed[i]).collect();
-        // first_kill[mutant_slot][candidate]
-        let mut first_kill: Vec<Vec<Option<usize>>> = Vec::with_capacity(live.len());
-        for &mi in &live {
-            let row: Vec<Option<usize>> = pool
-                .iter()
-                .zip(&references)
-                .map(|(candidate, reference)| {
-                    run_one(checked, entity, &mutants[mi], candidate, reference)
-                })
-                .collect::<Result<_, _>>()?;
-            first_kill.push(row);
-        }
+        // first_kill[mutant_slot][candidate]: both engines grade every
+        // (live mutant, candidate) pair from reset; the lane engine
+        // batches 63 live mutants per candidate pass.
+        let first_kill: Vec<Vec<Option<usize>>> = match config.engine {
+            Engine::Scalar => {
+                let references: Vec<Vec<Vec<Bits>>> = pool
+                    .iter()
+                    .map(|s| reference_transcript(checked, entity, s))
+                    .collect::<Result<_, _>>()?;
+                let mut first_kill = Vec::with_capacity(live.len());
+                for &mi in &live {
+                    let row: Vec<Option<usize>> = pool
+                        .iter()
+                        .zip(&references)
+                        .map(|(candidate, reference)| {
+                            run_one(checked, entity, &mutants[mi], candidate, reference)
+                        })
+                        .collect::<Result<_, _>>()?;
+                    first_kill.push(row);
+                }
+                first_kill
+            }
+            Engine::Lanes => {
+                let subset: Vec<Mutant> =
+                    live.iter().map(|&mi| mutants[mi].clone()).collect();
+                let mut first_kill = vec![Vec::with_capacity(pool.len()); live.len()];
+                for candidate in &pool {
+                    let result = execute_mutants_lanes(checked, entity, &subset, candidate)?;
+                    for (slot, row) in first_kill.iter_mut().enumerate() {
+                        row.push(result.first_kill[slot]);
+                    }
+                }
+                first_kill
+            }
+        };
 
         let mut live_mask: Vec<bool> = vec![true; live.len()];
         let mut any_selected = false;
@@ -491,6 +538,56 @@ mod tests {
                 !claimed || found,
                 "claimed kill not reproducible for mutant {i}"
             );
+        }
+    }
+
+    #[test]
+    fn lane_engine_generates_bit_identical_data() {
+        // Transparent engine pick-up: the emitted sessions, kill claims
+        // and round counts must match the scalar engine exactly, on both
+        // the combinational and the sequential generator path.
+        let cases = [
+            (
+                "entity g is
+                   port(a : in bits(4); b : in bits(4); y : out bits(4); f : out bit);
+                 comb begin
+                   y <= a and b;
+                   f <= a < b;
+                 end;
+                 end;",
+                "g",
+            ),
+            (
+                "entity t is
+                   port(clk : in bit; rst : in bit; en : in bit; q : out bits(3));
+                 signal c : bits(3);
+                 seq(clk) begin
+                   if rst = 1 then
+                     c <= 0;
+                   elsif en = 1 then
+                     c <= c + 1;
+                   end if;
+                 end;
+                 comb begin q <= c; end;
+                 end;",
+                "t",
+            ),
+        ];
+        for (src, entity) in cases {
+            let d = checked(src);
+            let mutants = generate_mutants(&d, entity, &GenerateOptions::default());
+            let scalar =
+                mutation_guided_tests(&d, entity, &mutants, &MgConfig::fast(7)).unwrap();
+            let lanes = mutation_guided_tests(
+                &d,
+                entity,
+                &mutants,
+                &MgConfig::fast(7).with_engine(Engine::Lanes),
+            )
+            .unwrap();
+            assert_eq!(scalar.sessions, lanes.sessions, "{entity}: sessions differ");
+            assert_eq!(scalar.killed, lanes.killed, "{entity}: kill claims differ");
+            assert_eq!(scalar.rounds, lanes.rounds, "{entity}: rounds differ");
         }
     }
 

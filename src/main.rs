@@ -9,19 +9,21 @@
 //! musa atpg   <file.bench> [LIMIT]      PODEM over the collapsed faults
 //! musa bench  <name>                    stats for a bundled benchmark
 //! musa sample <name> [FRACTION]         run a sampling experiment
-//!             [--jobs N] [--seed N] [--paper]
+//!             [--jobs N] [--seed N] [--paper] [--engine scalar|lanes]
 //! musa list                             list bundled benchmarks
 //! ```
 //!
 //! `sample` shards its repetitions (and each repetition's mutant
-//! executions) across `--jobs` worker threads; the outcome is
-//! bit-identical for every job count.
+//! executions) across `--jobs` worker threads; `--engine lanes` packs
+//! up to 63 mutants plus the reference machine into each behavioral
+//! simulation pass. The outcome is bit-identical for every job count
+//! and both engines, so the two knobs compose freely.
 
 use musa::circuits::{Benchmark, Circuit};
 use musa::core::{resolve_jobs, run_sampling_experiment, ExperimentConfig};
 use musa::hdl::{parse, CheckedDesign};
 use musa::metrics::CoverageCurve;
-use musa::mutation::{count_by_operator, generate_mutants, GenerateOptions};
+use musa::mutation::{count_by_operator, generate_mutants, Engine, GenerateOptions};
 use musa::netlist::{
     collapsed_faults, fault_simulate, parse_bench, write_bench, Netlist, Testability,
 };
@@ -212,13 +214,15 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_sample(args: &[String]) -> Result<(), String> {
-    let usage = "expected <name> [fraction] [--jobs N] [--seed N] [--paper]";
+    let usage =
+        "expected <name> [fraction] [--jobs N] [--seed N] [--paper] [--engine scalar|lanes]";
     let mut name: Option<&str> = None;
     let mut fraction = 0.10f64;
     let mut positional = 0usize;
     let mut jobs = 0usize;
     let mut seed = 0xDA7E_2005u64;
     let mut paper = false;
+    let mut engine = Engine::Scalar;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -234,6 +238,14 @@ fn cmd_sample(args: &[String]) -> Result<(), String> {
                     .get(i + 1)
                     .and_then(|s| s.parse().ok())
                     .ok_or("--seed expects an integer")?;
+                i += 1;
+            }
+            "--engine" => {
+                engine = args
+                    .get(i + 1)
+                    .ok_or("--engine expects scalar|lanes")?
+                    .parse()
+                    .map_err(|e: String| e)?;
                 i += 1;
             }
             "--paper" => paper = true,
@@ -262,15 +274,17 @@ fn cmd_sample(args: &[String]) -> Result<(), String> {
     } else {
         ExperimentConfig::fast(seed)
     }
-    .with_jobs(jobs);
+    .with_jobs(jobs)
+    .with_engine(engine);
     let outcome = run_sampling_experiment(&circuit, SamplingStrategy::random(fraction), &config)
         .map_err(|e| e.to_string())?;
     println!(
-        "{}: {} strategy, {:.0}% sample, {} jobs, {} preset, seed {seed:#x}",
+        "{}: {} strategy, {:.0}% sample, {} jobs, {} engine, {} preset, seed {seed:#x}",
         circuit.name,
         outcome.strategy,
         fraction * 100.0,
         resolve_jobs(jobs),
+        engine,
         if paper { "paper" } else { "fast" },
     );
     println!(

@@ -79,6 +79,37 @@ fn sample_outcome_is_identical_across_job_counts() {
 }
 
 #[test]
+fn sample_outcome_is_identical_across_engines() {
+    let scalar = musa(&["sample", "c17", "0.5", "--seed", "7", "--engine", "scalar"]);
+    let lanes = musa(&["sample", "c17", "0.5", "--seed", "7", "--engine", "lanes"]);
+    assert_eq!(scalar.status.code(), Some(0));
+    assert_eq!(lanes.status.code(), Some(0));
+    assert!(
+        String::from_utf8_lossy(&lanes.stdout).contains("lanes engine"),
+        "header names the engine"
+    );
+    // Everything after the header line (which names the engine) must be
+    // byte-identical: the lane engine guarantees bit-equal outcomes.
+    let tail = |out: &Output| -> String {
+        String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .skip(1)
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let scalar_tail = tail(&scalar);
+    assert!(!scalar_tail.is_empty());
+    assert_eq!(scalar_tail, tail(&lanes));
+}
+
+#[test]
+fn sample_rejects_unknown_engine() {
+    let out = musa(&["sample", "c17", "--engine", "turbo"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown engine"));
+}
+
+#[test]
 fn sample_without_benchmark_exits_1_with_usage() {
     let out = musa(&["sample"]);
     assert_eq!(out.status.code(), Some(1));
