@@ -2,56 +2,10 @@
 //! without re-used validation data (the paper's §1 motivation).
 //!
 //! ```text
-//! cargo run --release -p musa_bench --bin atpg_topup [--fast] [--seed N] [--jobs N]
+//! cargo run --release -p musa_bench --bin atpg_topup \
+//!     [--fast] [--seed N] [--jobs N] [--engine scalar|lanes] [--json]
 //! ```
 
-use musa_bench::CliOptions;
-use musa_circuits::Benchmark;
-use musa_core::atpg_topup;
-use musa_metrics::{pct, Align, Table};
-
 fn main() {
-    let opts = CliOptions::from_args();
-    let config = opts.config();
-    // E3 targets the paper's combinational circuits.
-    let benchmarks = if opts.fast {
-        vec![Benchmark::C17]
-    } else {
-        vec![Benchmark::C17, Benchmark::C432, Benchmark::C499]
-    };
-    let backtrack_limit = 50_000;
-
-    println!(
-        "E3: ATPG top-up after validation-data reuse (seed {:#x})\n",
-        opts.seed
-    );
-    for bench in benchmarks {
-        let outcomes = atpg_topup(bench, backtrack_limit, &config).unwrap_or_else(|e| {
-            eprintln!("atpg_topup failed on {bench}: {e}");
-            std::process::exit(1);
-        });
-        let mut table = Table::new(vec![
-            ("Initial data", Align::Left),
-            ("Init vecs", Align::Right),
-            ("ATPG targets", Align::Right),
-            ("Backtracks", Align::Right),
-            ("ATPG vecs", Align::Right),
-            ("Untestable", Align::Right),
-            ("Aborted", Align::Right),
-            ("Final FC%", Align::Right),
-        ]);
-        for o in &outcomes {
-            table.row(vec![
-                o.mode.label().to_string(),
-                o.initial_vectors.to_string(),
-                o.atpg_targets.to_string(),
-                o.backtracks.to_string(),
-                o.atpg_vectors.to_string(),
-                o.untestable.to_string(),
-                o.aborted.to_string(),
-                pct(o.final_coverage),
-            ]);
-        }
-        println!("{bench}:\n{}", table.render());
-    }
+    musa_bench::drive(musa_bench::Bin::AtpgTopup);
 }

@@ -1,47 +1,10 @@
 //! E2 — the MFC/RFC coverage-versus-length curves behind ΔFC%/ΔL%.
 //!
 //! ```text
-//! cargo run --release -p musa_bench --bin coverage_curves [--fast] [--seed N] [--jobs N]
+//! cargo run --release -p musa_bench --bin coverage_curves \
+//!     [--fast] [--seed N] [--jobs N] [--engine scalar|lanes] [--json]
 //! ```
 
-use musa_bench::CliOptions;
-use musa_circuits::Benchmark;
-use musa_core::coverage_curves;
-
-fn ascii_plot(series: &[(usize, f64)], width: usize) -> String {
-    let mut out = String::new();
-    for &(len, cov) in series {
-        let bar = (cov * width as f64).round() as usize;
-        out.push_str(&format!(
-            "  {:>6} | {}{} {:.1}%\n",
-            len,
-            "#".repeat(bar),
-            " ".repeat(width.saturating_sub(bar)),
-            100.0 * cov
-        ));
-    }
-    out
-}
-
 fn main() {
-    let opts = CliOptions::from_args();
-    let config = opts.config();
-    let benchmarks = if opts.fast {
-        vec![Benchmark::C17, Benchmark::B01]
-    } else {
-        Benchmark::paper_set().to_vec()
-    };
-
-    println!("E2: Coverage-vs-length curves (seed {:#x})\n", opts.seed);
-    for bench in benchmarks {
-        let pair = coverage_curves(bench, 12, &config).unwrap_or_else(|e| {
-            eprintln!("curves failed on {bench}: {e}");
-            std::process::exit(1);
-        });
-        println!("{} — mutation data (MFC):", pair.circuit);
-        print!("{}", ascii_plot(&pair.mutation, 40));
-        println!("{} — pseudo-random baseline (RFC):", pair.circuit);
-        print!("{}", ascii_plot(&pair.random, 40));
-        println!();
-    }
+    musa_bench::drive(musa_bench::Bin::CoverageCurves);
 }

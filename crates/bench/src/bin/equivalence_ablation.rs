@@ -2,46 +2,10 @@
 //! the Mutation Score.
 //!
 //! ```text
-//! cargo run --release -p musa_bench --bin equivalence_ablation [--fast] [--seed N] [--jobs N]
+//! cargo run --release -p musa_bench --bin equivalence_ablation \
+//!     [--fast] [--seed N] [--jobs N] [--engine scalar|lanes] [--json]
 //! ```
 
-use musa_bench::CliOptions;
-use musa_circuits::Benchmark;
-use musa_core::equivalence_ablation;
-use musa_metrics::{f2, Align, Table};
-
 fn main() {
-    let opts = CliOptions::from_args();
-    let config = opts.config();
-    let budgets: Vec<usize> = if opts.fast {
-        vec![50, 200, 1_000]
-    } else {
-        vec![100, 500, 2_000, 10_000, 50_000]
-    };
-    let benchmarks = if opts.fast {
-        vec![Benchmark::C17]
-    } else {
-        Benchmark::paper_set().to_vec()
-    };
-
-    println!("E4: Equivalence-budget ablation (seed {:#x})\n", opts.seed);
-    for bench in benchmarks {
-        let points = equivalence_ablation(bench, &budgets, &config).unwrap_or_else(|e| {
-            eprintln!("ablation failed on {bench}: {e}");
-            std::process::exit(1);
-        });
-        let mut table = Table::new(vec![
-            ("Budget", Align::Right),
-            ("Equivalent", Align::Right),
-            ("MS%", Align::Right),
-        ]);
-        for p in &points {
-            table.row(vec![
-                p.budget.to_string(),
-                p.equivalent.to_string(),
-                f2(p.score.percent()),
-            ]);
-        }
-        println!("{bench}:\n{}", table.render());
-    }
+    musa_bench::drive(musa_bench::Bin::EquivalenceAblation);
 }

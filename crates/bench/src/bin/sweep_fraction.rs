@@ -2,48 +2,10 @@
 //! sample fraction grows.
 //!
 //! ```text
-//! cargo run --release -p musa_bench --bin sweep_fraction [--fast] [--seed N] [--jobs N]
+//! cargo run --release -p musa_bench --bin sweep_fraction \
+//!     [--fast] [--seed N] [--jobs N] [--engine scalar|lanes] [--json]
 //! ```
 
-use musa_bench::CliOptions;
-use musa_circuits::Benchmark;
-use musa_core::sweep_fractions;
-use musa_metrics::{f2, signed0, Align, Table};
-
 fn main() {
-    let opts = CliOptions::from_args();
-    let config = opts.config();
-    let fractions = [0.05, 0.10, 0.20, 0.50, 1.00];
-    let benchmarks = if opts.fast {
-        vec![Benchmark::B01, Benchmark::C17]
-    } else {
-        Benchmark::paper_set().to_vec()
-    };
-
-    println!("E1: Sampling-fraction sweep (seed {:#x})\n", opts.seed);
-    for bench in benchmarks {
-        let points = sweep_fractions(bench, &fractions, &config).unwrap_or_else(|e| {
-            eprintln!("sweep failed on {bench}: {e}");
-            std::process::exit(1);
-        });
-        let mut table = Table::new(vec![
-            ("Fraction", Align::Right),
-            ("Mutants", Align::Right),
-            ("TO MS%", Align::Right),
-            ("TO NLFCE", Align::Right),
-            ("RS MS%", Align::Right),
-            ("RS NLFCE", Align::Right),
-        ]);
-        for p in &points {
-            table.row(vec![
-                format!("{:.0}%", p.fraction * 100.0),
-                p.test_oriented.sampled.to_string(),
-                f2(p.test_oriented.mutation_score_pct),
-                signed0(p.test_oriented.nlfce),
-                f2(p.random.mutation_score_pct),
-                signed0(p.random.nlfce),
-            ]);
-        }
-        println!("{bench}:\n{}", table.render());
-    }
+    musa_bench::drive(musa_bench::Bin::SweepFraction);
 }

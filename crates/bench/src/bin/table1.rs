@@ -1,52 +1,10 @@
 //! Regenerates **Table 1** — mutation-operator fault-coverage efficiency.
 //!
 //! ```text
-//! cargo run --release -p musa_bench --bin table1 [--fast] [--seed N] [--jobs N]
+//! cargo run --release -p musa_bench --bin table1 \
+//!     [--fast] [--seed N] [--jobs N] [--engine scalar|lanes] [--json]
 //! ```
 
-use musa_bench::{paper, CliOptions};
-use musa_circuits::Benchmark;
-use musa_core::Table1;
-use musa_mutation::MutationOperator;
-
 fn main() {
-    let opts = CliOptions::from_args();
-    let config = opts.config();
-    println!("Table 1: Operator Fault Coverage Efficiency");
-    println!(
-        "(config: {} preset, seed {:#x})\n",
-        if opts.fast { "fast" } else { "paper" },
-        opts.seed
-    );
-
-    let table = Table1::measure(
-        &Benchmark::paper_set(),
-        &MutationOperator::paper_set(),
-        &config,
-    )
-    .unwrap_or_else(|e| {
-        eprintln!("table1 failed: {e}");
-        std::process::exit(1);
-    });
-    println!("{}", table.render());
-
-    println!("Paper-reported values for comparison:");
-    println!("Circuit  Operator   dFC%    dL%  NLFCE");
-    println!("---------------------------------------");
-    for &(circuit, op, dfc, dl, nlfce) in paper::TABLE1 {
-        println!("{circuit:<8} {op:<8} {dfc:>6.2} {dl:>6.2} {nlfce:>+6.0}");
-    }
-
-    // Shape summary: is LOR the least efficient operator per circuit?
-    println!("\nShape check (measured):");
-    for profile_circuit in table.rows.iter().map(|r| r.circuit.clone()).collect::<std::collections::BTreeSet<_>>() {
-        let mut rows: Vec<_> = table
-            .rows
-            .iter()
-            .filter(|r| r.circuit == profile_circuit)
-            .collect();
-        rows.sort_by(|a, b| a.nlfce.partial_cmp(&b.nlfce).unwrap());
-        let order: Vec<&str> = rows.iter().map(|r| r.operator.acronym()).collect();
-        println!("  {profile_circuit}: NLFCE order (worst -> best): {}", order.join(" < "));
-    }
+    musa_bench::drive(musa_bench::Bin::Table1);
 }

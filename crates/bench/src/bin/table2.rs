@@ -2,45 +2,10 @@
 //! sampling.
 //!
 //! ```text
-//! cargo run --release -p musa_bench --bin table2 [--fast] [--seed N] [--jobs N]
+//! cargo run --release -p musa_bench --bin table2 \
+//!     [--fast] [--seed N] [--jobs N] [--engine scalar|lanes] [--json]
 //! ```
 
-use musa_bench::{paper, CliOptions};
-use musa_circuits::Benchmark;
-use musa_core::Table2;
-
 fn main() {
-    let opts = CliOptions::from_args();
-    let config = opts.config();
-    println!("Table 2: Test-Oriented Sampling vs Random Mutant Sampling (10%)");
-    println!(
-        "(config: {} preset, seed {:#x})\n",
-        if opts.fast { "fast" } else { "paper" },
-        opts.seed
-    );
-
-    let table = Table2::measure(&Benchmark::paper_set(), 0.10, &config).unwrap_or_else(|e| {
-        eprintln!("table2 failed: {e}");
-        std::process::exit(1);
-    });
-    println!("{}", table.render());
-
-    println!("Paper-reported values for comparison:");
-    println!("Circuit  TO MS%  TO NLFCE  RS MS%  RS NLFCE");
-    println!("--------------------------------------------");
-    for &(circuit, to_ms, to_nlfce, rs_ms, rs_nlfce) in paper::TABLE2 {
-        println!("{circuit:<8} {to_ms:>6.2} {to_nlfce:>+9.0} {rs_ms:>6.2} {rs_nlfce:>+9.0}");
-    }
-
-    println!("\nShape check (measured): test-oriented wins on");
-    for row in &table.rows {
-        let ms_win = row.test_oriented.mutation_score_pct >= row.random.mutation_score_pct;
-        let nlfce_win = row.test_oriented.nlfce >= row.random.nlfce;
-        println!(
-            "  {}: MS {}  NLFCE {}",
-            row.circuit,
-            if ms_win { "yes" } else { "NO" },
-            if nlfce_win { "yes" } else { "NO" },
-        );
-    }
+    musa_bench::drive(musa_bench::Bin::Table2);
 }

@@ -1,0 +1,617 @@
+//! The shared argument layer every `musa` CLI front end routes through.
+//!
+//! Before the campaign redesign, the six experiment binaries and
+//! `musa sample` each hand-rolled their own `--seed/--jobs/--engine/…`
+//! parsing and stdout formatting. This module parses the shared flag
+//! set **once** ([`parse_tokens`] behind [`CliOptions::from_args`] and
+//! [`SampleArgs::parse`]) and drives the whole run through
+//! [`musa_core::Campaign`] ([`drive`]), so a binary's `main` is one
+//! line. Default (non-`--json`) stdout is byte-identical to the
+//! pre-redesign binaries — pinned by the CLI diff tests in
+//! `tests/cli_diff.rs`.
+
+use musa_circuits::Benchmark;
+use musa_core::{Campaign, CampaignError, ExperimentConfig, Report, Task, DEFAULT_SEED};
+use musa_mutation::{Engine, MutationOperator};
+
+/// Soft parse failures; each front end maps them to its legacy
+/// wording and exit path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// `--seed` had a missing or unparsable value.
+    SeedValue,
+    /// `--jobs` had a missing or unparsable value.
+    JobsValue,
+    /// `--engine` had no value.
+    EngineMissing,
+    /// `--engine` had an unrecognized value; carries the
+    /// [`Engine`](musa_mutation::Engine) parse message.
+    EngineInvalid(String),
+    /// An unrecognized `--flag` (strict front ends only).
+    UnknownFlag(String),
+    /// More positional arguments than the front end accepts.
+    TooManyPositionals,
+}
+
+/// The flag set shared by every front end, as parsed.
+#[derive(Debug, Clone, Default)]
+pub struct Parsed {
+    /// `--fast` seen.
+    pub fast: bool,
+    /// `--paper` seen.
+    pub paper: bool,
+    /// `--json` seen.
+    pub json: bool,
+    /// `--help`/`-h` seen (lenient front ends only).
+    pub help: bool,
+    /// `--seed N`.
+    pub seed: Option<u64>,
+    /// `--jobs N`.
+    pub jobs: Option<usize>,
+    /// `--engine E`.
+    pub engine: Option<Engine>,
+    /// Non-flag arguments, in order.
+    pub positionals: Vec<String>,
+}
+
+/// Parses the shared flag set from raw arguments.
+///
+/// `lenient` selects the experiment binaries' contract: unknown
+/// arguments are ignored with a stderr warning and `--help`/`-h` is
+/// recognized. Strict mode (the `musa sample` contract) rejects
+/// unknown `--flags` and caps positionals at `max_positionals`.
+///
+/// # Errors
+///
+/// Returns the [`CliError`] describing the first offending argument.
+pub fn parse_tokens(
+    args: &[String],
+    max_positionals: usize,
+    lenient: bool,
+) -> Result<Parsed, CliError> {
+    let mut parsed = Parsed::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--fast" => parsed.fast = true,
+            "--paper" => parsed.paper = true,
+            "--json" => parsed.json = true,
+            "--seed" => {
+                parsed.seed = Some(
+                    args.get(i + 1)
+                        .and_then(|s| s.parse().ok())
+                        .ok_or(CliError::SeedValue)?,
+                );
+                i += 1;
+            }
+            "--jobs" => {
+                parsed.jobs = Some(
+                    args.get(i + 1)
+                        .and_then(|s| s.parse().ok())
+                        .ok_or(CliError::JobsValue)?,
+                );
+                i += 1;
+            }
+            "--engine" => {
+                let raw = args.get(i + 1).ok_or(CliError::EngineMissing)?;
+                parsed.engine =
+                    Some(raw.parse().map_err(CliError::EngineInvalid)?);
+                i += 1;
+            }
+            // Help short-circuits, exactly like the pre-redesign loop:
+            // anything after it — including malformed values — is
+            // never parsed.
+            "--help" | "-h" if lenient => {
+                parsed.help = true;
+                return Ok(parsed);
+            }
+            other if lenient => eprintln!("ignoring unknown argument `{other}`"),
+            flag if flag.starts_with("--") => {
+                return Err(CliError::UnknownFlag(flag.to_string()));
+            }
+            positional => {
+                if parsed.positionals.len() >= max_positionals {
+                    return Err(CliError::TooManyPositionals);
+                }
+                parsed.positionals.push(positional.to_string());
+            }
+        }
+        i += 1;
+    }
+    Ok(parsed)
+}
+
+/// Command-line options shared by every bench binary.
+#[derive(Debug, Clone, Copy)]
+pub struct CliOptions {
+    /// Use the scaled-down configuration.
+    pub fast: bool,
+    /// `--paper` was passed explicitly (the default preset anyway;
+    /// passing it *and* `--fast` is a campaign validation error).
+    pub paper: bool,
+    /// Emit the campaign report as JSON instead of text.
+    pub json: bool,
+    /// Master seed.
+    pub seed: u64,
+    /// Worker threads (`0` = one per available CPU).
+    pub jobs: usize,
+    /// Mutant-execution engine (`scalar` or `lanes`).
+    pub engine: Engine,
+}
+
+impl CliOptions {
+    /// The usage text every bench binary prints for `--help`.
+    pub const USAGE: &'static str = "\
+options (shared by every musa_bench experiment binary):
+  --fast      scaled-down configuration: seconds instead of minutes
+  --paper     paper-scale configuration (the default; conflicts with
+              --fast)
+  --seed N    master seed (default 0xDA7E2005); every stage derives
+              its own sub-seeds from it
+  --jobs N    worker threads (default: one per available CPU);
+              results are bit-identical for every value, so this is
+              purely a wall-clock knob
+  --engine E  mutant-execution engine: `scalar` (one Simulator pass
+              per mutant) or `lanes` (63 mutants + the reference
+              machine per pass); outcomes are bit-identical, and
+              lanes compose multiplicatively with --jobs
+  --json      emit the typed campaign report as JSON (stable
+              `musa.campaign.v1` schema) instead of text
+  --help      print this text";
+
+    /// Parses `--fast`, `--paper`, `--json`, `--seed N`, `--jobs N`
+    /// and `--engine E` from `std::env::args`; `--help` prints
+    /// [`CliOptions::USAGE`] and exits 0. A missing or unparsable
+    /// `--seed`/`--jobs`/`--engine` value exits 2 rather than silently
+    /// running with the default; unknown arguments are ignored with a
+    /// warning.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        match parse_tokens(&args, 0, true) {
+            Ok(parsed) if parsed.help => {
+                println!("{}", Self::USAGE);
+                std::process::exit(0);
+            }
+            Ok(parsed) => Self {
+                fast: parsed.fast,
+                paper: parsed.paper,
+                json: parsed.json,
+                seed: parsed.seed.unwrap_or(DEFAULT_SEED),
+                jobs: parsed.jobs.unwrap_or(0),
+                engine: parsed.engine.unwrap_or_default(),
+            },
+            Err(e) => {
+                let message = match e {
+                    CliError::SeedValue => "--seed expects an integer value",
+                    CliError::JobsValue => "--jobs expects an integer value",
+                    CliError::EngineMissing | CliError::EngineInvalid(_) => {
+                        "--engine expects `scalar` or `lanes`"
+                    }
+                    // Lenient parsing ignores unknown arguments.
+                    CliError::UnknownFlag(_) | CliError::TooManyPositionals => {
+                        unreachable!("lenient mode ignores unknown arguments")
+                    }
+                };
+                eprintln!("{message}");
+                eprintln!("{}", Self::USAGE);
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// The experiment configuration these options select (kept for
+    /// callers that drive `musa_core` directly rather than through
+    /// [`drive`]).
+    pub fn config(&self) -> ExperimentConfig {
+        let config = if self.fast {
+            ExperimentConfig::fast(self.seed)
+        } else {
+            ExperimentConfig::paper(self.seed)
+        };
+        config.with_jobs(self.jobs).with_engine(self.engine)
+    }
+}
+
+/// `musa sample` arguments (strict front end: positionals plus the
+/// shared flags; unknown flags are errors).
+#[derive(Debug, Clone)]
+pub struct SampleArgs {
+    /// Benchmark name.
+    pub name: String,
+    /// Sampling fraction (default 10 %).
+    pub fraction: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Worker threads (`0` = auto).
+    pub jobs: usize,
+    /// Mutant-execution engine.
+    pub engine: Engine,
+    /// `--paper` preset requested (default: fast).
+    pub paper: bool,
+    /// `--fast` passed explicitly.
+    pub fast: bool,
+    /// Emit JSON.
+    pub json: bool,
+}
+
+/// The `musa sample` usage line.
+pub const SAMPLE_USAGE: &str = "expected <name> [fraction] [--jobs N] [--seed N] \
+[--paper] [--fast] [--json] [--engine scalar|lanes]";
+
+impl SampleArgs {
+    /// Parses `musa sample`'s arguments (everything after the
+    /// subcommand).
+    ///
+    /// # Errors
+    ///
+    /// Returns the legacy `musa sample` error strings: usage on a
+    /// missing name or extra positionals, per-flag messages otherwise.
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let parsed = parse_tokens(args, 2, false).map_err(|e| match e {
+            CliError::SeedValue => "--seed expects an integer".to_string(),
+            CliError::JobsValue => "--jobs expects a thread count".to_string(),
+            CliError::EngineMissing => "--engine expects scalar|lanes".to_string(),
+            CliError::EngineInvalid(detail) => detail,
+            CliError::UnknownFlag(flag) => format!("unknown flag `{flag}`; {SAMPLE_USAGE}"),
+            CliError::TooManyPositionals => SAMPLE_USAGE.to_string(),
+        })?;
+        let Some(name) = parsed.positionals.first() else {
+            return Err(SAMPLE_USAGE.to_string());
+        };
+        let fraction = match parsed.positionals.get(1) {
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| "bad fraction (expected 0..=1)".to_string())?,
+            None => 0.10,
+        };
+        Ok(Self {
+            name: name.clone(),
+            fraction,
+            seed: parsed.seed.unwrap_or(DEFAULT_SEED),
+            jobs: parsed.jobs.unwrap_or(0),
+            engine: parsed.engine.unwrap_or_default(),
+            paper: parsed.paper,
+            fast: parsed.fast,
+            json: parsed.json,
+        })
+    }
+
+    /// The campaign these arguments select (`musa sample` defaults to
+    /// the fast preset; `--paper` upgrades, and passing both flags is
+    /// a campaign validation error).
+    pub fn campaign(&self) -> Campaign {
+        let mut campaign = Campaign::named(&self.name)
+            .seed(self.seed)
+            .jobs(self.jobs)
+            .engine(self.engine)
+            .task(Task::Sampling { fraction: self.fraction });
+        if self.paper {
+            campaign = campaign.paper();
+        }
+        if self.fast || !self.paper {
+            campaign = campaign.fast();
+        }
+        campaign
+    }
+}
+
+/// The six experiment binaries, with their per-binary defaults
+/// (benchmark sets, task parameters, legacy error wording).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bin {
+    /// `table1` — operator fault-coverage efficiency.
+    Table1,
+    /// `table2` — test-oriented vs random 10 % sampling.
+    Table2,
+    /// `sweep_fraction` — E1.
+    SweepFraction,
+    /// `coverage_curves` — E2.
+    CoverageCurves,
+    /// `atpg_topup` — E3.
+    AtpgTopup,
+    /// `equivalence_ablation` — E4.
+    EquivalenceAblation,
+}
+
+impl Bin {
+    /// The task this binary runs, with its legacy default parameters.
+    pub fn task(self, fast: bool) -> Task {
+        match self {
+            Bin::Table1 => Task::Table1 {
+                operators: MutationOperator::paper_set().to_vec(),
+            },
+            Bin::Table2 => Task::Table2 { fraction: 0.10 },
+            Bin::SweepFraction => Task::SweepFraction {
+                fractions: vec![0.05, 0.10, 0.20, 0.50, 1.00],
+            },
+            Bin::CoverageCurves => Task::CoverageCurves { points: 12 },
+            Bin::AtpgTopup => Task::AtpgTopup { backtrack_limit: 50_000 },
+            Bin::EquivalenceAblation => Task::EquivalenceAblation {
+                budgets: if fast {
+                    vec![50, 200, 1_000]
+                } else {
+                    vec![100, 500, 2_000, 10_000, 50_000]
+                },
+            },
+        }
+    }
+
+    /// The benchmark set this binary measures (`--fast` scales it
+    /// down, exactly like the pre-redesign binaries did).
+    pub fn benches(self, fast: bool) -> Vec<Benchmark> {
+        match self {
+            Bin::Table1 | Bin::Table2 => Benchmark::paper_set().to_vec(),
+            Bin::SweepFraction => {
+                if fast {
+                    vec![Benchmark::B01, Benchmark::C17]
+                } else {
+                    Benchmark::paper_set().to_vec()
+                }
+            }
+            Bin::CoverageCurves => {
+                if fast {
+                    vec![Benchmark::C17, Benchmark::B01]
+                } else {
+                    Benchmark::paper_set().to_vec()
+                }
+            }
+            Bin::AtpgTopup => {
+                // E3 targets the paper's combinational circuits.
+                if fast {
+                    vec![Benchmark::C17]
+                } else {
+                    vec![Benchmark::C17, Benchmark::C432, Benchmark::C499]
+                }
+            }
+            Bin::EquivalenceAblation => {
+                if fast {
+                    vec![Benchmark::C17]
+                } else {
+                    Benchmark::paper_set().to_vec()
+                }
+            }
+        }
+    }
+
+    /// The campaign this binary's options select.
+    pub fn campaign(self, opts: &CliOptions) -> Campaign {
+        let mut campaign = Campaign::new(Benchmark::C17)
+            .benches(&self.benches(opts.fast))
+            .seed(opts.seed)
+            .jobs(opts.jobs)
+            .engine(opts.engine)
+            .task(self.task(opts.fast));
+        if opts.fast {
+            campaign = campaign.fast();
+        }
+        if opts.paper {
+            campaign = campaign.paper();
+        }
+        campaign
+    }
+
+    /// The legacy stderr line for a failure.
+    fn error_message(self, error: &CampaignError) -> String {
+        let prefix = match self {
+            Bin::Table1 => "table1 failed",
+            Bin::Table2 => "table2 failed",
+            Bin::SweepFraction => "sweep failed",
+            Bin::CoverageCurves => "curves failed",
+            Bin::AtpgTopup => "atpg_topup failed",
+            Bin::EquivalenceAblation => "ablation failed",
+        };
+        match error {
+            CampaignError::Run { bench, source } => {
+                format!("{prefix} on {bench}: {source}")
+            }
+            other => format!("{prefix}: {other}"),
+        }
+    }
+}
+
+/// Parses `std::env::args`, runs the binary's campaign and prints the
+/// report (text by default, `--json` for the typed report). The whole
+/// `main` of every experiment binary.
+pub fn drive(bin: Bin) {
+    let opts = CliOptions::from_args();
+    match bin.campaign(&opts).run() {
+        Ok(report) => print_report(&report, opts.json),
+        Err(e) => {
+            eprintln!("{}", bin.error_message(&e));
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Prints a campaign report the way every front end does: the stable
+/// text rendering by default, the `musa.campaign.v1` JSON with
+/// `--json`.
+pub fn print_report(report: &Report, json: bool) {
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn default_options() {
+        let opts = CliOptions {
+            fast: true,
+            paper: false,
+            json: false,
+            seed: 42,
+            jobs: 0,
+            engine: Engine::Scalar,
+        };
+        let cfg = opts.config();
+        assert_eq!(cfg.seed, 42);
+        assert_eq!(cfg.jobs, 0, "0 = one worker per available CPU");
+    }
+
+    #[test]
+    fn jobs_option_reaches_the_config() {
+        let opts = CliOptions {
+            fast: false,
+            paper: false,
+            json: false,
+            seed: 1,
+            jobs: 3,
+            engine: Engine::Scalar,
+        };
+        assert_eq!(opts.config().jobs, 3);
+    }
+
+    #[test]
+    fn engine_option_reaches_the_config_and_generation() {
+        let opts = CliOptions {
+            fast: true,
+            paper: false,
+            json: false,
+            seed: 1,
+            jobs: 0,
+            engine: Engine::Lanes,
+        };
+        let cfg = opts.config();
+        assert_eq!(cfg.engine, Engine::Lanes);
+        assert_eq!(cfg.mg.engine, Engine::Lanes);
+    }
+
+    #[test]
+    fn usage_documents_every_flag() {
+        for flag in ["--fast", "--paper", "--seed", "--jobs", "--engine", "--json", "--help"] {
+            assert!(CliOptions::USAGE.contains(flag), "usage lacks {flag}");
+        }
+    }
+
+    #[test]
+    fn shared_parser_handles_the_full_flag_set() {
+        let parsed = parse_tokens(
+            &strings(&["--fast", "--seed", "9", "--jobs", "2", "--engine", "lanes", "--json"]),
+            0,
+            true,
+        )
+        .unwrap();
+        assert!(parsed.fast && parsed.json && !parsed.paper);
+        assert_eq!(parsed.seed, Some(9));
+        assert_eq!(parsed.jobs, Some(2));
+        assert_eq!(parsed.engine, Some(Engine::Lanes));
+    }
+
+    #[test]
+    fn shared_parser_reports_value_errors() {
+        assert_eq!(
+            parse_tokens(&strings(&["--seed", "zz"]), 0, true).unwrap_err(),
+            CliError::SeedValue
+        );
+        assert_eq!(
+            parse_tokens(&strings(&["--jobs"]), 0, true).unwrap_err(),
+            CliError::JobsValue
+        );
+        assert_eq!(
+            parse_tokens(&strings(&["--engine"]), 0, true).unwrap_err(),
+            CliError::EngineMissing
+        );
+        assert!(matches!(
+            parse_tokens(&strings(&["--engine", "turbo"]), 0, true).unwrap_err(),
+            CliError::EngineInvalid(_)
+        ));
+    }
+
+    #[test]
+    fn help_short_circuits_before_later_malformed_values() {
+        // The pre-redesign loop exited at --help without reading the
+        // rest of the line; `--help --seed zz` must report help, not a
+        // value error.
+        let parsed = parse_tokens(&strings(&["--help", "--seed", "zz"]), 0, true).unwrap();
+        assert!(parsed.help);
+        // ...while an error BEFORE --help still wins, as it always did.
+        assert_eq!(
+            parse_tokens(&strings(&["--seed", "zz", "--help"]), 0, true).unwrap_err(),
+            CliError::SeedValue
+        );
+    }
+
+    #[test]
+    fn strict_mode_rejects_unknown_flags_and_extra_positionals() {
+        assert_eq!(
+            parse_tokens(&strings(&["--frobnicate"]), 2, false).unwrap_err(),
+            CliError::UnknownFlag("--frobnicate".into())
+        );
+        assert_eq!(
+            parse_tokens(&strings(&["a", "b", "c"]), 2, false).unwrap_err(),
+            CliError::TooManyPositionals
+        );
+    }
+
+    #[test]
+    fn sample_args_match_the_legacy_contract() {
+        let args = SampleArgs::parse(&strings(&["c17", "0.5", "--jobs", "2", "--seed", "9"]))
+            .unwrap();
+        assert_eq!(args.name, "c17");
+        assert_eq!(args.fraction, 0.5);
+        assert_eq!(args.jobs, 2);
+        assert_eq!(args.seed, 9);
+        assert!(!args.paper);
+
+        assert_eq!(SampleArgs::parse(&[]).unwrap_err(), SAMPLE_USAGE);
+        assert!(SampleArgs::parse(&strings(&["c17", "xx"]))
+            .unwrap_err()
+            .contains("bad fraction"));
+        assert!(SampleArgs::parse(&strings(&["c17", "--engine", "turbo"]))
+            .unwrap_err()
+            .contains("unknown engine"));
+        assert!(SampleArgs::parse(&strings(&["c17", "--wat"]))
+            .unwrap_err()
+            .contains("unknown flag `--wat`"));
+    }
+
+    #[test]
+    fn bins_reproduce_their_legacy_defaults() {
+        assert_eq!(
+            Bin::Table1.task(false),
+            Task::Table1 { operators: MutationOperator::paper_set().to_vec() }
+        );
+        assert_eq!(Bin::Table2.task(true), Task::Table2 { fraction: 0.10 });
+        assert_eq!(
+            Bin::SweepFraction.benches(true),
+            vec![Benchmark::B01, Benchmark::C17]
+        );
+        assert_eq!(
+            Bin::CoverageCurves.benches(true),
+            vec![Benchmark::C17, Benchmark::B01]
+        );
+        assert_eq!(Bin::AtpgTopup.benches(false).len(), 3);
+        assert_eq!(
+            Bin::EquivalenceAblation.task(false),
+            Task::EquivalenceAblation { budgets: vec![100, 500, 2_000, 10_000, 50_000] }
+        );
+        // Every bin's campaign validates (no run).
+        for bin in [
+            Bin::Table1,
+            Bin::Table2,
+            Bin::SweepFraction,
+            Bin::CoverageCurves,
+            Bin::AtpgTopup,
+            Bin::EquivalenceAblation,
+        ] {
+            let opts = CliOptions {
+                fast: true,
+                paper: false,
+                json: false,
+                seed: 1,
+                jobs: 1,
+                engine: Engine::Scalar,
+            };
+            bin.campaign(&opts).validate().unwrap_or_else(|e| panic!("{bin:?}: {e}"));
+        }
+    }
+}

@@ -11,137 +11,22 @@
 //! | `atpg_topup` | E3 — ATPG effort with/without validation reuse |
 //! | `equivalence_ablation` | E4 — MS vs equivalence budget |
 //!
-//! Every binary accepts `--fast` to run a scaled-down configuration
-//! (seconds instead of minutes), `--seed N` to change the master seed,
-//! `--jobs N` to bound the worker-thread count (default: one per
-//! available CPU; results are bit-identical for every value) and
-//! `--help`. Criterion micro-benchmarks live under `benches/`.
+//! Every binary is a one-line wrapper over the shared [`cli`] layer:
+//! arguments (`--fast`, `--paper`, `--seed N`, `--jobs N`,
+//! `--engine E`, `--json`, `--help`) parse in one place, the run
+//! routes through [`musa_core::Campaign`], and the default stdout is
+//! byte-identical to the pre-redesign binaries (pinned by the diff
+//! tests in `tests/cli_diff.rs`). `--json` emits the typed
+//! [`musa_core::Report`] instead. Criterion micro-benchmarks live
+//! under `benches/`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use musa_core::ExperimentConfig;
-use musa_mutation::Engine;
+pub mod cli;
 
-/// Paper-reported values, for side-by-side printing.
-pub mod paper {
-    /// Table 1 rows as printed in the paper:
-    /// `(circuit, operator, ΔFC%, ΔL%, NLFCE)`.
-    pub const TABLE1: &[(&str, &str, f64, f64, f64)] = &[
-        ("b01", "LOR", 0.66, 10.84, 7.16),
-        ("b01", "VR", 1.36, 17.43, 23.7),
-        ("b01", "CVR", 1.72, 18.81, 32.3),
-        ("b01", "CR", 2.32, 37.60, 87.3),
-        ("b03", "VR", 4.10, 28.39, 116.0),
-        ("b03", "CVR", 8.08, 55.29, 447.0),
-        ("b03", "CR", 9.57, 49.89, 477.0),
-        ("c432", "LOR", 4.14, 32.35, 134.0),
-        ("c432", "VR", 9.40, 56.62, 532.0),
-        ("c432", "CVR", 11.67, 81.86, 955.0),
-        ("c499", "LOR", 4.72, 64.26, 303.0),
-        ("c499", "VR", 6.18, 73.10, 452.0),
-        ("c499", "CVR", 4.53, 84.96, 385.0),
-    ];
-
-    /// Table 2 rows: `(circuit, TO MS%, TO NLFCE, RS MS%, RS NLFCE)`.
-    pub const TABLE2: &[(&str, f64, f64, f64, f64)] = &[
-        ("b01", 85.98, 340.0, 83.71, 278.0),
-        ("b03", 64.16, 1089.0, 62.22, 712.0),
-        ("c432", 88.18, 708.0, 85.62, 419.0),
-        ("c499", 94.75, 518.0, 90.32, 500.0),
-    ];
-}
-
-/// Command-line options shared by every bench binary.
-#[derive(Debug, Clone, Copy)]
-pub struct CliOptions {
-    /// Use the scaled-down configuration.
-    pub fast: bool,
-    /// Master seed.
-    pub seed: u64,
-    /// Worker threads (`0` = one per available CPU).
-    pub jobs: usize,
-    /// Mutant-execution engine (`scalar` or `lanes`).
-    pub engine: Engine,
-}
-
-impl CliOptions {
-    /// The usage text every bench binary prints for `--help`.
-    pub const USAGE: &'static str = "\
-options (shared by every musa_bench experiment binary):
-  --fast      scaled-down configuration: seconds instead of minutes
-  --seed N    master seed (default 0xDA7E2005); every stage derives
-              its own sub-seeds from it
-  --jobs N    worker threads (default: one per available CPU);
-              results are bit-identical for every value, so this is
-              purely a wall-clock knob
-  --engine E  mutant-execution engine: `scalar` (one Simulator pass
-              per mutant) or `lanes` (63 mutants + the reference
-              machine per pass); outcomes are bit-identical, and
-              lanes compose multiplicatively with --jobs
-  --help      print this text";
-
-    /// Parses `--fast`, `--seed N`, `--jobs N` and `--engine E` from
-    /// `std::env::args`; `--help` prints [`CliOptions::USAGE`] and
-    /// exits 0. A missing or unparsable `--seed`/`--jobs`/`--engine`
-    /// value exits 2 rather than silently running with the default.
-    pub fn from_args() -> Self {
-        let mut fast = false;
-        let mut seed = 0xDA7E_2005u64;
-        let mut jobs = 0usize;
-        let mut engine = Engine::Scalar;
-        let args: Vec<String> = std::env::args().collect();
-        let value = |i: usize, flag: &str| -> u64 {
-            args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
-                eprintln!("{flag} expects an integer value");
-                eprintln!("{}", Self::USAGE);
-                std::process::exit(2);
-            })
-        };
-        let mut i = 1;
-        while i < args.len() {
-            match args[i].as_str() {
-                "--fast" => fast = true,
-                "--seed" => {
-                    seed = value(i, "--seed");
-                    i += 1;
-                }
-                "--jobs" => {
-                    jobs = value(i, "--jobs") as usize;
-                    i += 1;
-                }
-                "--engine" => {
-                    engine = args
-                        .get(i + 1)
-                        .and_then(|s| s.parse().ok())
-                        .unwrap_or_else(|| {
-                            eprintln!("--engine expects `scalar` or `lanes`");
-                            eprintln!("{}", Self::USAGE);
-                            std::process::exit(2);
-                        });
-                    i += 1;
-                }
-                "--help" | "-h" => {
-                    println!("{}", Self::USAGE);
-                    std::process::exit(0);
-                }
-                other => eprintln!("ignoring unknown argument `{other}`"),
-            }
-            i += 1;
-        }
-        Self { fast, seed, jobs, engine }
-    }
-
-    /// The experiment configuration these options select.
-    pub fn config(&self) -> ExperimentConfig {
-        let config = if self.fast {
-            ExperimentConfig::fast(self.seed)
-        } else {
-            ExperimentConfig::paper(self.seed)
-        };
-        config.with_jobs(self.jobs).with_engine(self.engine)
-    }
-}
+pub use cli::{drive, Bin, CliOptions, SampleArgs};
+pub use musa_core::paper;
 
 #[cfg(test)]
 mod tests {
@@ -166,50 +51,6 @@ mod tests {
         for &(circuit, to_ms, to_nlfce, rs_ms, rs_nlfce) in paper::TABLE2 {
             assert!(to_ms > rs_ms, "{circuit} MS");
             assert!(to_nlfce > rs_nlfce, "{circuit} NLFCE");
-        }
-    }
-
-    #[test]
-    fn default_options() {
-        let opts = CliOptions {
-            fast: true,
-            seed: 42,
-            jobs: 0,
-            engine: Engine::Scalar,
-        };
-        let cfg = opts.config();
-        assert_eq!(cfg.seed, 42);
-        assert_eq!(cfg.jobs, 0, "0 = one worker per available CPU");
-    }
-
-    #[test]
-    fn jobs_option_reaches_the_config() {
-        let opts = CliOptions {
-            fast: false,
-            seed: 1,
-            jobs: 3,
-            engine: Engine::Scalar,
-        };
-        assert_eq!(opts.config().jobs, 3);
-    }
-
-    #[test]
-    fn engine_option_reaches_the_config_and_generation() {
-        let opts = CliOptions {
-            fast: true,
-            seed: 1,
-            jobs: 0,
-            engine: Engine::Lanes,
-        };
-        let cfg = opts.config();
-        assert_eq!(cfg.engine, Engine::Lanes);
-        assert_eq!(cfg.mg.engine, Engine::Lanes);
-    }
-
-    #[test]
-    fn usage_documents_every_flag() {
-        for flag in ["--fast", "--seed", "--jobs", "--engine", "--help"] {
-            assert!(CliOptions::USAGE.contains(flag), "usage lacks {flag}");
         }
     }
 }

@@ -435,6 +435,19 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "no repetitions to aggregate")]
+    fn finish_on_the_empty_aggregate_panics_with_a_clear_message() {
+        // The contract is explicit: an aggregate holds at least one
+        // repetition before `finish` (the experiment loop guarantees
+        // `repetitions.max(1)`); finishing empty is a caller bug and
+        // must fail loudly, not return a fabricated outcome.
+        let agg = SamplingAggregate::new();
+        assert!(agg.is_empty());
+        assert_eq!(agg.len(), 0);
+        let _ = agg.finish();
+    }
+
+    #[test]
     #[should_panic(expected = "pushed twice")]
     fn aggregate_rejects_duplicate_repetition_indices() {
         let mut agg = SamplingAggregate::new();

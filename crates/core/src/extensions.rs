@@ -209,11 +209,30 @@ pub fn atpg_topup(
     config: &ExperimentConfig,
 ) -> Result<Vec<TopUpOutcome>, TableError> {
     let circuit = bench.load()?;
+    atpg_topup_on(&circuit, backtrack_limit, config)
+}
+
+/// [`atpg_topup`] over an already-loaded circuit (spares the re-load
+/// when the caller has checked combinationality itself).
+///
+/// # Errors
+///
+/// Returns a [`TableError`] on mutation failures.
+///
+/// # Panics
+///
+/// Panics if the circuit is sequential (PODEM is combinational; the
+/// paper's c432/c499 are the E3 targets).
+pub fn atpg_topup_on(
+    circuit: &Circuit,
+    backtrack_limit: u64,
+    config: &ExperimentConfig,
+) -> Result<Vec<TopUpOutcome>, TableError> {
     assert!(
         circuit.is_combinational(),
         "E3 targets combinational circuits"
     );
-    let faults = fault_universe(&circuit);
+    let faults = fault_universe(circuit);
     let mut seeder = SplitMix64::new(config.seed ^ 0xE3);
 
     // Validation data from the full mutant population.
@@ -229,7 +248,7 @@ pub fn atpg_topup(
     let generated = mutation_guided_tests(&circuit.checked, &circuit.name, &population, &mg)
         .map_err(TableError::from)?;
     let validation_patterns: Vec<Pattern> = crate::data::sessions_to_patterns(
-        &circuit,
+        circuit,
         &generated.sessions,
     )
     .into_iter()
@@ -248,7 +267,7 @@ pub fn atpg_topup(
     ];
     let mut outcomes = Vec::with_capacity(3);
     for (mode, initial) in modes {
-        outcomes.push(top_up_once(&circuit, &faults, mode, initial, backtrack_limit));
+        outcomes.push(top_up_once(circuit, &faults, mode, initial, backtrack_limit));
     }
     Ok(outcomes)
 }

@@ -1,0 +1,190 @@
+//! A minimal, dependency-free JSON emitter for campaign reports.
+//!
+//! The build environment is offline (no `serde`), so [`Json`] is a tiny
+//! hand-rolled value tree with a **stable** pretty printer: object keys
+//! render in insertion order, floats render with Rust's
+//! shortest-round-trip `Display` (deterministic, bit-faithful), and
+//! non-finite floats render as `null`. The golden-file test in
+//! `tests/cli.rs` pins the emitted schema.
+
+use std::fmt::Write;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (emitted without a decimal point).
+    Int(i64),
+    /// An unsigned integer (seeds are full-range `u64`).
+    UInt(u64),
+    /// A float, shortest-round-trip formatted; non-finite values emit
+    /// `null`.
+    Float(f64),
+    /// A string (escaped per RFC 8259).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; keys keep insertion order.
+    Obj(Vec<(&'static str, Json)>),
+}
+
+impl Json {
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// An integer value from any `usize` count.
+    pub fn count(n: usize) -> Json {
+        Json::Int(n as i64)
+    }
+
+    /// `Some(n)` → integer, `None` → `null`.
+    pub fn opt_count(n: Option<usize>) -> Json {
+        n.map_or(Json::Null, Json::count)
+    }
+
+    /// Renders the value as pretty-printed JSON (two-space indent, no
+    /// trailing newline).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::UInt(u) => {
+                let _ = write!(out, "{u}");
+            }
+            Json::Float(f) => {
+                if f.is_finite() {
+                    let _ = write!(out, "{f}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    item.write(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Writes `s` as a quoted, RFC 8259-escaped JSON string (shared by
+/// string values and object keys).
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::Bool(true).render(), "true");
+        assert_eq!(Json::Int(-3).render(), "-3");
+        assert_eq!(Json::UInt(u64::MAX).render(), "18446744073709551615");
+        assert_eq!(Json::Float(1.5).render(), "1.5");
+        assert_eq!(Json::Float(f64::NAN).render(), "null");
+        assert_eq!(Json::str("a\"b\\c\nd").render(), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn object_keys_are_escaped_like_string_values() {
+        let v = Json::Obj(vec![("a\"b", Json::Null)]);
+        assert_eq!(v.render(), "{\n  \"a\\\"b\": null\n}");
+    }
+
+    #[test]
+    fn containers_render_stably() {
+        let v = Json::Obj(vec![
+            ("b", Json::Int(1)),
+            ("a", Json::Arr(vec![Json::Int(2), Json::Null])),
+            ("empty", Json::Arr(vec![])),
+        ]);
+        assert_eq!(
+            v.render(),
+            "{\n  \"b\": 1,\n  \"a\": [\n    2,\n    null\n  ],\n  \"empty\": []\n}"
+        );
+    }
+
+    #[test]
+    fn floats_round_trip_shortest() {
+        // Display is shortest-round-trip: the bit pattern survives.
+        let x = 0.1 + 0.2;
+        assert_eq!(Json::Float(x).render().parse::<f64>().unwrap(), x);
+    }
+
+    #[test]
+    fn opt_count_maps_none_to_null() {
+        assert_eq!(Json::opt_count(None).render(), "null");
+        assert_eq!(Json::opt_count(Some(7)).render(), "7");
+    }
+}

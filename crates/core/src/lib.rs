@@ -13,7 +13,10 @@
 //!    tables on the benchmark suite;
 //! 5. extension experiments [`sweep_fractions`] (E1),
 //!    [`coverage_curves`] (E2), [`atpg_topup`] (E3) and
-//!    [`equivalence_ablation`] (E4).
+//!    [`equivalence_ablation`] (E4);
+//! 6. the [`Campaign`] builder — the typed front door every CLI caller
+//!    routes through: validate once, run any [`Task`], get a [`Report`]
+//!    with run metadata, a stable text rendering and JSON.
 //!
 //! Repetition loops and mutant executions are sharded across worker
 //! threads by the [`parallel`] module, and every differential-
@@ -42,15 +45,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 mod config;
 mod data;
 mod experiment;
 mod extensions;
+pub mod json;
+pub mod paper;
 pub mod parallel;
 mod profile;
 mod tables;
 
+pub use campaign::{
+    BenchAblation, BenchOutcome, BenchSweep, BenchTopUp, Campaign, CampaignError, MgOutcome,
+    Preset, Report, ReportData, RunMeta, Task, DEFAULT_SEED,
+};
 pub use config::ExperimentConfig;
+pub use json::Json;
 pub use data::{
     coverage_of_sessions, fault_universe, random_baseline_curve, sessions_to_patterns,
 };
@@ -59,8 +70,8 @@ pub use experiment::{
 };
 pub use parallel::{available_jobs, par_map, resolve_jobs, split_jobs, try_par_map};
 pub use extensions::{
-    atpg_topup, coverage_curves, equivalence_ablation, sweep_fractions, AblationPoint,
-    CurvePair, SweepPoint, TopUpMode, TopUpOutcome,
+    atpg_topup, atpg_topup_on, coverage_curves, equivalence_ablation, sweep_fractions,
+    AblationPoint, CurvePair, SweepPoint, TopUpMode, TopUpOutcome,
 };
 pub use profile::{OperatorEfficiency, OperatorProfile};
 pub use tables::{Table1, Table1Row, Table2, Table2Row, TableError};

@@ -1,0 +1,32 @@
+//! Paper-reported values, for side-by-side printing.
+//!
+//! Lived in `musa_bench` until the campaign redesign; the campaign
+//! text renderers reproduce the bench binaries' stdout — including the
+//! paper-comparison blocks — so the constants now sit next to them
+//! (`musa_bench::paper` re-exports this module unchanged).
+
+/// Table 1 rows as printed in the paper:
+/// `(circuit, operator, ΔFC%, ΔL%, NLFCE)`.
+pub const TABLE1: &[(&str, &str, f64, f64, f64)] = &[
+    ("b01", "LOR", 0.66, 10.84, 7.16),
+    ("b01", "VR", 1.36, 17.43, 23.7),
+    ("b01", "CVR", 1.72, 18.81, 32.3),
+    ("b01", "CR", 2.32, 37.60, 87.3),
+    ("b03", "VR", 4.10, 28.39, 116.0),
+    ("b03", "CVR", 8.08, 55.29, 447.0),
+    ("b03", "CR", 9.57, 49.89, 477.0),
+    ("c432", "LOR", 4.14, 32.35, 134.0),
+    ("c432", "VR", 9.40, 56.62, 532.0),
+    ("c432", "CVR", 11.67, 81.86, 955.0),
+    ("c499", "LOR", 4.72, 64.26, 303.0),
+    ("c499", "VR", 6.18, 73.10, 452.0),
+    ("c499", "CVR", 4.53, 84.96, 385.0),
+];
+
+/// Table 2 rows: `(circuit, TO MS%, TO NLFCE, RS MS%, RS NLFCE)`.
+pub const TABLE2: &[(&str, f64, f64, f64, f64)] = &[
+    ("b01", 85.98, 340.0, 83.71, 278.0),
+    ("b03", 64.16, 1089.0, 62.22, 712.0),
+    ("c432", 88.18, 708.0, 85.62, 419.0),
+    ("c499", 94.75, 518.0, 90.32, 500.0),
+];

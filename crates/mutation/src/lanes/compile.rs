@@ -56,6 +56,47 @@ pub(crate) enum CompileError {
     EntityNotFound,
 }
 
+/// The group-independent part of a lane compile — the *reference tape
+/// prefix* shared by every ≤63-mutant group of one population.
+///
+/// Computed once per population (or once per [`crate::LanePlan`]) and
+/// handed to every [`compile_group`] call, so per-group compiles no
+/// longer re-walk the whole entity: the base read-dependency sets, the
+/// base combinational evaluation order and the power-on lane words are
+/// reused, and a group only pays for what its own mutants change (`VR`
+/// read edges, `CR` constant lanes, the mutated statement tapes).
+#[derive(Debug)]
+pub(crate) struct BaseCompile {
+    /// Per-comb-process read sets over ports and signals (the inputs to
+    /// the Kahn scheduling that `VR` rewrites extend per group).
+    reads: HashMap<usize, BTreeSet<SymbolId>>,
+    /// Topological order of the comb processes under `reads` alone —
+    /// valid as-is for any group that adds no read edge.
+    order: Vec<usize>,
+    /// Power-on lane words before any `CR` constant lane diverges.
+    init: Vec<LaneWord>,
+}
+
+impl BaseCompile {
+    /// Builds the shared prefix for one entity.
+    pub(crate) fn new(
+        checked: &CheckedDesign,
+        entity_name: &str,
+    ) -> Result<Self, CompileError> {
+        let (entity, info) = checked.entity(entity_name).ok_or(CompileError::EntityNotFound)?;
+        let reads = base_reads(entity, info);
+        // A checked design schedules its comb processes acyclically, so
+        // the base graph (no mutants) always has a topological order.
+        let order = kahn_order(entity, info, &reads).ok_or(CompileError::Cycle)?;
+        let init = info
+            .symbols
+            .iter()
+            .map(|s| [s.init & Bits::mask_of(s.width); LANES])
+            .collect();
+        Ok(Self { reads, order, init })
+    }
+}
+
 /// Mutation sites of one group, keyed the way the compiler meets them.
 #[derive(Default)]
 struct Sites {
@@ -142,12 +183,13 @@ pub(crate) fn compile_group(
     checked: &CheckedDesign,
     entity_name: &str,
     group: &[&Mutant],
+    base: &BaseCompile,
 ) -> Result<Compiled, CompileError> {
     let (entity, info) = checked.entity(entity_name).ok_or(CompileError::EntityNotFound)?;
     debug_assert!(group.len() < LANES, "at most {} mutants per group", LANES - 1);
-    let order = comb_order_union(entity, info, group)?;
+    let order = comb_order_union(entity, info, group, base)?;
     let mut compiler = Compiler::new(entity, info, Sites::build(checked, entity, group));
-    let init = compiler.build_init();
+    let init = compiler.build_init(&base.init);
     let comb = compiler.compile_comb(&order);
     let edge = compiler.compile_edge();
     let scratch = comb.instrs.len().max(edge.instrs.len());
@@ -180,18 +222,52 @@ fn comb_order_union(
     entity: &Entity,
     info: &EntityInfo,
     group: &[&Mutant],
+    base: &BaseCompile,
 ) -> Result<Vec<usize>, CompileError> {
-    let comb: Vec<usize> = entity
-        .processes
-        .iter()
-        .enumerate()
-        .filter(|(_, p)| matches!(p.kind, ProcessKind::Comb))
-        .map(|(i, _)| i)
-        .collect();
+    // VR rewrites add one read edge each (inside the process that holds
+    // the site); replacements by process variables never cross processes.
+    let mut added: Vec<(usize, SymbolId)> = Vec::new();
+    for mutant in group {
+        let Rewrite::Ref { new } = &mutant.rewrite else { continue };
+        let Some(sym) = info.symbol_by_name(new) else { continue };
+        if !matches!(
+            info.symbol(sym).kind,
+            SymbolKind::PortIn { .. } | SymbolKind::PortOut | SymbolKind::Signal
+        ) {
+            continue;
+        }
+        for &i in base.reads.keys() {
+            if base.reads[&i].contains(&sym) {
+                continue; // edge already in the base graph
+            }
+            let mut found = false;
+            walk_exprs(&entity.processes[i].body, &mut |e| found |= e.id() == mutant.site);
+            if found {
+                added.push((i, sym));
+            }
+        }
+    }
+    // No group edge beyond the base graph: the cached base order is the
+    // union order.
+    if added.is_empty() {
+        return Ok(base.order.clone());
+    }
+    let mut reads = base.reads.clone();
+    for (i, sym) in added {
+        reads.entry(i).or_default().insert(sym);
+    }
+    kahn_order(entity, info, &reads).ok_or(CompileError::Cycle)
+}
+
+/// Per-comb-process read sets over ports and signals.
+fn base_reads(entity: &Entity, info: &EntityInfo) -> HashMap<usize, BTreeSet<SymbolId>> {
     let mut reads: HashMap<usize, BTreeSet<SymbolId>> = HashMap::new();
-    for &i in &comb {
+    for (i, process) in entity.processes.iter().enumerate() {
+        if !matches!(process.kind, ProcessKind::Comb) {
+            continue;
+        }
         let set = reads.entry(i).or_default();
-        walk_exprs(&entity.processes[i].body, &mut |e| {
+        walk_exprs(&process.body, &mut |e| {
             if let Expr::Ref { id, .. } = e {
                 if let Some(&sym) = info.resolved.get(id) {
                     if matches!(
@@ -204,26 +280,23 @@ fn comb_order_union(
             }
         });
     }
-    // VR rewrites add one read edge each (inside the process that holds
-    // the site); replacements by process variables never cross processes.
-    for mutant in group {
-        let Rewrite::Ref { new } = &mutant.rewrite else { continue };
-        let Some(sym) = info.symbol_by_name(new) else { continue };
-        if !matches!(
-            info.symbol(sym).kind,
-            SymbolKind::PortIn { .. } | SymbolKind::PortOut | SymbolKind::Signal
-        ) {
-            continue;
-        }
-        for &i in &comb {
-            let mut found = false;
-            walk_exprs(&entity.processes[i].body, &mut |e| found |= e.id() == mutant.site);
-            if found {
-                reads.entry(i).or_default().insert(sym);
-            }
-        }
-    }
-    // Kahn's algorithm, mirroring the checker's scheduler.
+    reads
+}
+
+/// Kahn's algorithm over the comb processes, mirroring the checker's
+/// scheduler. `None` when the graph cycles.
+fn kahn_order(
+    entity: &Entity,
+    info: &EntityInfo,
+    reads: &HashMap<usize, BTreeSet<SymbolId>>,
+) -> Option<Vec<usize>> {
+    let comb: Vec<usize> = entity
+        .processes
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| matches!(p.kind, ProcessKind::Comb))
+        .map(|(i, _)| i)
+        .collect();
     let mut dependents: HashMap<usize, Vec<usize>> = HashMap::new();
     let mut in_degree: HashMap<usize, usize> = comb.iter().map(|&i| (i, 0)).collect();
     for &reader in &comb {
@@ -253,10 +326,7 @@ fn comb_order_union(
             }
         }
     }
-    if order.len() != comb.len() {
-        return Err(CompileError::Cycle);
-    }
-    Ok(order)
+    (order.len() == comb.len()).then_some(order)
 }
 
 struct Compiler<'a> {
@@ -302,15 +372,11 @@ impl<'a> Compiler<'a> {
         }
     }
 
-    /// Power-on lanes: every symbol broadcasts its declared init value;
-    /// CR mutants of constant declarations diverge their lane here.
-    fn build_init(&mut self) -> Vec<LaneWord> {
-        let mut init: Vec<LaneWord> = self
-            .info
-            .symbols
-            .iter()
-            .map(|s| [s.init & Bits::mask_of(s.width); LANES])
-            .collect();
+    /// Power-on lanes: every symbol broadcasts its declared init value
+    /// (cached in the shared [`BaseCompile`]); CR mutants of constant
+    /// declarations diverge their lane here.
+    fn build_init(&mut self, base: &[LaneWord]) -> Vec<LaneWord> {
+        let mut init: Vec<LaneWord> = base.to_vec();
         for cst in &self.entity.consts {
             let Some(list) = self.sites.const_decl.get(&cst.id) else { continue };
             let Some(sym) = self.info.symbol_by_name(&cst.name.name) else { continue };

@@ -26,7 +26,7 @@ mod tape;
 
 use crate::execute::{reference_transcript, run_one, try_shard, KillResult};
 use crate::mutant::{Mutant, MutationError};
-use compile::{compile_group, CompileError, Compiled};
+use compile::{compile_group, BaseCompile, CompileError, Compiled};
 use musa_hdl::{Bits, CheckedDesign, Simulator};
 use tape::{LaneVm, LANES};
 
@@ -107,17 +107,7 @@ pub fn execute_mutants_lanes_opts(
     sequence: &[Vec<Bits>],
     options: &LaneOptions,
 ) -> Result<(KillResult, LaneStats), MutationError> {
-    let per_group = run_groups(checked, entity, mutants, options, |group| {
-        run_group_first_kill(checked, entity, group, sequence)
-    })?;
-    let mut first_kill = Vec::with_capacity(mutants.len());
-    let mut stats = LaneStats::default();
-    for (kills, group_stats) in per_group {
-        first_kill.extend(kills);
-        stats.passes += group_stats.passes;
-        stats.steps += group_stats.steps;
-    }
-    Ok((KillResult { first_kill }, stats))
+    LanePlan::new(checked, entity, mutants, options)?.first_kills(sequence)
 }
 
 /// Full kill matrix on the lane engine: `rows[mutant][t]` is `true`
@@ -135,42 +125,318 @@ pub fn kill_rows_lanes(
     sequence: &[Vec<Bits>],
     options: &LaneOptions,
 ) -> Result<Vec<Vec<bool>>, MutationError> {
-    let per_group = run_groups(checked, entity, mutants, options, |group| {
-        run_group_rows(checked, entity, group, sequence)
-    })?;
-    Ok(per_group.into_iter().flat_map(|(rows, _)| rows).collect())
+    LanePlan::new(checked, entity, mutants, options)?
+        .kill_rows(sequence)
+        .map(|(rows, _)| rows)
 }
 
-/// Splits the population into lane groups and runs `run` over them,
-/// serially or across `options.jobs` worker threads (the shared
-/// [`try_shard`] work queue). Group results merge back **by group
-/// index** and the lowest-index error wins, so the outcome is
-/// identical for every job count.
-fn run_groups<T: Send>(
+/// A population compiled once and executable against **any number of
+/// test sequences** — the compiled-tape cache behind the lane engine.
+///
+/// [`execute_mutants_lanes`] / [`kill_rows_lanes`] compile the
+/// population's lane groups and throw the tapes away after one
+/// sequence. Callers that grade the *same* population against many
+/// sequences — the mutation-guided generator's candidate pools, custom
+/// sweeps — build one `LanePlan` instead and amortise compilation:
+///
+/// * the group-independent *reference prefix* (read-dependency sets,
+///   base evaluation order, power-on lanes) is computed **once per
+///   population** and shared by every ≤63-mutant group compile, and
+/// * each group's mutant-folded tape is compiled **once per plan** and
+///   re-run per sequence (compile-time cycle splitting included), so a
+///   pool of `P` candidate sequences costs one compile instead of `P`.
+///
+/// Results are bit-identical to the one-shot entry points for every
+/// sequence, lane count and job count.
+#[derive(Debug)]
+pub struct LanePlan<'a> {
+    checked: &'a CheckedDesign,
+    entity: String,
+    mutants: &'a [Mutant],
+    groups: Vec<PlanGroup>,
+    jobs: usize,
+}
+
+/// One executable unit of a [`LanePlan`].
+#[derive(Debug)]
+enum PlanGroup {
+    /// A compiled lane group covering `mutants[start..start + len]`.
+    Tape {
+        compiled: Compiled,
+        start: usize,
+        len: usize,
+    },
+    /// A single mutant whose union dependency graph cycles even alone;
+    /// the scalar engine reports it (stillborn under re-checking).
+    ScalarOne { slot: usize },
+}
+
+impl<'a> LanePlan<'a> {
+    /// Compiles the population's lane groups (sharded across
+    /// `options.jobs` worker threads, merged back by group index).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MutationError::EntityNotFound`] when the design has no
+    /// such entity — before touching any mutant, exactly like the
+    /// scalar engine's up-front reference transcript does. Per-mutant
+    /// failures (unknown sites, stillborn rewrites) surface at
+    /// execution time, matching the scalar engine's error behaviour.
+    pub fn new(
+        checked: &'a CheckedDesign,
+        entity: &str,
+        mutants: &'a [Mutant],
+        options: &LaneOptions,
+    ) -> Result<Self, MutationError> {
+        let base = match BaseCompile::new(checked, entity) {
+            Ok(base) => base,
+            Err(CompileError::EntityNotFound) => {
+                return Err(MutationError::EntityNotFound(entity.to_string()));
+            }
+            // A checked design schedules its comb processes
+            // acyclically, so a base-graph cycle means the lane
+            // scheduler disagrees with the checker. Degrade to the
+            // scalar engine per mutant (what the old per-group bisect
+            // bottomed out at) instead of misreporting the entity.
+            Err(CompileError::Cycle) => {
+                return Ok(Self {
+                    checked,
+                    entity: entity.to_string(),
+                    mutants,
+                    groups: (0..mutants.len())
+                        .map(|slot| PlanGroup::ScalarOne { slot })
+                        .collect(),
+                    jobs: options.jobs,
+                });
+            }
+        };
+        let lanes = options.lanes();
+        let ranges: Vec<(usize, usize)> = (0..mutants.len())
+            .step_by(lanes.max(1))
+            .map(|start| (start, lanes.min(mutants.len() - start)))
+            .collect();
+        let nested = try_shard(options.jobs, ranges.len(), |i| {
+            compile_range(checked, entity, mutants, ranges[i], &base)
+        })?;
+        Ok(Self {
+            checked,
+            entity: entity.to_string(),
+            mutants,
+            groups: nested.into_iter().flatten().collect(),
+            jobs: options.jobs,
+        })
+    }
+
+    /// Number of executable groups (compiled tapes plus scalar
+    /// fallbacks) in the plan.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// First killing vector per mutant, exactly like
+    /// [`execute_mutants_lanes_opts`], re-using the compiled tapes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MutationError`] exactly as the scalar engine does:
+    /// the lowest-index failing mutant is reported.
+    pub fn first_kills(
+        &self,
+        sequence: &[Vec<Bits>],
+    ) -> Result<(KillResult, LaneStats), MutationError> {
+        let reference = self.reference_if_needed(sequence)?;
+        let per_group = try_shard(self.jobs, self.groups.len(), |i| {
+            self.run_first_kill(&self.groups[i], sequence, reference.as_deref())
+        })?;
+        let mut first_kill = Vec::with_capacity(self.mutants.len());
+        let mut stats = LaneStats::default();
+        for (kills, group_stats) in per_group {
+            first_kill.extend(kills);
+            stats.passes += group_stats.passes;
+            stats.steps += group_stats.steps;
+        }
+        Ok((KillResult { first_kill }, stats))
+    }
+
+    /// Full kill matrix, exactly like [`kill_rows_lanes`], re-using the
+    /// compiled tapes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MutationError`] exactly as the scalar engine does.
+    pub fn kill_rows(
+        &self,
+        sequence: &[Vec<Bits>],
+    ) -> Result<(Vec<Vec<bool>>, LaneStats), MutationError> {
+        let reference = self.reference_if_needed(sequence)?;
+        let per_group = try_shard(self.jobs, self.groups.len(), |i| {
+            self.run_rows(&self.groups[i], sequence, reference.as_deref())
+        })?;
+        let mut rows = Vec::with_capacity(self.mutants.len());
+        let mut stats = LaneStats::default();
+        for (group_rows, group_stats) in per_group {
+            rows.extend(group_rows);
+            stats.passes += group_stats.passes;
+            stats.steps += group_stats.steps;
+        }
+        Ok((rows, stats))
+    }
+
+    /// The scalar reference transcript, computed **once per sequence**
+    /// and shared by every group that needs a scalar fallback (the old
+    /// per-group path recomputed it in each such group).
+    fn reference_if_needed(
+        &self,
+        sequence: &[Vec<Bits>],
+    ) -> Result<Option<Vec<Vec<Bits>>>, MutationError> {
+        let needed = self.groups.iter().any(|g| match g {
+            PlanGroup::Tape { compiled, .. } => !compiled.fallback.is_empty(),
+            PlanGroup::ScalarOne { .. } => true,
+        });
+        if !needed {
+            return Ok(None);
+        }
+        reference_transcript(self.checked, &self.entity, sequence).map(Some)
+    }
+
+    fn run_first_kill(
+        &self,
+        group: &PlanGroup,
+        sequence: &[Vec<Bits>],
+        reference: Option<&[Vec<Bits>]>,
+    ) -> Result<(Vec<Option<usize>>, LaneStats), MutationError> {
+        match group {
+            PlanGroup::ScalarOne { slot } => {
+                let reference = reference.expect("scalar groups force a reference");
+                let kill =
+                    run_one(self.checked, &self.entity, &self.mutants[*slot], sequence, reference)?;
+                let steps = kill.map_or(sequence.len(), |t| t + 1);
+                Ok((vec![kill], LaneStats { passes: 1, steps }))
+            }
+            PlanGroup::Tape { compiled, start, len } => {
+                let mut fallback_mask = 0u64;
+                for &slot in &compiled.fallback {
+                    fallback_mask |= 1u64 << (slot + 1);
+                }
+                let mut sim = GroupSim::new(compiled, *len);
+                let mut stats = LaneStats { passes: 1, steps: 0 };
+                let mut first_kill = vec![None; *len];
+                let mut alive = sim.used_mask & !fallback_mask;
+                sim.reset();
+                for (t, vector) in sequence.iter().enumerate() {
+                    if alive == 0 {
+                        break; // every mutant in the batch is killed
+                    }
+                    let newly = sim.step(vector) & alive;
+                    stats.steps += 1;
+                    let mut bits = newly;
+                    while bits != 0 {
+                        let lane = bits.trailing_zeros() as usize;
+                        first_kill[lane - 1] = Some(t);
+                        bits &= bits - 1;
+                    }
+                    alive &= !newly;
+                }
+                for &slot in &compiled.fallback {
+                    let reference = reference.expect("fallbacks force a reference");
+                    let kill = run_one(
+                        self.checked,
+                        &self.entity,
+                        &self.mutants[start + slot],
+                        sequence,
+                        reference,
+                    )?;
+                    stats.passes += 1;
+                    stats.steps += kill.map_or(sequence.len(), |t| t + 1);
+                    first_kill[slot] = kill;
+                }
+                Ok((first_kill, stats))
+            }
+        }
+    }
+
+    fn run_rows(
+        &self,
+        group: &PlanGroup,
+        sequence: &[Vec<Bits>],
+        reference: Option<&[Vec<Bits>]>,
+    ) -> Result<(Vec<Vec<bool>>, LaneStats), MutationError> {
+        match group {
+            PlanGroup::ScalarOne { slot } => {
+                let stats = LaneStats { passes: 1, steps: sequence.len() };
+                let reference = reference.expect("scalar groups force a reference");
+                let row =
+                    scalar_row(self.checked, &self.entity, &self.mutants[*slot], sequence, reference)?;
+                Ok((vec![row], stats))
+            }
+            PlanGroup::Tape { compiled, start, len } => {
+                let mut sim = GroupSim::new(compiled, *len);
+                let mut stats = LaneStats { passes: 1, steps: 0 };
+                let mut rows = vec![vec![false; sequence.len()]; *len];
+                sim.reset();
+                for (t, vector) in sequence.iter().enumerate() {
+                    let diff = sim.step(vector);
+                    stats.steps += 1;
+                    for (slot, row) in rows.iter_mut().enumerate() {
+                        row[t] = diff & (1u64 << (slot + 1)) != 0;
+                    }
+                }
+                for &slot in &compiled.fallback {
+                    let reference = reference.expect("fallbacks force a reference");
+                    rows[slot] = scalar_row(
+                        self.checked,
+                        &self.entity,
+                        &self.mutants[start + slot],
+                        sequence,
+                        reference,
+                    )?;
+                    stats.passes += 1;
+                    stats.steps += sequence.len();
+                }
+                Ok((rows, stats))
+            }
+        }
+    }
+}
+
+/// Compiles one contiguous mutant range, bisecting on joint
+/// combinational cycles exactly like the old per-run path did: two
+/// mutants' added read edges can cycle jointly even though each alone
+/// is fine.
+fn compile_range(
     checked: &CheckedDesign,
     entity: &str,
     mutants: &[Mutant],
-    options: &LaneOptions,
-    run: impl Fn(&[Mutant]) -> Result<(T, LaneStats), MutationError> + Sync,
-) -> Result<Vec<(T, LaneStats)>, MutationError> {
-    // Surface a bad entity before touching any mutant, exactly like the
-    // scalar engine's up-front reference transcript does.
-    if checked.entity(entity).is_none() {
-        return Err(MutationError::EntityNotFound(entity.to_string()));
+    (start, len): (usize, usize),
+    base: &BaseCompile,
+) -> Result<Vec<PlanGroup>, MutationError> {
+    let refs: Vec<&Mutant> = mutants[start..start + len].iter().collect();
+    match compile_group(checked, entity, &refs, base) {
+        Ok(compiled) => Ok(vec![PlanGroup::Tape { compiled, start, len }]),
+        Err(CompileError::Cycle) if len > 1 => {
+            let mid = len / 2;
+            let mut left = compile_range(checked, entity, mutants, (start, mid), base)?;
+            let right =
+                compile_range(checked, entity, mutants, (start + mid, len - mid), base)?;
+            left.extend(right);
+            Ok(left)
+        }
+        Err(CompileError::Cycle) => Ok(vec![PlanGroup::ScalarOne { slot: start }]),
+        Err(CompileError::EntityNotFound) => {
+            Err(MutationError::EntityNotFound(entity.to_string()))
+        }
     }
-    let groups: Vec<&[Mutant]> = mutants.chunks(options.lanes()).collect();
-    try_shard(options.jobs, groups.len(), |i| run(groups[i]))
 }
 
 /// One compiled lane group stepping through a test sequence.
-struct GroupSim {
+struct GroupSim<'a> {
     vm: LaneVm,
-    compiled: Compiled,
+    compiled: &'a Compiled,
     used_mask: u64,
 }
 
-impl GroupSim {
-    fn new(compiled: Compiled, group_len: usize) -> Self {
+impl<'a> GroupSim<'a> {
+    fn new(compiled: &'a Compiled, group_len: usize) -> Self {
         let vm = LaneVm::new(&compiled.init, compiled.scratch);
         let used_mask = if group_len + 1 >= LANES {
             !1u64
@@ -216,131 +482,8 @@ impl GroupSim {
     }
 }
 
-fn run_group_first_kill(
-    checked: &CheckedDesign,
-    entity: &str,
-    group: &[Mutant],
-    sequence: &[Vec<Bits>],
-) -> Result<(Vec<Option<usize>>, LaneStats), MutationError> {
-    let refs: Vec<&Mutant> = group.iter().collect();
-    match compile_group(checked, entity, &refs) {
-        Err(CompileError::EntityNotFound) => {
-            Err(MutationError::EntityNotFound(entity.to_string()))
-        }
-        Err(CompileError::Cycle) if group.len() > 1 => {
-            // Two mutants' added read edges can cycle jointly even though
-            // each alone is fine: split the group and retry.
-            let mid = group.len() / 2;
-            let (mut left, ls) =
-                run_group_first_kill(checked, entity, &group[..mid], sequence)?;
-            let (right, rs) = run_group_first_kill(checked, entity, &group[mid..], sequence)?;
-            left.extend(right);
-            Ok((left, merge_stats(ls, rs)))
-        }
-        Err(CompileError::Cycle) => {
-            // A single mutant whose union graph still cycles would be
-            // stillborn under re-checking; the scalar engine reports it.
-            let reference = reference_transcript(checked, entity, sequence)?;
-            let kill = run_one(checked, entity, &group[0], sequence, &reference)?;
-            let steps = kill.map_or(sequence.len(), |t| t + 1);
-            Ok((vec![kill], LaneStats { passes: 1, steps }))
-        }
-        Ok(compiled) => {
-            let fallback = compiled.fallback.clone();
-            let mut fallback_mask = 0u64;
-            for &slot in &fallback {
-                fallback_mask |= 1u64 << (slot + 1);
-            }
-            let mut sim = GroupSim::new(compiled, group.len());
-            let mut stats = LaneStats { passes: 1, steps: 0 };
-            let mut first_kill = vec![None; group.len()];
-            let mut alive = sim.used_mask & !fallback_mask;
-            sim.reset();
-            for (t, vector) in sequence.iter().enumerate() {
-                if alive == 0 {
-                    break; // every mutant in the batch is killed
-                }
-                let newly = sim.step(vector) & alive;
-                stats.steps += 1;
-                let mut bits = newly;
-                while bits != 0 {
-                    let lane = bits.trailing_zeros() as usize;
-                    first_kill[lane - 1] = Some(t);
-                    bits &= bits - 1;
-                }
-                alive &= !newly;
-            }
-            if !fallback.is_empty() {
-                let reference = reference_transcript(checked, entity, sequence)?;
-                for &slot in &fallback {
-                    let kill = run_one(checked, entity, &group[slot], sequence, &reference)?;
-                    stats.passes += 1;
-                    stats.steps += kill.map_or(sequence.len(), |t| t + 1);
-                    first_kill[slot] = kill;
-                }
-            }
-            Ok((first_kill, stats))
-        }
-    }
-}
-
-fn run_group_rows(
-    checked: &CheckedDesign,
-    entity: &str,
-    group: &[Mutant],
-    sequence: &[Vec<Bits>],
-) -> Result<(Vec<Vec<bool>>, LaneStats), MutationError> {
-    let refs: Vec<&Mutant> = group.iter().collect();
-    match compile_group(checked, entity, &refs) {
-        Err(CompileError::EntityNotFound) => {
-            Err(MutationError::EntityNotFound(entity.to_string()))
-        }
-        Err(CompileError::Cycle) if group.len() > 1 => {
-            let mid = group.len() / 2;
-            let (mut left, ls) = run_group_rows(checked, entity, &group[..mid], sequence)?;
-            let (right, rs) = run_group_rows(checked, entity, &group[mid..], sequence)?;
-            left.extend(right);
-            Ok((left, merge_stats(ls, rs)))
-        }
-        Err(CompileError::Cycle) => {
-            let stats = LaneStats { passes: 1, steps: sequence.len() };
-            let reference = reference_transcript(checked, entity, sequence)?;
-            let row = scalar_row(checked, entity, &group[0], sequence, &reference)?;
-            Ok((vec![row], stats))
-        }
-        Ok(compiled) => {
-            let fallback = compiled.fallback.clone();
-            let mut sim = GroupSim::new(compiled, group.len());
-            let mut stats = LaneStats { passes: 1, steps: 0 };
-            let mut rows = vec![vec![false; sequence.len()]; group.len()];
-            sim.reset();
-            for (t, vector) in sequence.iter().enumerate() {
-                let diff = sim.step(vector);
-                stats.steps += 1;
-                for (slot, row) in rows.iter_mut().enumerate() {
-                    row[t] = diff & (1u64 << (slot + 1)) != 0;
-                }
-            }
-            if !fallback.is_empty() {
-                let reference = reference_transcript(checked, entity, sequence)?;
-                for &slot in &fallback {
-                    rows[slot] =
-                        scalar_row(checked, entity, &group[slot], sequence, &reference)?;
-                    stats.passes += 1;
-                    stats.steps += sequence.len();
-                }
-            }
-            Ok((rows, stats))
-        }
-    }
-}
-
-fn merge_stats(a: LaneStats, b: LaneStats) -> LaneStats {
-    LaneStats { passes: a.passes + b.passes, steps: a.steps + b.steps }
-}
-
 /// Scalar fallback for one row of the kill matrix (the reference
-/// transcript is computed once per group and shared).
+/// transcript is computed once per plan execution and shared).
 fn scalar_row(
     checked: &CheckedDesign,
     entity: &str,
@@ -611,6 +754,40 @@ mod tests {
                 execute_mutants_lanes_opts(&d, "t", &mutants, &sequence, &opts).unwrap();
             assert_eq!(sharded.first_kill, serial.first_kill, "jobs={jobs}");
         }
+    }
+
+    #[test]
+    fn lane_plan_is_reusable_across_sequences() {
+        // The compiled-tape cache: one plan graded against several
+        // sequences must match a fresh engine call per sequence, for
+        // both the first-kill and the kill-matrix path.
+        let d = checked(COUNTER);
+        let mutants = generate_mutants(&d, "t", &GenerateOptions::default());
+        let plan = LanePlan::new(&d, "t", &mutants, &LaneOptions::default()).unwrap();
+        assert_eq!(plan.group_count(), mutants.len().div_ceil(MAX_LANES));
+        let mut rng = 0xCAFEu64;
+        for round in 0..3 {
+            let sequence: TestSequence = (0..10)
+                .map(|_| {
+                    rng = rng.wrapping_mul(6364136223846793005).wrapping_add(7);
+                    vec![bit((rng >> 60) & 1), bit((rng >> 61) & 1)]
+                })
+                .collect();
+            let fresh = execute_mutants_lanes(&d, "t", &mutants, &sequence).unwrap();
+            let (cached, _) = plan.first_kills(&sequence).unwrap();
+            assert_eq!(cached.first_kill, fresh.first_kill, "round {round}");
+            let fresh_rows =
+                kill_rows_lanes(&d, "t", &mutants, &sequence, &LaneOptions::default()).unwrap();
+            let (cached_rows, _) = plan.kill_rows(&sequence).unwrap();
+            assert_eq!(cached_rows, fresh_rows, "round {round} rows");
+        }
+    }
+
+    #[test]
+    fn lane_plan_rejects_unknown_entities_up_front() {
+        let d = checked(GATE);
+        let err = LanePlan::new(&d, "zz", &[], &LaneOptions::default()).unwrap_err();
+        assert!(matches!(err, MutationError::EntityNotFound(_)));
     }
 
     #[test]

@@ -60,7 +60,7 @@ pub use execute::{
 };
 pub use lanes::{
     execute_mutants_lanes, execute_mutants_lanes_opts, kill_rows_lanes, LaneOptions,
-    LaneStats, MAX_LANES,
+    LanePlan, LaneStats, MAX_LANES,
 };
 pub use generate::{count_by_operator, generate_mutants, GenerateOptions};
 pub use mutant::{Mutant, MutantId, MutationError, Rewrite};

@@ -14,8 +14,8 @@
 
 use musa_hdl::{Bits, CheckedDesign, Simulator};
 use musa_mutation::{
-    execute_mutants_lanes, kill_rows_lanes, reference_transcript, run_one, Engine, LaneOptions,
-    Mutant, MutationError, TestSequence,
+    reference_transcript, run_one, Engine, LaneOptions, LanePlan, Mutant, MutationError,
+    TestSequence,
 };
 use musa_prng::{Prng, SplitMix64};
 
@@ -186,7 +186,8 @@ fn combinational(
             Engine::Lanes => {
                 let subset: Vec<Mutant> =
                     live.iter().map(|&mi| mutants[mi].clone()).collect();
-                kill_rows_lanes(checked, entity, &subset, &pool, &LaneOptions::default())?
+                let plan = LanePlan::new(checked, entity, &subset, &LaneOptions::default())?;
+                plan.kill_rows(&pool)?.0
             }
         };
 
@@ -312,11 +313,15 @@ fn sequential(
                 first_kill
             }
             Engine::Lanes => {
+                // One `LanePlan` per round: the live subset's lane
+                // groups compile once and grade the whole candidate
+                // pool (the pre-cache path recompiled per candidate).
                 let subset: Vec<Mutant> =
                     live.iter().map(|&mi| mutants[mi].clone()).collect();
+                let plan = LanePlan::new(checked, entity, &subset, &LaneOptions::default())?;
                 let mut first_kill = vec![Vec::with_capacity(pool.len()); live.len()];
                 for candidate in &pool {
-                    let result = execute_mutants_lanes(checked, entity, &subset, candidate)?;
+                    let (result, _) = plan.first_kills(candidate)?;
                     for (slot, row) in first_kill.iter_mut().enumerate() {
                         row.push(result.first_kill[slot]);
                     }

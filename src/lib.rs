@@ -19,8 +19,13 @@
 //! * [`circuits`] — behavioral re-implementations of the paper's benchmark
 //!   circuits (ITC'99 b01/b03, ISCAS'85 c432/c499, and friends);
 //! * [`metrics`] — MS, coverage curves, ΔFC%, ΔL% and NLFCE;
-//! * [`core`] — the paper's pipeline: operator-efficiency profiling and the
-//!   test-oriented sampling experiments (Tables 1 and 2).
+//! * [`core`] — the paper's pipeline: operator-efficiency profiling, the
+//!   test-oriented sampling experiments (Tables 1 and 2) and the
+//!   [`Campaign`](musa_core::Campaign) front door with typed,
+//!   JSON-serializable reports;
+//! * [`bench`](mod@bench) — the experiment binaries plus the shared
+//!   [`cli`](musa_bench::cli) argument layer they and `musa sample`
+//!   parse through.
 //!
 //! ## Quickstart
 //!
@@ -38,6 +43,7 @@
 //! # }
 //! ```
 
+pub use musa_bench as bench;
 pub use musa_circuits as circuits;
 pub use musa_core as core;
 pub use musa_hdl as hdl;

@@ -9,26 +9,30 @@
 //! musa atpg   <file.bench> [LIMIT]      PODEM over the collapsed faults
 //! musa bench  <name>                    stats for a bundled benchmark
 //! musa sample <name> [FRACTION]         run a sampling experiment
-//!             [--jobs N] [--seed N] [--paper] [--engine scalar|lanes]
+//!             [--jobs N] [--seed N] [--paper] [--fast] [--json]
+//!             [--engine scalar|lanes]
 //! musa list                             list bundled benchmarks
 //! ```
 //!
-//! `sample` shards its repetitions (and each repetition's mutant
-//! executions) across `--jobs` worker threads; `--engine lanes` packs
-//! up to 63 mutants plus the reference machine into each behavioral
-//! simulation pass. The outcome is bit-identical for every job count
-//! and both engines, so the two knobs compose freely.
+//! `sample` parses through the shared `musa_bench::cli` layer and runs
+//! a `musa_core::Campaign`: repetitions (and each repetition's mutant
+//! executions) shard across `--jobs` worker threads; `--engine lanes`
+//! packs up to 63 mutants plus the reference machine into each
+//! behavioral simulation pass. The outcome is bit-identical for every
+//! job count and both engines, so the two knobs compose freely.
+//! `--json` emits the typed campaign report (`musa.campaign.v1`)
+//! instead of text.
 
+use musa::bench::cli::{print_report, SampleArgs};
 use musa::circuits::{Benchmark, Circuit};
-use musa::core::{resolve_jobs, run_sampling_experiment, ExperimentConfig};
 use musa::hdl::{parse, CheckedDesign};
 use musa::metrics::CoverageCurve;
-use musa::mutation::{count_by_operator, generate_mutants, Engine, GenerateOptions};
+use musa::mutation::{count_by_operator, generate_mutants, GenerateOptions};
 use musa::netlist::{
     collapsed_faults, fault_simulate, parse_bench, write_bench, Netlist, Testability,
 };
 use musa::synth::synthesize;
-use musa::testgen::{atpg_all, lfsr_patterns, SamplingStrategy};
+use musa::testgen::{atpg_all, lfsr_patterns};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -214,95 +218,9 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_sample(args: &[String]) -> Result<(), String> {
-    let usage =
-        "expected <name> [fraction] [--jobs N] [--seed N] [--paper] [--engine scalar|lanes]";
-    let mut name: Option<&str> = None;
-    let mut fraction = 0.10f64;
-    let mut positional = 0usize;
-    let mut jobs = 0usize;
-    let mut seed = 0xDA7E_2005u64;
-    let mut paper = false;
-    let mut engine = Engine::Scalar;
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--jobs" => {
-                jobs = args
-                    .get(i + 1)
-                    .and_then(|s| s.parse().ok())
-                    .ok_or("--jobs expects a thread count")?;
-                i += 1;
-            }
-            "--seed" => {
-                seed = args
-                    .get(i + 1)
-                    .and_then(|s| s.parse().ok())
-                    .ok_or("--seed expects an integer")?;
-                i += 1;
-            }
-            "--engine" => {
-                engine = args
-                    .get(i + 1)
-                    .ok_or("--engine expects scalar|lanes")?
-                    .parse()
-                    .map_err(|e: String| e)?;
-                i += 1;
-            }
-            "--paper" => paper = true,
-            arg if arg.starts_with("--") => return Err(format!("unknown flag `{arg}`; {usage}")),
-            arg => {
-                match positional {
-                    0 => name = Some(arg),
-                    1 => {
-                        fraction = arg.parse().map_err(|_| "bad fraction (expected 0..=1)")?;
-                    }
-                    _ => return Err(usage.into()),
-                }
-                positional += 1;
-            }
-        }
-        i += 1;
-    }
-    let Some(name) = name else { return Err(usage.into()) };
-    if !(0.0..=1.0).contains(&fraction) || fraction == 0.0 {
-        return Err("fraction must be in (0, 1]".into());
-    }
-    let bench = Benchmark::from_name(name).ok_or_else(|| format!("unknown benchmark `{name}`"))?;
-    let circuit = bench.load().map_err(|e| e.to_string())?;
-    let config = if paper {
-        ExperimentConfig::paper(seed)
-    } else {
-        ExperimentConfig::fast(seed)
-    }
-    .with_jobs(jobs)
-    .with_engine(engine);
-    let outcome = run_sampling_experiment(&circuit, SamplingStrategy::random(fraction), &config)
-        .map_err(|e| e.to_string())?;
-    println!(
-        "{}: {} strategy, {:.0}% sample, {} jobs, {} engine, {} preset, seed {seed:#x}",
-        circuit.name,
-        outcome.strategy,
-        fraction * 100.0,
-        resolve_jobs(jobs),
-        engine,
-        if paper { "paper" } else { "fast" },
-    );
-    println!(
-        "  population {}  sampled {}  MS {:.2}%  (K={} E={} of M={})",
-        outcome.population,
-        outcome.sampled,
-        outcome.mutation_score_pct,
-        outcome.score.killed,
-        outcome.score.equivalent,
-        outcome.score.generated
-    );
-    println!(
-        "  NLFCE {:+.1}  (dFC {:+.2}%  dL {:+.2}%)  data length {}",
-        outcome.nlfce,
-        outcome.metrics.delta_fc_pct,
-        outcome.metrics.delta_l_pct,
-        outcome.data_len
-    );
+    let sample = SampleArgs::parse(args)?;
+    let report = sample.campaign().run().map_err(|e| e.to_string())?;
+    print_report(&report, sample.json);
     Ok(())
 }
 

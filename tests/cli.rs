@@ -1,5 +1,7 @@
 //! CLI contract tests for the `musa` binary: argument parsing, exit
-//! codes and the shape of `list`/`bench` output.
+//! codes, the shape of `list`/`bench` output, and the golden-file
+//! pins proving the campaign redesign preserved stdout byte-for-byte
+//! and keeps the `--json` schema stable.
 
 use std::process::{Command, Output};
 
@@ -8,6 +10,17 @@ fn musa(args: &[&str]) -> Output {
         .args(args)
         .output()
         .expect("musa binary runs")
+}
+
+fn golden(name: &str) -> String {
+    let path = format!("{}/tests/golden/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"))
+}
+
+fn stdout_of(args: &[&str]) -> String {
+    let out = musa(args);
+    assert_eq!(out.status.code(), Some(0), "{args:?}: {:?}", out);
+    String::from_utf8(out.stdout).expect("utf-8 stdout")
 }
 
 #[test]
@@ -100,6 +113,88 @@ fn sample_outcome_is_identical_across_engines() {
     let scalar_tail = tail(&scalar);
     assert!(!scalar_tail.is_empty());
     assert_eq!(scalar_tail, tail(&lanes));
+}
+
+// ---------------------------------------------------------------------
+// Golden pins: the campaign redesign preserved the CLI byte-for-byte.
+// The golden files were captured from the pre-redesign binaries.
+// ---------------------------------------------------------------------
+
+#[test]
+fn sample_stdout_is_byte_identical_to_pre_campaign_golden() {
+    assert_eq!(
+        stdout_of(&["sample", "c17", "0.5", "--jobs", "2", "--seed", "7"]),
+        golden("sample_c17_text.txt"),
+        "musa sample c17 drifted from the pre-redesign stdout"
+    );
+    assert_eq!(
+        stdout_of(&["sample", "b01", "0.3", "--jobs", "2", "--seed", "7", "--engine", "lanes"]),
+        golden("sample_b01_lanes_text.txt"),
+        "musa sample b01 --engine lanes drifted from the pre-redesign stdout"
+    );
+}
+
+#[test]
+fn list_stdout_is_byte_identical_to_pre_campaign_golden() {
+    assert_eq!(stdout_of(&["list"]), golden("list.txt"));
+}
+
+/// Pins the `musa.campaign.v1` JSON schema: every key, the field
+/// order, the float formatting. `wall_ms` (the one nondeterministic
+/// value) is normalized to `0` so the golden stays valid JSON.
+#[test]
+fn sample_json_matches_the_golden_schema() {
+    let normalize_wall = |text: &str| -> String {
+        text.lines()
+            .map(|line| {
+                if line.contains("\"wall_ms\":") {
+                    "    \"wall_ms\": 0".to_string()
+                } else {
+                    line.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+            + "\n"
+    };
+    let actual = stdout_of(&["sample", "c17", "0.5", "--seed", "7", "--jobs", "2", "--json"]);
+    assert_eq!(normalize_wall(&actual), golden("sample_c17.json"));
+}
+
+#[test]
+fn sample_json_is_identical_across_engines_and_jobs() {
+    let normalize = |text: String| -> String {
+        text.lines()
+            .filter(|l| {
+                !l.contains("\"wall_ms\":")
+                    && !l.contains("\"engine\":")
+                    && !l.contains("\"jobs\":")
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let base = normalize(stdout_of(&[
+        "sample", "b01", "0.3", "--seed", "7", "--jobs", "1", "--engine", "scalar", "--json",
+    ]));
+    assert!(base.contains("\"schema\": \"musa.campaign.v1\""));
+    for combo in [["2", "scalar"], ["1", "lanes"], ["2", "lanes"]] {
+        let other = normalize(stdout_of(&[
+            "sample", "b01", "0.3", "--seed", "7", "--jobs", combo[0], "--engine", combo[1],
+            "--json",
+        ]));
+        assert_eq!(base, other, "jobs={} engine={}", combo[0], combo[1]);
+    }
+}
+
+#[test]
+fn sample_rejects_conflicting_presets() {
+    let out = musa(&["sample", "c17", "--paper", "--fast"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("conflicting presets"),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 }
 
 #[test]
