@@ -27,6 +27,9 @@ pub enum CliError {
     /// `--engine` had an unrecognized value; carries the
     /// [`Engine`](musa_mutation::Engine) parse message.
     EngineInvalid(String),
+    /// `--fault-reduce` had a missing or unrecognized value (expected
+    /// `on` or `off`).
+    FaultReduceValue,
     /// An unrecognized `--flag` (strict front ends only).
     UnknownFlag(String),
     /// More positional arguments than the front end accepts.
@@ -50,6 +53,8 @@ pub struct Parsed {
     pub jobs: Option<usize>,
     /// `--engine E`.
     pub engine: Option<Engine>,
+    /// `--fault-reduce on|off`.
+    pub fault_reduce: Option<bool>,
     /// Non-flag arguments, in order.
     pub positionals: Vec<String>,
 }
@@ -98,6 +103,14 @@ pub fn parse_tokens(
                     Some(raw.parse().map_err(CliError::EngineInvalid)?);
                 i += 1;
             }
+            "--fault-reduce" => {
+                parsed.fault_reduce = Some(match args.get(i + 1).map(String::as_str) {
+                    Some("on") => true,
+                    Some("off") => false,
+                    _ => return Err(CliError::FaultReduceValue),
+                });
+                i += 1;
+            }
             // Help short-circuits, exactly like the pre-redesign loop:
             // anything after it — including malformed values — is
             // never parsed.
@@ -137,6 +150,10 @@ pub struct CliOptions {
     pub jobs: usize,
     /// Mutant-execution engine (`scalar` or `lanes`).
     pub engine: Engine,
+    /// Dominance fault-list reduction for the mutation-data fault
+    /// simulation (`--fault-reduce on|off`, default on). Reported
+    /// numbers are identical either way; only lane occupancy changes.
+    pub fault_reduce: bool,
 }
 
 impl CliOptions {
@@ -155,6 +172,11 @@ options (shared by every musa_bench experiment binary):
               per mutant) or `lanes` (63 mutants + the reference
               machine per pass); outcomes are bit-identical, and
               lanes compose multiplicatively with --jobs
+  --fault-reduce on|off
+              dominance fault-list reduction for the mutation-data
+              fault simulation (default on); reported numbers are
+              bit-identical either way, only representatives (and
+              residuals) occupy simulation lanes
   --json      emit the typed campaign report as JSON (stable
               `musa.campaign.v1` schema) instead of text
   --help      print this text";
@@ -179,6 +201,7 @@ options (shared by every musa_bench experiment binary):
                 seed: parsed.seed.unwrap_or(DEFAULT_SEED),
                 jobs: parsed.jobs.unwrap_or(0),
                 engine: parsed.engine.unwrap_or_default(),
+                fault_reduce: parsed.fault_reduce.unwrap_or(true),
             },
             Err(e) => {
                 let message = match e {
@@ -187,6 +210,7 @@ options (shared by every musa_bench experiment binary):
                     CliError::EngineMissing | CliError::EngineInvalid(_) => {
                         "--engine expects `scalar` or `lanes`"
                     }
+                    CliError::FaultReduceValue => "--fault-reduce expects `on` or `off`",
                     // Lenient parsing ignores unknown arguments.
                     CliError::UnknownFlag(_) | CliError::TooManyPositionals => {
                         unreachable!("lenient mode ignores unknown arguments")
@@ -208,7 +232,10 @@ options (shared by every musa_bench experiment binary):
         } else {
             ExperimentConfig::paper(self.seed)
         };
-        config.with_jobs(self.jobs).with_engine(self.engine)
+        config
+            .with_jobs(self.jobs)
+            .with_engine(self.engine)
+            .with_fault_reduce(self.fault_reduce)
     }
 }
 
@@ -226,6 +253,8 @@ pub struct SampleArgs {
     pub jobs: usize,
     /// Mutant-execution engine.
     pub engine: Engine,
+    /// Dominance fault-list reduction (default on).
+    pub fault_reduce: bool,
     /// `--paper` preset requested (default: fast).
     pub paper: bool,
     /// `--fast` passed explicitly.
@@ -236,7 +265,7 @@ pub struct SampleArgs {
 
 /// The `musa sample` usage line.
 pub const SAMPLE_USAGE: &str = "expected <name> [fraction] [--jobs N] [--seed N] \
-[--paper] [--fast] [--json] [--engine scalar|lanes]";
+[--paper] [--fast] [--json] [--engine scalar|lanes] [--fault-reduce on|off]";
 
 impl SampleArgs {
     /// Parses `musa sample`'s arguments (everything after the
@@ -251,6 +280,7 @@ impl SampleArgs {
             CliError::SeedValue => "--seed expects an integer".to_string(),
             CliError::JobsValue => "--jobs expects a thread count".to_string(),
             CliError::EngineMissing => "--engine expects scalar|lanes".to_string(),
+            CliError::FaultReduceValue => "--fault-reduce expects on|off".to_string(),
             CliError::EngineInvalid(detail) => detail,
             CliError::UnknownFlag(flag) => format!("unknown flag `{flag}`; {SAMPLE_USAGE}"),
             CliError::TooManyPositionals => SAMPLE_USAGE.to_string(),
@@ -270,6 +300,7 @@ impl SampleArgs {
             seed: parsed.seed.unwrap_or(DEFAULT_SEED),
             jobs: parsed.jobs.unwrap_or(0),
             engine: parsed.engine.unwrap_or_default(),
+            fault_reduce: parsed.fault_reduce.unwrap_or(true),
             paper: parsed.paper,
             fast: parsed.fast,
             json: parsed.json,
@@ -284,6 +315,7 @@ impl SampleArgs {
             .seed(self.seed)
             .jobs(self.jobs)
             .engine(self.engine)
+            .fault_reduce(self.fault_reduce)
             .task(Task::Sampling { fraction: self.fraction });
         if self.paper {
             campaign = campaign.paper();
@@ -380,6 +412,7 @@ impl Bin {
             .seed(opts.seed)
             .jobs(opts.jobs)
             .engine(opts.engine)
+            .fault_reduce(opts.fault_reduce)
             .task(self.task(opts.fast));
         if opts.fast {
             campaign = campaign.fast();
@@ -451,6 +484,7 @@ mod tests {
             seed: 42,
             jobs: 0,
             engine: Engine::Scalar,
+            fault_reduce: true,
         };
         let cfg = opts.config();
         assert_eq!(cfg.seed, 42);
@@ -466,6 +500,7 @@ mod tests {
             seed: 1,
             jobs: 3,
             engine: Engine::Scalar,
+            fault_reduce: true,
         };
         assert_eq!(opts.config().jobs, 3);
     }
@@ -479,6 +514,7 @@ mod tests {
             seed: 1,
             jobs: 0,
             engine: Engine::Lanes,
+            fault_reduce: true,
         };
         let cfg = opts.config();
         assert_eq!(cfg.engine, Engine::Lanes);
@@ -487,7 +523,10 @@ mod tests {
 
     #[test]
     fn usage_documents_every_flag() {
-        for flag in ["--fast", "--paper", "--seed", "--jobs", "--engine", "--json", "--help"] {
+        for flag in [
+            "--fast", "--paper", "--seed", "--jobs", "--engine", "--fault-reduce",
+            "--json", "--help",
+        ] {
             assert!(CliOptions::USAGE.contains(flag), "usage lacks {flag}");
         }
     }
@@ -524,6 +563,42 @@ mod tests {
             parse_tokens(&strings(&["--engine", "turbo"]), 0, true).unwrap_err(),
             CliError::EngineInvalid(_)
         ));
+    }
+
+    #[test]
+    fn fault_reduce_flag_parses_and_reaches_the_config() {
+        let parsed =
+            parse_tokens(&strings(&["--fault-reduce", "off"]), 0, true).unwrap();
+        assert_eq!(parsed.fault_reduce, Some(false));
+        let parsed = parse_tokens(&strings(&["--fault-reduce", "on"]), 0, true).unwrap();
+        assert_eq!(parsed.fault_reduce, Some(true));
+        for bad in [&["--fault-reduce"][..], &["--fault-reduce", "maybe"][..]] {
+            assert_eq!(
+                parse_tokens(&strings(bad), 0, true).unwrap_err(),
+                CliError::FaultReduceValue,
+                "{bad:?}"
+            );
+        }
+        let opts = CliOptions {
+            fast: true,
+            paper: false,
+            json: false,
+            seed: 1,
+            jobs: 0,
+            engine: Engine::Scalar,
+            fault_reduce: false,
+        };
+        assert!(!opts.config().fault_reduce);
+        let args =
+            SampleArgs::parse(&strings(&["c17", "--fault-reduce", "off"])).unwrap();
+        assert!(!args.fault_reduce);
+        assert!(
+            SampleArgs::parse(&strings(&["c17", "--fault-reduce", "2"]))
+                .unwrap_err()
+                .contains("on|off")
+        );
+        // Default: reduction on.
+        assert!(SampleArgs::parse(&strings(&["c17"])).unwrap().fault_reduce);
     }
 
     #[test]
@@ -610,6 +685,7 @@ mod tests {
                 seed: 1,
                 jobs: 1,
                 engine: Engine::Scalar,
+                fault_reduce: true,
             };
             bin.campaign(&opts).validate().unwrap_or_else(|e| panic!("{bin:?}: {e}"));
         }

@@ -217,6 +217,7 @@ pub struct Campaign {
     seed: Option<u64>,
     jobs: Option<usize>,
     engine: Option<Engine>,
+    fault_reduce: Option<bool>,
     paper: bool,
     fast: bool,
     task: Option<Task>,
@@ -241,6 +242,7 @@ impl Campaign {
             seed: None,
             jobs: None,
             engine: None,
+            fault_reduce: None,
             paper: false,
             fast: false,
             task: None,
@@ -286,6 +288,16 @@ impl Campaign {
     #[must_use]
     pub fn engine(mut self, engine: Engine) -> Self {
         self.engine = Some(engine);
+        self
+    }
+
+    /// Dominance fault-list reduction for the mutation-data fault
+    /// simulation (default on). Reported coverage numbers are identical
+    /// either way; only the lane occupancy
+    /// (`faults_simulated`/`faults_total` in the JSON report) changes.
+    #[must_use]
+    pub fn fault_reduce(mut self, fault_reduce: bool) -> Self {
+        self.fault_reduce = Some(fault_reduce);
         self
     }
 
@@ -363,6 +375,9 @@ impl Campaign {
         if let Some(engine) = self.engine {
             config = config.with_engine(engine);
         }
+        if let Some(fault_reduce) = self.fault_reduce {
+            config = config.with_fault_reduce(fault_reduce);
+        }
         if config.repetitions == 0 {
             return Err(CampaignError::ZeroRepetitions);
         }
@@ -399,6 +414,7 @@ impl Campaign {
                 seed: resolved.config.seed,
                 jobs: resolved.config.jobs,
                 engine: resolved.config.engine,
+                fault_reduce: resolved.config.fault_reduce,
                 preset: resolved.preset,
                 wall: started.elapsed(),
             },
@@ -551,6 +567,8 @@ pub struct RunMeta {
     pub jobs: usize,
     /// Mutant-execution engine.
     pub engine: Engine,
+    /// Whether dominance fault-list reduction was on.
+    pub fault_reduce: bool,
     /// Configuration preset.
     pub preset: Preset,
     /// Wall-clock time of the run.
@@ -668,6 +686,10 @@ impl Report {
             ("seed", Json::UInt(self.meta.seed)),
             ("jobs", Json::count(self.meta.jobs)),
             ("engine", Json::str(self.meta.engine.name())),
+            (
+                "fault_reduce",
+                Json::str(if self.meta.fault_reduce { "on" } else { "off" }),
+            ),
             ("preset", Json::str(self.meta.preset.to_string())),
             ("wall_ms", Json::count(self.meta.wall.as_millis() as usize)),
         ])
@@ -734,6 +756,14 @@ impl Report {
                                                     Json::Float(r.mutation_fault_coverage),
                                                 ),
                                                 ("metrics", metrics_json(&r.metrics)),
+                                                (
+                                                    "faults_simulated",
+                                                    Json::count(r.fault_sim.faults_simulated),
+                                                ),
+                                                (
+                                                    "faults_total",
+                                                    Json::count(r.fault_sim.faults_total),
+                                                ),
                                             ])
                                         })
                                         .collect(),
@@ -954,6 +984,8 @@ fn outcome_json(o: &SamplingOutcome) -> Json {
         ("metrics", metrics_json(&o.metrics)),
         ("nlfce", Json::Float(o.nlfce)),
         ("data_len", Json::count(o.data_len)),
+        ("faults_simulated", Json::count(o.fault_sim.faults_simulated)),
+        ("faults_total", Json::count(o.fault_sim.faults_total)),
     ])
 }
 

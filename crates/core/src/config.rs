@@ -37,6 +37,15 @@ pub struct ExperimentConfig {
     /// like `jobs` this is purely a wall-clock knob — and the two
     /// compose multiplicatively.
     pub engine: Engine,
+    /// Dominance fault-list reduction for the mutation-data fault
+    /// simulation (the Table 1/2 hot path): dominating faults are
+    /// dropped from the lanes and credited from the representatives
+    /// they dominate, with an exact residual pass for anything credit
+    /// cannot resolve. Detected/undetected verdicts — hence every
+    /// reported coverage number — are identical with the knob on or
+    /// off; on is the default. The pseudo-random baseline (whose curve
+    /// interior the ΔFC/ΔL metrics read) always uses full simulation.
+    pub fault_reduce: bool,
 }
 
 impl ExperimentConfig {
@@ -68,6 +77,7 @@ impl ExperimentConfig {
             repetitions: 15,
             jobs: 0,
             engine: Engine::Scalar,
+            fault_reduce: true,
         }
     }
 
@@ -82,6 +92,7 @@ impl ExperimentConfig {
             repetitions: 2,
             jobs: 0,
             engine: Engine::Scalar,
+            fault_reduce: true,
         }
     }
 
@@ -98,6 +109,13 @@ impl ExperimentConfig {
     pub fn with_engine(mut self, engine: Engine) -> Self {
         self.engine = engine;
         self.mg.engine = engine;
+        self
+    }
+
+    /// Returns a copy with dominance fault-list reduction on or off.
+    #[must_use]
+    pub fn with_fault_reduce(mut self, fault_reduce: bool) -> Self {
+        self.fault_reduce = fault_reduce;
         self
     }
 

@@ -3,7 +3,10 @@
 use musa_circuits::Circuit;
 use musa_metrics::CoverageCurve;
 use musa_mutation::TestSequence;
-use musa_netlist::{collapsed_faults, fault_simulate_sessions, Fault, Pattern};
+use musa_netlist::{
+    collapsed_faults, fault_simulate_sessions, fault_simulate_sessions_reduced, reduce_faults,
+    Fault, FaultReduction, Pattern,
+};
 use musa_synth::flatten_sequence;
 use musa_testgen::testbench_patterns;
 
@@ -11,6 +14,36 @@ use musa_testgen::testbench_patterns;
 /// stuck-at list).
 pub fn fault_universe(circuit: &Circuit) -> Vec<Fault> {
     collapsed_faults(&circuit.netlist)
+}
+
+/// Lane occupancy of one fault-simulation measurement: how many faults
+/// actually occupied simulation lanes versus the full collapsed list.
+/// `faults_simulated == faults_total` whenever dominance reduction is
+/// off (or credit never landed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSimStats {
+    /// Faults that occupied simulation lanes (representatives plus
+    /// residuals).
+    pub faults_simulated: usize,
+    /// Size of the full collapsed fault list the coverage numbers are
+    /// quoted against.
+    pub faults_total: usize,
+}
+
+impl FaultSimStats {
+    /// Stats for a full (unreduced) run over `total` faults.
+    pub fn full(total: usize) -> Self {
+        Self {
+            faults_simulated: total,
+            faults_total: total,
+        }
+    }
+}
+
+/// The dominance reduction of a circuit's fault universe (see
+/// [`musa_netlist::reduce_faults`]).
+pub fn reduced_universe(circuit: &Circuit, faults: &[Fault]) -> FaultReduction {
+    reduce_faults(&circuit.netlist, faults)
 }
 
 /// Flattens behavioral test sessions into gate-level pattern sessions.
@@ -34,8 +67,34 @@ pub fn coverage_of_sessions(
     CoverageCurve::new(result.coverage_curve())
 }
 
+/// [`coverage_of_sessions`] over a dominance-reduced fault list: only
+/// representatives (and residuals) occupy lanes. Final coverage — the
+/// only curve point the ΔFC/ΔL metrics read from the *mutation* curve —
+/// is exactly the full-simulation value; credited faults' interior
+/// indices are upper bounds (see
+/// [`musa_netlist::fault_simulate_sessions_reduced`]).
+pub fn coverage_of_sessions_reduced(
+    circuit: &Circuit,
+    reduction: &FaultReduction,
+    sessions: &[TestSequence],
+) -> (CoverageCurve, FaultSimStats) {
+    let patterns = sessions_to_patterns(circuit, sessions);
+    let result = fault_simulate_sessions_reduced(&circuit.netlist, reduction, &patterns);
+    let stats = FaultSimStats {
+        faults_simulated: result.faults_simulated,
+        faults_total: reduction.total(),
+    };
+    (CoverageCurve::new(result.coverage_curve()), stats)
+}
+
 /// Fault-simulates an LFSR pseudo-random baseline of the given length
 /// and returns its coverage curve (paper §3's `RFC`).
+///
+/// Always full simulation, regardless of
+/// [`crate::ExperimentConfig::fault_reduce`]: the ΔFC/ΔL metrics read
+/// this curve's *interior* (coverage at the mutation length, shortest
+/// prefix reaching a target), which dominance credit does not preserve
+/// bit-exactly.
 pub fn random_baseline_curve(
     circuit: &Circuit,
     faults: &[Fault],

@@ -7,7 +7,10 @@
 //! baseline.
 
 use crate::config::ExperimentConfig;
-use crate::data::{coverage_of_sessions, fault_universe, random_baseline_curve};
+use crate::data::{
+    coverage_of_sessions, coverage_of_sessions_reduced, fault_universe, random_baseline_curve,
+    reduced_universe, FaultSimStats,
+};
 use crate::parallel::{split_jobs, try_par_map};
 use musa_circuits::Circuit;
 use musa_metrics::{Nlfce, NlfceInputs};
@@ -38,6 +41,11 @@ pub struct SamplingOutcome {
     pub nlfce: f64,
     /// Total validation-data length.
     pub data_len: usize,
+    /// Lane occupancy of the mutation-data fault simulation:
+    /// `faults_simulated < faults_total` when dominance reduction
+    /// ([`ExperimentConfig::fault_reduce`]) credited faults out of the
+    /// lanes. Coverage numbers are identical either way.
+    pub fault_sim: FaultSimStats,
 }
 
 /// Runs one sampling experiment on a circuit.
@@ -84,12 +92,27 @@ pub fn run_sampling_experiment_on(
     let seeds: Vec<[u64; 3]> = (0..repetitions)
         .map(|_| [seeder.next_u64(), seeder.next_u64(), seeder.next_u64()])
         .collect();
+    // The fault universe and its dominance reduction are pure netlist
+    // analyses: compute them once, not once per repetition.
+    let faults = fault_universe(circuit);
+    let reduction = config
+        .fault_reduce
+        .then(|| reduced_universe(circuit, &faults));
     // Repetitions get the outer share of the thread budget; each
     // repetition's mutant executions split what remains.
     let (outer_jobs, inner_jobs) = split_jobs(config.jobs, repetitions);
     let outcomes = try_par_map(outer_jobs, &seeds, |_, &[sample, mg, baseline]| {
         run_sampling_once(
-            circuit, population, &strategy, config, sample, mg, baseline, inner_jobs,
+            circuit,
+            population,
+            &strategy,
+            config,
+            &faults,
+            reduction.as_ref(),
+            sample,
+            mg,
+            baseline,
+            inner_jobs,
         )
     })?;
     let mut aggregate = SamplingAggregate::new();
@@ -110,8 +133,8 @@ pub fn run_sampling_experiment_on(
 /// |---|---|
 /// | `strategy`, `population` | invariant across repetitions (asserted) |
 /// | `mutation_score_pct`, `nlfce`, `metrics.delta_fc_pct`, `metrics.delta_l_pct`, `metrics.nlfce` | arithmetic mean |
-/// | `sampled`, `data_len`, `metrics.mutation_len`, `score.killed`, `score.equivalent` | mean, rounded via [`SamplingAggregate::mean_rounded`] |
-/// | `score.generated` | invariant across repetitions (asserted) |
+/// | `sampled`, `data_len`, `metrics.mutation_len`, `score.killed`, `score.equivalent`, `fault_sim.faults_simulated` | mean, rounded via [`SamplingAggregate::mean_rounded`] |
+/// | `score.generated`, `fault_sim.faults_total` | invariant across repetitions (asserted) |
 /// | `metrics.random_len_at_equal_fc` | rounded mean when every repetition reports `Some`, else `None` (a single saturated baseline makes the mean meaningless) |
 ///
 /// Outcomes are keyed by repetition index and [`finish`] always reduces
@@ -191,6 +214,10 @@ impl SamplingAggregate {
                 o.score.generated, first.score.generated,
                 "generated count varies between repetitions"
             );
+            assert_eq!(
+                o.fault_sim.faults_total, first.fault_sim.faults_total,
+                "fault universe varies between repetitions"
+            );
         }
         let mean_f = |field: fn(&SamplingOutcome) -> f64| -> f64 {
             outcomes.iter().map(field).sum::<f64>() / nf
@@ -223,6 +250,10 @@ impl SamplingAggregate {
             },
             nlfce,
             data_len: mean_n(|o| o.data_len),
+            fault_sim: FaultSimStats {
+                faults_simulated: mean_n(|o| o.fault_sim.faults_simulated),
+                faults_total: first.fault_sim.faults_total,
+            },
         }
     }
 }
@@ -233,6 +264,8 @@ fn run_sampling_once(
     population: &[Mutant],
     strategy: &SamplingStrategy,
     config: &ExperimentConfig,
+    faults: &[musa_netlist::Fault],
+    reduction: Option<&musa_netlist::FaultReduction>,
     sample_seed: u64,
     mg_seed: u64,
     baseline_seed: u64,
@@ -255,11 +288,21 @@ fn run_sampling_once(
     let classes = classify_survivors(circuit, population, &kills, config)?;
     let score = MutationScore::from_results(&kills, &classes);
 
-    // 4. Gate-level efficiency of the same data.
-    let faults = fault_universe(circuit);
-    let mutation_curve = coverage_of_sessions(circuit, &faults, &generated.sessions);
+    // 4. Gate-level efficiency of the same data. The mutation-data
+    // fault simulation honours the dominance-reduction knob (its final
+    // coverage is exact either way); the baseline stays on full
+    // simulation because its curve interior feeds dFC/dL directly.
+    let (mutation_curve, fault_sim) = match reduction {
+        Some(reduction) => {
+            coverage_of_sessions_reduced(circuit, reduction, &generated.sessions)
+        }
+        None => (
+            coverage_of_sessions(circuit, faults, &generated.sessions),
+            FaultSimStats::full(faults.len()),
+        ),
+    };
     let baseline_len = config.baseline_len(mutation_curve.len());
-    let random_curve = random_baseline_curve(circuit, &faults, baseline_len, baseline_seed);
+    let random_curve = random_baseline_curve(circuit, faults, baseline_len, baseline_seed);
     let metrics = NlfceInputs {
         mutation: &mutation_curve,
         random: &random_curve,
@@ -275,6 +318,7 @@ fn run_sampling_once(
         metrics,
         nlfce: metrics.nlfce,
         data_len: generated.total_len(),
+        fault_sim,
     })
 }
 
@@ -370,6 +414,10 @@ mod tests {
             },
             nlfce: 100.0 + k as f64,
             data_len: 30 + k,
+            fault_sim: FaultSimStats {
+                faults_simulated: 50 + k,
+                faults_total: 80,
+            },
         }
     }
 
@@ -397,6 +445,8 @@ mod tests {
         assert_eq!(mean.metrics.mutation_len, 22);
         assert_eq!(mean.metrics.random_len_at_equal_fc, Some(202));
         assert_eq!(mean.data_len, 32);
+        assert_eq!(mean.fault_sim.faults_simulated, 52);
+        assert_eq!(mean.fault_sim.faults_total, 80);
         assert!((mean.mutation_score_pct - 52.0).abs() < 1e-12);
         assert!((mean.nlfce - 102.0).abs() < 1e-12);
         assert!((mean.metrics.nlfce - 102.0).abs() < 1e-12);

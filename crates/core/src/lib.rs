@@ -63,7 +63,8 @@ pub use campaign::{
 pub use config::ExperimentConfig;
 pub use json::Json;
 pub use data::{
-    coverage_of_sessions, fault_universe, random_baseline_curve, sessions_to_patterns,
+    coverage_of_sessions, coverage_of_sessions_reduced, fault_universe, random_baseline_curve,
+    reduced_universe, sessions_to_patterns, FaultSimStats,
 };
 pub use experiment::{
     run_sampling_experiment, run_sampling_experiment_on, SamplingAggregate, SamplingOutcome,

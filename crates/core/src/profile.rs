@@ -7,7 +7,10 @@
 //! sampling weights (paper §4).
 
 use crate::config::ExperimentConfig;
-use crate::data::{coverage_of_sessions, fault_universe, random_baseline_curve};
+use crate::data::{
+    coverage_of_sessions, coverage_of_sessions_reduced, fault_universe, random_baseline_curve,
+    reduced_universe, FaultSimStats,
+};
 use crate::experiment::SamplingAggregate;
 use crate::parallel::try_par_map;
 use musa_circuits::Circuit;
@@ -29,6 +32,9 @@ pub struct OperatorEfficiency {
     pub mutation_fault_coverage: f64,
     /// The paper's three metrics versus the pseudo-random baseline.
     pub metrics: Nlfce,
+    /// Lane occupancy of the mutation-data fault simulation (see
+    /// [`ExperimentConfig::fault_reduce`]).
+    pub fault_sim: FaultSimStats,
 }
 
 /// A per-circuit operator-efficiency profile (Table 1 rows for one
@@ -57,6 +63,9 @@ impl OperatorProfile {
         config: &ExperimentConfig,
     ) -> Result<Self, MutationError> {
         let faults = fault_universe(circuit);
+        let reduction = config
+            .fault_reduce
+            .then(|| reduced_universe(circuit, &faults));
         let mut seeder = SplitMix64::new(config.seed ^ 0x9E3779B97F4A7C15);
         let repetitions = config.repetitions.max(1);
 
@@ -95,6 +104,7 @@ impl OperatorProfile {
             metrics: Nlfce,
             data_len: usize,
             coverage: f64,
+            fault_sim: FaultSimStats,
         }
         let measurements = try_par_map(config.jobs, &cells, |_, cell| {
             let (_, mutants) = &populations[cell.op_slot];
@@ -104,7 +114,15 @@ impl OperatorProfile {
             };
             let generated =
                 mutation_guided_tests(&circuit.checked, &circuit.name, mutants, &mg)?;
-            let mutation_curve = coverage_of_sessions(circuit, &faults, &generated.sessions);
+            let (mutation_curve, fault_sim) = match &reduction {
+                Some(reduction) => {
+                    coverage_of_sessions_reduced(circuit, reduction, &generated.sessions)
+                }
+                None => (
+                    coverage_of_sessions(circuit, &faults, &generated.sessions),
+                    FaultSimStats::full(faults.len()),
+                ),
+            };
             let baseline_len = config.baseline_len(mutation_curve.len());
             let random_curve =
                 random_baseline_curve(circuit, &faults, baseline_len, cell.baseline_seed);
@@ -117,6 +135,7 @@ impl OperatorProfile {
                 metrics,
                 data_len: generated.total_len(),
                 coverage: mutation_curve.final_coverage(),
+                fault_sim,
             })
         })?;
 
@@ -157,6 +176,13 @@ impl OperatorProfile {
                 data_len,
                 mutation_fault_coverage: reps.iter().map(|r| r.coverage).sum::<f64>() / n,
                 metrics: mean,
+                fault_sim: FaultSimStats {
+                    faults_simulated: SamplingAggregate::mean_rounded(
+                        reps.iter().map(|r| r.fault_sim.faults_simulated).sum(),
+                        reps.len(),
+                    ),
+                    faults_total: faults.len(),
+                },
             });
         }
         Ok(Self {

@@ -327,7 +327,8 @@ impl<'a> LanePlan<'a> {
                     if alive == 0 {
                         break; // every mutant in the batch is killed
                     }
-                    let newly = sim.step(vector) & alive;
+                    // Killed lanes drop out of the diff scan entirely.
+                    let newly = sim.step(vector, alive);
                     stats.steps += 1;
                     let mut bits = newly;
                     while bits != 0 {
@@ -375,7 +376,7 @@ impl<'a> LanePlan<'a> {
                 let mut rows = vec![vec![false; sequence.len()]; *len];
                 sim.reset();
                 for (t, vector) in sequence.iter().enumerate() {
-                    let diff = sim.step(vector);
+                    let diff = sim.step(vector, sim.used_mask);
                     stats.steps += 1;
                     for (slot, row) in rows.iter_mut().enumerate() {
                         row[t] = diff & (1u64 << (slot + 1)) != 0;
@@ -452,9 +453,14 @@ impl<'a> GroupSim<'a> {
     }
 
     /// Applies one test vector with the scalar simulator's protocol
-    /// (inputs, settle, sample, clock) and returns the mask of lanes
-    /// whose sampled outputs differ from lane 0.
-    fn step(&mut self, inputs: &[Bits]) -> u64 {
+    /// (inputs, settle, sample, clock) and returns the mask of lanes in
+    /// `scan` whose sampled outputs differ from lane 0.
+    ///
+    /// `scan` limits the output XOR comparison to the lanes the caller
+    /// still cares about: the first-kill path passes its shrinking
+    /// alive mask, so long sequences stop scanning dead mutants
+    /// mid-sequence; the kill-matrix path passes every used lane.
+    fn step(&mut self, inputs: &[Bits], scan: u64) -> u64 {
         assert_eq!(
             inputs.len(),
             self.compiled.data_inputs.len(),
@@ -467,18 +473,22 @@ impl<'a> GroupSim<'a> {
         }
         self.vm.run(&self.compiled.comb);
         let mut diff = 0u64;
+        let scan = scan & self.used_mask;
         for &sym in &self.compiled.outputs {
             let lanes = &self.vm.state[sym.0 as usize];
             let reference = lanes[0];
-            for (l, &value) in lanes.iter().enumerate().skip(1) {
-                diff |= u64::from(value != reference) << l;
+            let mut pending = scan & !diff;
+            while pending != 0 {
+                let l = pending.trailing_zeros() as usize;
+                diff |= u64::from(lanes[l] != reference) << l;
+                pending &= pending - 1;
             }
         }
         if !self.compiled.combinational {
             self.vm.run(&self.compiled.edge);
             self.vm.run(&self.compiled.comb);
         }
-        diff & self.used_mask
+        diff
     }
 }
 

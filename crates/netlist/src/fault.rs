@@ -118,7 +118,7 @@ pub fn full_faults(nl: &Netlist) -> Vec<Fault> {
 }
 
 /// Union-find over fault indices.
-struct UnionFind {
+pub(crate) struct UnionFind {
     parent: Vec<usize>,
 }
 
@@ -129,7 +129,7 @@ impl UnionFind {
         }
     }
 
-    fn find(&mut self, x: usize) -> usize {
+    pub(crate) fn find(&mut self, x: usize) -> usize {
         if self.parent[x] != x {
             let root = self.find(self.parent[x]);
             self.parent[x] = root;
@@ -147,22 +147,33 @@ impl UnionFind {
     }
 }
 
-/// Collapses the fault list into structural-equivalence representatives.
-///
-/// Rules applied per gate, with the *effective* input site being the pin
-/// fault when the source net fans out, and the stem fault otherwise:
-///
-/// | gate | input fault | ≡ output fault |
-/// |------|-------------|----------------|
-/// | AND  | s-a-0       | s-a-0          |
-/// | NAND | s-a-0       | s-a-1          |
-/// | OR   | s-a-1       | s-a-1          |
-/// | NOR  | s-a-1       | s-a-0          |
-/// | NOT  | s-a-v       | s-a-¬v         |
-/// | BUF / DFF-D | s-a-v | s-a-v         |
-///
-/// The result preserves the input order of representatives.
-pub fn collapse(nl: &Netlist, faults: &[Fault]) -> Vec<Fault> {
+/// The fault site the standard universe uses for "input `pin` of the
+/// gate driving `net`": the branch (pin) fault when the source net fans
+/// out, the source's stem fault otherwise.
+pub(crate) fn effective_input_fault(
+    fanouts: &[Vec<NetId>],
+    net: NetId,
+    pin: u32,
+    src: NetId,
+    stuck: bool,
+) -> Fault {
+    if fanouts[src.0 as usize].len() > 1 {
+        Fault {
+            site: FaultSite::Pin { gate: net, pin },
+            stuck_at_one: stuck,
+        }
+    } else {
+        Fault {
+            site: FaultSite::Net(src),
+            stuck_at_one: stuck,
+        }
+    }
+}
+
+/// The structural-equivalence union-find over `faults` (the machinery
+/// behind [`collapse`], shared with the dominance analysis in
+/// [`crate::dominance`]).
+pub(crate) fn equivalence_union(nl: &Netlist, faults: &[Fault]) -> UnionFind {
     use std::collections::HashMap;
     let index: HashMap<Fault, usize> = faults
         .iter()
@@ -172,20 +183,8 @@ pub fn collapse(nl: &Netlist, faults: &[Fault]) -> Vec<Fault> {
     let fanouts = nl.fanouts();
     let mut uf = UnionFind::new(faults.len());
 
-    // The fault site actually present in the list for "input `pin` of the
-    // gate driving `net`": the branch fault if it exists, else the stem.
     let input_fault = |net: NetId, pin: u32, src: NetId, stuck: bool| -> Fault {
-        if fanouts[src.0 as usize].len() > 1 {
-            Fault {
-                site: FaultSite::Pin { gate: net, pin },
-                stuck_at_one: stuck,
-            }
-        } else {
-            Fault {
-                site: FaultSite::Net(src),
-                stuck_at_one: stuck,
-            }
-        }
+        effective_input_fault(&fanouts, net, pin, src, stuck)
     };
 
     let mut merge = |a: Fault, b: Fault| {
@@ -235,7 +234,26 @@ pub fn collapse(nl: &Netlist, faults: &[Fault]) -> Vec<Fault> {
             _ => {}
         }
     }
+    uf
+}
 
+/// Collapses the fault list into structural-equivalence representatives.
+///
+/// Rules applied per gate, with the *effective* input site being the pin
+/// fault when the source net fans out, and the stem fault otherwise:
+///
+/// | gate | input fault | ≡ output fault |
+/// |------|-------------|----------------|
+/// | AND  | s-a-0       | s-a-0          |
+/// | NAND | s-a-0       | s-a-1          |
+/// | OR   | s-a-1       | s-a-1          |
+/// | NOR  | s-a-1       | s-a-0          |
+/// | NOT  | s-a-v       | s-a-¬v         |
+/// | BUF / DFF-D | s-a-v | s-a-v         |
+///
+/// The result preserves the input order of representatives.
+pub fn collapse(nl: &Netlist, faults: &[Fault]) -> Vec<Fault> {
+    let mut uf = equivalence_union(nl, faults);
     let mut kept = Vec::new();
     for (i, &fault) in faults.iter().enumerate() {
         if uf.find(i) == i {

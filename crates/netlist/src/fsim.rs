@@ -12,6 +12,7 @@
 //! Both record, for every fault, the index of the **first** detecting
 //! vector, from which coverage-versus-length curves are derived.
 
+use crate::dominance::{FaultPlan, FaultReduction};
 use crate::fault::Fault;
 use crate::netlist::Netlist;
 use crate::sim::{Injections, LogicSim};
@@ -23,12 +24,17 @@ pub type Pattern = Vec<bool>;
 /// Result of a fault-simulation run.
 #[derive(Debug, Clone)]
 pub struct FaultSimResult {
-    /// The simulated fault list (as passed in).
+    /// The graded fault list (as passed in).
     pub faults: Vec<Fault>,
     /// For every fault, the index of the first detecting vector.
     pub first_detected: Vec<Option<usize>>,
     /// Number of vectors applied.
     pub vectors_applied: usize,
+    /// Number of faults that actually occupied simulation lanes. Equal
+    /// to `faults.len()` for the full engines; smaller under dominance
+    /// reduction ([`fault_simulate_reduced`]), where credited faults
+    /// never enter a lane.
+    pub faults_simulated: usize,
 }
 
 impl FaultSimResult {
@@ -50,10 +56,25 @@ impl FaultSimResult {
 
     /// Cumulative coverage after each applied vector:
     /// `curve()[t]` = coverage achieved by vectors `0..=t`.
+    ///
+    /// For an empty fault list the curve is 1.0 throughout, matching
+    /// [`FaultSimResult::coverage`] (nothing to detect), so
+    /// `curve.last()` always agrees with the final coverage.
     pub fn coverage_curve(&self) -> Vec<f64> {
-        let total = self.faults.len().max(1) as f64;
+        if self.faults.is_empty() {
+            return vec![1.0; self.vectors_applied];
+        }
+        let total = self.faults.len() as f64;
         let mut per_vector = vec![0usize; self.vectors_applied];
         for first in self.first_detected.iter().flatten() {
+            // A first-detection index at or past `vectors_applied` means
+            // a caller's session accounting drifted; silently skipping
+            // it would under-count coverage.
+            debug_assert!(
+                *first < per_vector.len(),
+                "first_detected index {first} >= vectors_applied {}",
+                self.vectors_applied
+            );
             if *first < per_vector.len() {
                 per_vector[*first] += 1;
             }
@@ -102,6 +123,7 @@ pub fn fault_simulate(nl: &Netlist, faults: &[Fault], vectors: &[Pattern]) -> Fa
         faults: faults.to_vec(),
         first_detected,
         vectors_applied: vectors.len(),
+        faults_simulated: faults.len(),
     }
 }
 
@@ -118,31 +140,165 @@ pub fn fault_simulate_sessions(
     faults: &[Fault],
     sessions: &[Vec<Pattern>],
 ) -> FaultSimResult {
-    let mut first_detected: Vec<Option<usize>> = vec![None; faults.len()];
+    let indices: Vec<usize> = (0..faults.len()).collect();
+    let (first, total) = simulate_subset_sessions(nl, faults, &indices, sessions);
+    let mut first_detected = vec![None; faults.len()];
+    for (slot, &fi) in indices.iter().enumerate() {
+        first_detected[fi] = first[slot];
+    }
+    FaultSimResult {
+        faults: faults.to_vec(),
+        first_detected,
+        vectors_applied: total,
+        faults_simulated: faults.len(),
+    }
+}
+
+/// Simulates the faults at `indices` (into `faults`) across `sessions`
+/// with fault dropping; returns their cumulative first-detection
+/// indices (parallel to `indices`) and the total vector count.
+fn simulate_subset_sessions(
+    nl: &Netlist,
+    faults: &[Fault],
+    indices: &[usize],
+    sessions: &[Vec<Pattern>],
+) -> (Vec<Option<usize>>, usize) {
+    let mut first: Vec<Option<usize>> = vec![None; indices.len()];
     let mut base = 0usize;
-    // Indices of faults still alive, mapping into the caller's list.
-    let mut alive: Vec<usize> = (0..faults.len()).collect();
+    // Slots (into `indices`) still alive.
+    let mut alive: Vec<usize> = (0..indices.len()).collect();
     for session in sessions {
         if alive.is_empty() {
             base += session.len();
             continue;
         }
-        let subset: Vec<Fault> = alive.iter().map(|&i| faults[i]).collect();
+        let subset: Vec<Fault> = alive.iter().map(|&s| faults[indices[s]]).collect();
         let result = fault_simulate(nl, &subset, session);
         let mut still = Vec::with_capacity(alive.len());
-        for (slot, &fi) in alive.iter().enumerate() {
-            match result.first_detected[slot] {
-                Some(t) => first_detected[fi] = Some(base + t),
-                None => still.push(fi),
+        for (lane, &slot) in alive.iter().enumerate() {
+            match result.first_detected[lane] {
+                Some(t) => first[slot] = Some(base + t),
+                None => still.push(slot),
             }
         }
         alive = still;
         base += session.len();
     }
+    (first, base)
+}
+
+/// [`fault_simulate`] over a dominance-reduced fault list: only
+/// representatives (and residuals) occupy lanes, while the result
+/// still covers **every** fault of the list. See
+/// [`fault_simulate_sessions_reduced`] for the exactness contract.
+///
+/// # Panics
+///
+/// Panics if any pattern length differs from the circuit's input count.
+pub fn fault_simulate_reduced(
+    nl: &Netlist,
+    reduction: &FaultReduction,
+    vectors: &[Pattern],
+) -> FaultSimResult {
+    fault_simulate_sessions_reduced(nl, reduction, std::slice::from_ref(&vectors.to_vec()))
+}
+
+/// [`fault_simulate_sessions`] over a dominance-reduced fault list.
+///
+/// Four stages:
+///
+/// 1. the reduction's kept representatives are simulated exactly as the
+///    full engine would simulate them (per-fault results are
+///    independent of batch composition, so their first-detection
+///    indices are bit-identical to a full run);
+/// 2. observed faults (stems with a NOT/BUF-only path to a primary
+///    output) get their **exact** first-detection index — or their
+///    undetected verdict — from the good-machine output trace, since
+///    such a fault is detected precisely at its first excitation;
+/// 3. every dropped fault whose credit set saw a detection is credited
+///    the earliest such index — by dominance the same test prefix
+///    detects it, so the *verdict* is sound and the index is an upper
+///    bound on its true first detection;
+/// 4. dropped faults with **no** detected credit source are residually
+///    simulated, so no verdict is ever guessed.
+///
+/// Hence `detected_count()`, `coverage()` and `undetected()` match full
+/// simulation exactly, while [`FaultSimResult::faults_simulated`]
+/// (kept + residuals) stays below `faults_total` whenever credit
+/// lands. Only credited faults' `first_detected` indices may exceed
+/// their full-simulation values; consumers reading coverage-curve
+/// interiors should use the full engine.
+///
+/// # Panics
+///
+/// Panics if any pattern length differs from the circuit's input count.
+pub fn fault_simulate_sessions_reduced(
+    nl: &Netlist,
+    reduction: &FaultReduction,
+    sessions: &[Vec<Pattern>],
+) -> FaultSimResult {
+    let faults = reduction.faults();
+    let kept = reduction.simulated_indices();
+    let (kept_first, total) = simulate_subset_sessions(nl, faults, &kept, sessions);
+    let mut first_detected: Vec<Option<usize>> = vec![None; faults.len()];
+    for (slot, &fi) in kept.iter().enumerate() {
+        first_detected[fi] = kept_first[slot];
+    }
+
+    // Observed faults: exact results from the good-machine output
+    // trace (a fault on a directly-observed net is detected at its
+    // first excitation, which the good trace pinpoints).
+    let observed: Vec<(usize, usize, bool)> = (0..faults.len())
+        .filter_map(|i| match *reduction.plan(i) {
+            FaultPlan::Observe { output, expect } => Some((i, output, expect)),
+            _ => None,
+        })
+        .collect();
+    if !observed.is_empty() {
+        let mut base = 0usize;
+        for session in sessions {
+            if observed.iter().all(|&(i, ..)| first_detected[i].is_some()) {
+                base += session.len();
+                continue;
+            }
+            let good = good_outputs(nl, session);
+            for &(i, output, expect) in &observed {
+                if first_detected[i].is_some() {
+                    continue;
+                }
+                if let Some(t) = good.iter().position(|outs| outs[output] == expect) {
+                    first_detected[i] = Some(base + t);
+                }
+            }
+            base += session.len();
+        }
+    }
+
+    // Credit dropped faults from their dominated representatives.
+    let mut residual: Vec<usize> = Vec::new();
+    for i in 0..faults.len() {
+        if let FaultPlan::Credit(sources) = reduction.plan(i) {
+            match sources.iter().filter_map(|&s| first_detected[s]).min() {
+                Some(t) => first_detected[i] = Some(t),
+                None => residual.push(i),
+            }
+        }
+    }
+
+    // Residual pass: uncredited drops get real lanes — their verdict
+    // (typically "undetected") is never inferred.
+    let (residual_first, residual_total) =
+        simulate_subset_sessions(nl, faults, &residual, sessions);
+    debug_assert!(residual.is_empty() || residual_total == total);
+    for (slot, &fi) in residual.iter().enumerate() {
+        first_detected[fi] = residual_first[slot];
+    }
+
     FaultSimResult {
         faults: faults.to_vec(),
         first_detected,
-        vectors_applied: base,
+        vectors_applied: total,
+        faults_simulated: kept.len() + residual.len(),
     }
 }
 
@@ -322,6 +478,36 @@ mod tests {
         let nl = parse_bench(C17, "c17").unwrap();
         let result = fault_simulate(&nl, &[], &exhaustive_patterns(5));
         assert_eq!(result.coverage(), 1.0);
+    }
+
+    #[test]
+    fn empty_fault_list_curve_is_one_throughout() {
+        // Regression: coverage() reports 1.0 for an empty list but the
+        // curve used to divide by max(1) and end at 0.0 — the two must
+        // agree.
+        let nl = parse_bench(C17, "c17").unwrap();
+        let result = fault_simulate(&nl, &[], &exhaustive_patterns(5));
+        let curve = result.coverage_curve();
+        assert_eq!(curve.len(), 32);
+        assert!(curve.iter().all(|&c| c == 1.0), "{curve:?}");
+        assert_eq!(*curve.last().unwrap(), result.coverage());
+        // No vectors: both the curve and the vector count stay empty.
+        let empty = fault_simulate(&nl, &[], &[]);
+        assert!(empty.coverage_curve().is_empty());
+        assert_eq!(empty.coverage(), 1.0);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "first_detected index")]
+    fn out_of_range_first_detection_fails_loudly_in_debug() {
+        // Session-accounting drift (a first-detection index at or past
+        // vectors_applied) must not silently under-count coverage.
+        let nl = parse_bench(C17, "c17").unwrap();
+        let faults = collapsed_faults(&nl);
+        let mut result = fault_simulate(&nl, &faults, &exhaustive_patterns(5));
+        result.first_detected[0] = Some(result.vectors_applied);
+        let _ = result.coverage_curve();
     }
 
     #[test]
@@ -505,6 +691,134 @@ d = XOR(q, en)
         for d in result.first_detected.iter().flatten() {
             assert!(*d < 4);
         }
+    }
+
+    /// Asserts the reduced-simulation contract against full simulation:
+    /// identical verdicts for every fault, exact indices for kept and
+    /// residual faults, and upper-bound indices for credited ones.
+    fn assert_reduced_matches(
+        nl: &Netlist,
+        faults: &[Fault],
+        sessions: &[Vec<Pattern>],
+        expect_reduction: bool,
+    ) -> usize {
+        use crate::dominance::{reduce_faults, FaultPlan};
+        let full = fault_simulate_sessions(nl, faults, sessions);
+        let red = reduce_faults(nl, faults);
+        let reduced = fault_simulate_sessions_reduced(nl, &red, sessions);
+        assert_eq!(reduced.faults, full.faults);
+        assert_eq!(reduced.vectors_applied, full.vectors_applied);
+        assert_eq!(
+            reduced.detected_count(),
+            full.detected_count(),
+            "detected counts must match exactly"
+        );
+        assert_eq!(reduced.coverage().to_bits(), full.coverage().to_bits());
+        for (i, (r, f)) in reduced
+            .first_detected
+            .iter()
+            .zip(&full.first_detected)
+            .enumerate()
+        {
+            match red.plan(i) {
+                FaultPlan::Simulate => {
+                    assert_eq!(r, f, "kept fault {} must be exact", faults[i].describe(nl));
+                }
+                FaultPlan::Observe { .. } => {
+                    assert_eq!(
+                        r,
+                        f,
+                        "observed fault {} must be exact",
+                        faults[i].describe(nl)
+                    );
+                }
+                FaultPlan::Credit(_) => match (r, f) {
+                    (Some(rt), Some(ft)) => assert!(
+                        rt >= ft,
+                        "credited index is an upper bound ({} : {rt} < {ft})",
+                        faults[i].describe(nl)
+                    ),
+                    (None, None) => {}
+                    _ => panic!(
+                        "verdict mismatch on {}: reduced {r:?} vs full {f:?}",
+                        faults[i].describe(nl)
+                    ),
+                },
+            }
+        }
+        assert!(reduced.faults_simulated <= reduced.faults.len());
+        assert_eq!(full.faults_simulated, full.faults.len());
+        if expect_reduction {
+            assert!(
+                reduced.faults_simulated < reduced.faults.len(),
+                "expected a strict lane reduction: {} of {}",
+                reduced.faults_simulated,
+                reduced.faults.len()
+            );
+        }
+        reduced.faults_simulated
+    }
+
+    #[test]
+    fn reduced_matches_full_on_c17_exhaustive_and_sparse() {
+        let nl = parse_bench(C17, "c17").unwrap();
+        let faults = collapsed_faults(&nl);
+        let all = exhaustive_patterns(5);
+        assert_reduced_matches(&nl, &faults, &[all.clone()], true);
+        // Split sessions and a sparse prefix (leaves undetected faults,
+        // exercising the residual pass; credit may or may not land, so
+        // no strict-reduction expectation).
+        assert_reduced_matches(&nl, &faults, &[all[..3].to_vec(), all[3..7].to_vec()], true);
+        assert_reduced_matches(&nl, &faults, &[vec![vec![false; 5]; 2]], false);
+        // No vectors at all: nothing is credited, every dropped fault
+        // is residually simulated — exactness beats lane savings.
+        assert_reduced_matches(&nl, &faults, &[], false);
+    }
+
+    #[test]
+    fn reduced_matches_full_on_a_sequential_machine() {
+        let src = "
+INPUT(a)
+INPUT(b)
+OUTPUT(q)
+OUTPUT(y)
+q = DFF(d)
+d = AND(a, q2)
+q2 = NAND(b, q)
+y = OR(q, b)
+";
+        let nl = parse_bench(src, "m").unwrap();
+        let faults = collapsed_faults(&nl);
+        // Several deterministic sequences, including ones that leave
+        // faults undetected.
+        let mut rng = 0x5EED_CAFE_u64;
+        let mut best = usize::MAX;
+        for len in [1usize, 3, 6, 12] {
+            let vectors: Vec<Pattern> = (0..len)
+                .map(|_| {
+                    rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    vec![(rng >> 61) & 1 == 1, (rng >> 62) & 1 == 1]
+                })
+                .collect();
+            best = best.min(assert_reduced_matches(&nl, &faults, &[vectors.clone()], false));
+            let half = vectors.len() / 2;
+            best = best.min(assert_reduced_matches(
+                &nl,
+                &faults,
+                &[vectors[..half].to_vec(), vectors[half..].to_vec()],
+                false,
+            ));
+        }
+        // The state-free output cone (y = OR(q, b)) must reduce once
+        // its dominated representatives are detected.
+        assert!(best < faults.len(), "no sequence achieved a lane reduction");
+    }
+
+    #[test]
+    fn reduced_matches_full_on_the_uncollapsed_universe() {
+        let nl = parse_bench(C17, "c17").unwrap();
+        let faults = full_faults(&nl);
+        assert_reduced_matches(&nl, &faults, &[exhaustive_patterns(5)], true);
     }
 
     #[test]

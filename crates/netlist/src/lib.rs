@@ -2,7 +2,8 @@
 //!
 //! The gate-level substrate of the `musa` workspace: netlist data
 //! structure with `.bench` I/O, 64-lane bit-parallel logic simulation,
-//! the single stuck-at fault model with structural collapsing, and fault
+//! the single stuck-at fault model with structural collapsing and
+//! dominance-based fault-list reduction ([`reduce_faults`]), and fault
 //! simulation engines (parallel-pattern for combinational circuits,
 //! parallel-fault for sequential ones).
 //!
@@ -29,6 +30,7 @@
 #![warn(missing_docs)]
 
 mod bench;
+mod dominance;
 mod fault;
 mod fsim;
 mod netlist;
@@ -36,9 +38,11 @@ mod sim;
 mod testability;
 
 pub use bench::{parse_bench, write_bench, BenchError, C17};
+pub use dominance::{reduce_faults, FaultPlan, FaultReduction};
 pub use fault::{collapse, collapsed_faults, full_faults, Fault, FaultSite};
 pub use fsim::{
-    fault_simulate, fault_simulate_sessions, good_outputs, FaultSimResult, Pattern,
+    fault_simulate, fault_simulate_reduced, fault_simulate_sessions,
+    fault_simulate_sessions_reduced, good_outputs, FaultSimResult, Pattern,
 };
 pub use netlist::{GateKind, NetId, Netlist, NetlistError, Node};
 pub use sim::{Injections, LogicSim};

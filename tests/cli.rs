@@ -187,6 +187,41 @@ fn sample_json_is_identical_across_engines_and_jobs() {
 }
 
 #[test]
+fn sample_json_is_identical_across_fault_reduce_settings() {
+    // Dominance reduction is a lane-occupancy knob, not a numbers knob:
+    // apart from the fields that *report* the knob and the occupancy,
+    // the reports must match byte for byte.
+    let normalize = |text: String| -> String {
+        text.lines()
+            .filter(|l| {
+                !l.contains("\"wall_ms\":")
+                    && !l.contains("\"fault_reduce\":")
+                    && !l.contains("\"faults_simulated\":")
+                    && !l.contains("\"faults_total\"")
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let on = stdout_of(&[
+        "sample", "b01", "0.3", "--seed", "7", "--fault-reduce", "on", "--json",
+    ]);
+    assert!(on.contains("\"fault_reduce\": \"on\""));
+    assert!(on.contains("\"faults_simulated\": "));
+    let off = stdout_of(&[
+        "sample", "b01", "0.3", "--seed", "7", "--fault-reduce", "off", "--json",
+    ]);
+    assert!(off.contains("\"fault_reduce\": \"off\""));
+    assert_eq!(normalize(on), normalize(off));
+}
+
+#[test]
+fn sample_rejects_bad_fault_reduce_value() {
+    let out = musa(&["sample", "c17", "--fault-reduce", "sometimes"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("on|off"));
+}
+
+#[test]
 fn sample_rejects_conflicting_presets() {
     let out = musa(&["sample", "c17", "--paper", "--fast"]);
     assert_eq!(out.status.code(), Some(1));
