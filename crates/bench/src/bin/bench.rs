@@ -1,0 +1,37 @@
+//! `bench` — the benchmark-trajectory front end as a standalone binary
+//! (run with `--release`; the same driver `musa bench` routes through).
+//!
+//! Runs the fixed grid of timed workloads, prints the `musa.bench.v1`
+//! report, and optionally gates against a committed `BENCH_<n>.json`:
+//!
+//! ```text
+//! bench [--quick] [--json] [--filter <bench>] [--baseline <file>]
+//!       [--write] [--seed N]
+//! ```
+
+use musa_bench::cli::{run_trajectory, BenchCommand, BENCH_USAGE};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match BenchCommand::parse(&args) {
+        Ok(BenchCommand::Trajectory(trajectory)) => {
+            ExitCode::from(run_trajectory(&trajectory))
+        }
+        // The standalone binary has no legacy stats mode — a bare
+        // positional is a usage error here, unlike `musa bench <name>`.
+        Ok(BenchCommand::Legacy(name)) => {
+            eprintln!(
+                "error: unknown argument `{name}` (per-benchmark stats live in \
+                 `musa bench {name}`; this binary only runs the trajectory)"
+            );
+            eprintln!("{BENCH_USAGE}");
+            ExitCode::from(2)
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("{BENCH_USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

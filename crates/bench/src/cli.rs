@@ -11,7 +11,10 @@
 //! `tests/cli_diff.rs`.
 
 use musa_circuits::Benchmark;
-use musa_core::{Campaign, CampaignError, ExperimentConfig, Report, Task, DEFAULT_SEED};
+use musa_core::{
+    compare, next_bench_path, BenchReport, Campaign, CampaignError, ComparePolicy,
+    ExperimentConfig, Report, ReportData, Task, DEFAULT_BENCHES, DEFAULT_SEED,
+};
 use musa_mutation::{Engine, MutationOperator};
 
 /// Soft parse failures; each front end maps them to its legacy
@@ -325,6 +328,202 @@ impl SampleArgs {
         }
         campaign
     }
+}
+
+// ---------------------------------------------------------------------
+// `musa bench` — benchmark trajectory
+// ---------------------------------------------------------------------
+
+/// `musa bench` trajectory arguments.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TrajectoryArgs {
+    /// `--quick`: 1 warmup + 3 samples per cell; the baseline gate
+    /// drops absolute wall time.
+    pub quick: bool,
+    /// `--json`: print the `musa.bench.v1` report instead of text.
+    pub json: bool,
+    /// `--filter <bench>`: measure one benchmark only.
+    pub filter: Option<String>,
+    /// `--baseline <file>`: compare against a committed report.
+    pub baseline: Option<String>,
+    /// `--write`: save the report as the next free `BENCH_<n>.json`.
+    pub write: bool,
+    /// `--seed N`.
+    pub seed: Option<u64>,
+}
+
+/// The `musa bench` usage text (`musa help` points here too).
+pub const BENCH_USAGE: &str = "\
+usage: musa bench <name>                 stats for one bundled benchmark
+       musa bench [--quick] [--json] [--filter <bench>]
+                  [--baseline <file>] [--write] [--seed N]
+                                         benchmark trajectory
+trajectory flags:
+  --quick            1 warmup + 3 timed samples per cell instead of
+                     3 + 9; same grid and invariants, but the baseline
+                     gate skips absolute wall time (invariants +
+                     scalar/lanes engine ratio only) so a noisy 1-CPU
+                     CI runner stays deterministic
+  --json             print the report as `musa.bench.v1` JSON
+  --filter <bench>   measure one benchmark; baseline cells are
+                     filtered to the same benchmark before comparing
+  --baseline <file>  compare against a committed BENCH_<n>.json and
+                     exit 1 on any gated regression
+  --write            write the report to the next free BENCH_<n>.json
+  --seed N           master seed (default 0xDA7E2005)";
+
+/// How a `musa bench` invocation routes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BenchCommand {
+    /// The legacy contract: `musa bench <name>` prints netlist stats
+    /// and the mutant-population size (exit 1 on an unknown name).
+    Legacy(String),
+    /// Trajectory mode: run the timed grid.
+    Trajectory(TrajectoryArgs),
+}
+
+impl BenchCommand {
+    /// Parses everything after `musa bench`. Exactly one non-flag
+    /// argument and nothing else selects the legacy stats contract;
+    /// every other argument shape is trajectory mode.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the offending argument; front ends print it
+    /// with [`BENCH_USAGE`] and exit 2.
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        if args.len() == 1 && !args[0].starts_with('-') {
+            return Ok(BenchCommand::Legacy(args[0].clone()));
+        }
+        let mut trajectory = TrajectoryArgs::default();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--quick" => trajectory.quick = true,
+                "--json" => trajectory.json = true,
+                "--write" => trajectory.write = true,
+                "--filter" => {
+                    trajectory.filter = Some(
+                        args.get(i + 1)
+                            .filter(|v| !v.starts_with('-'))
+                            .ok_or("--filter expects a benchmark name")?
+                            .clone(),
+                    );
+                    i += 1;
+                }
+                "--baseline" => {
+                    trajectory.baseline = Some(
+                        args.get(i + 1)
+                            .filter(|v| !v.starts_with('-'))
+                            .ok_or("--baseline expects a file path")?
+                            .clone(),
+                    );
+                    i += 1;
+                }
+                "--seed" => {
+                    trajectory.seed = Some(
+                        args.get(i + 1)
+                            .and_then(|s| s.parse().ok())
+                            .ok_or("--seed expects an integer value")?,
+                    );
+                    i += 1;
+                }
+                other => return Err(format!("unknown argument `{other}`")),
+            }
+            i += 1;
+        }
+        Ok(BenchCommand::Trajectory(trajectory))
+    }
+}
+
+/// Runs the benchmark trajectory and returns the process exit code:
+/// `0` on success, `1` on a campaign failure or any gated regression,
+/// `2` on a usage-level error (unknown `--filter` benchmark,
+/// unreadable or malformed `--baseline` file).
+pub fn run_trajectory(args: &TrajectoryArgs) -> u8 {
+    let benches: Vec<Benchmark> = match &args.filter {
+        Some(name) => match Benchmark::from_name(name) {
+            Some(bench) => vec![bench],
+            None => {
+                eprintln!(
+                    "error: unknown benchmark `{name}` for --filter (see `musa list`)"
+                );
+                return 2;
+            }
+        },
+        None => DEFAULT_BENCHES.to_vec(),
+    };
+    // Read the baseline before spending minutes measuring: a malformed
+    // file must fail fast.
+    let baseline = match &args.baseline {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(text) => text,
+                Err(e) => {
+                    eprintln!("error: --baseline {path}: {e}");
+                    return 2;
+                }
+            };
+            match BenchReport::from_json(&text) {
+                Ok(mut report) => {
+                    if let Some(name) = &args.filter {
+                        report.cells.retain(|c| c.bench == *name);
+                    }
+                    Some(report)
+                }
+                Err(e) => {
+                    eprintln!("error: --baseline {path}: {e}");
+                    return 2;
+                }
+            }
+        }
+        None => None,
+    };
+    let campaign = Campaign::new(Benchmark::C17)
+        .benches(&benches)
+        .seed(args.seed.unwrap_or(DEFAULT_SEED))
+        .task(Task::Bench { quick: args.quick });
+    let report = match campaign.run() {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    print_report(&report, args.json);
+    let ReportData::Bench(current) = &report.data else {
+        unreachable!("Task::Bench always yields ReportData::Bench");
+    };
+    if args.write {
+        let path = next_bench_path(std::path::Path::new("."));
+        if let Err(e) = std::fs::write(&path, format!("{}\n", current.to_json())) {
+            eprintln!("error: {}: {e}", path.display());
+            return 1;
+        }
+        eprintln!("wrote {}", path.display());
+    }
+    if let Some(baseline) = &baseline {
+        let policy =
+            if args.quick { ComparePolicy::quick() } else { ComparePolicy::full() };
+        let findings = compare(baseline, current, &policy);
+        if !findings.is_empty() {
+            for finding in &findings {
+                eprintln!("regression: {finding}");
+            }
+            eprintln!("{} regression(s) against the baseline", findings.len());
+            return 1;
+        }
+        eprintln!(
+            "baseline check: {} cells pass ({})",
+            baseline.cells.len(),
+            if policy.gate_wall {
+                "invariants + engine ratio + wall"
+            } else {
+                "invariants + engine ratio"
+            },
+        );
+    }
+    0
 }
 
 /// The six experiment binaries, with their per-binary defaults
@@ -647,6 +846,92 @@ mod tests {
         assert!(SampleArgs::parse(&strings(&["c17", "--wat"]))
             .unwrap_err()
             .contains("unknown flag `--wat`"));
+    }
+
+    #[test]
+    fn bench_command_routes_legacy_vs_trajectory() {
+        // One bare positional — the legacy stats contract, resolvable
+        // or not (the unknown-name error stays an exit-1 runtime path).
+        assert_eq!(
+            BenchCommand::parse(&strings(&["c432"])).unwrap(),
+            BenchCommand::Legacy("c432".into())
+        );
+        assert_eq!(
+            BenchCommand::parse(&strings(&["zz99"])).unwrap(),
+            BenchCommand::Legacy("zz99".into())
+        );
+        // No arguments, or any flag — trajectory mode.
+        assert_eq!(
+            BenchCommand::parse(&[]).unwrap(),
+            BenchCommand::Trajectory(TrajectoryArgs::default())
+        );
+        let parsed = BenchCommand::parse(&strings(&[
+            "--quick", "--json", "--filter", "c17", "--baseline", "BENCH_1.json",
+            "--write", "--seed", "9",
+        ]))
+        .unwrap();
+        assert_eq!(
+            parsed,
+            BenchCommand::Trajectory(TrajectoryArgs {
+                quick: true,
+                json: true,
+                filter: Some("c17".into()),
+                baseline: Some("BENCH_1.json".into()),
+                write: true,
+                seed: Some(9),
+            })
+        );
+    }
+
+    #[test]
+    fn bench_command_reports_usage_errors() {
+        for (args, fragment) in [
+            (&["--filter"][..], "--filter expects"),
+            (&["--filter", "--quick"][..], "--filter expects"),
+            (&["--baseline"][..], "--baseline expects"),
+            (&["--seed", "zz"][..], "--seed expects"),
+            (&["--quick", "extra"][..], "unknown argument `extra`"),
+            (&["--frobnicate"][..], "unknown argument `--frobnicate`"),
+        ] {
+            let err = BenchCommand::parse(&strings(args)).unwrap_err();
+            assert!(err.contains(fragment), "{args:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn bench_usage_documents_every_trajectory_flag() {
+        for flag in ["--quick", "--json", "--filter", "--baseline", "--write", "--seed"] {
+            assert!(BENCH_USAGE.contains(flag), "usage lacks {flag}");
+        }
+    }
+
+    #[test]
+    fn trajectory_rejects_unknown_filter_before_measuring() {
+        let args = TrajectoryArgs {
+            filter: Some("zz99".into()),
+            ..TrajectoryArgs::default()
+        };
+        assert_eq!(run_trajectory(&args), 2);
+    }
+
+    #[test]
+    fn trajectory_rejects_missing_and_malformed_baselines() {
+        let missing = TrajectoryArgs {
+            baseline: Some("/nonexistent/BENCH_0.json".into()),
+            ..TrajectoryArgs::default()
+        };
+        assert_eq!(run_trajectory(&missing), 2);
+        let dir = std::env::temp_dir()
+            .join(format!("musa-cli-baseline-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("broken.json");
+        std::fs::write(&path, "{ not json").unwrap();
+        let malformed = TrajectoryArgs {
+            baseline: Some(path.to_str().unwrap().to_string()),
+            ..TrajectoryArgs::default()
+        };
+        assert_eq!(run_trajectory(&malformed), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -25,7 +25,10 @@
 
 pub mod cli;
 
-pub use cli::{drive, Bin, CliOptions, SampleArgs};
+pub use cli::{
+    drive, run_trajectory, BenchCommand, Bin, CliOptions, SampleArgs, TrajectoryArgs,
+    BENCH_USAGE,
+};
 pub use musa_core::paper;
 
 #[cfg(test)]

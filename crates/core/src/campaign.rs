@@ -28,6 +28,7 @@
 //! # Ok::<(), musa_core::CampaignError>(())
 //! ```
 
+use crate::bench_task::{run_bench, BenchOptions, BenchReport};
 use crate::config::ExperimentConfig;
 use crate::experiment::{run_sampling_experiment, SamplingOutcome};
 use crate::extensions::{
@@ -123,6 +124,14 @@ pub enum Task {
         /// The presumption budgets to ablate over.
         budgets: Vec<usize>,
     },
+    /// Benchmark trajectory — the fixed grid of timed workloads behind
+    /// `musa bench` and the committed `BENCH_<n>.json` baselines (see
+    /// [`crate::bench_task`]).
+    Bench {
+        /// Quick mode: fewer warmup passes and samples, same grid and
+        /// invariants.
+        quick: bool,
+    },
 }
 
 impl Task {
@@ -138,6 +147,7 @@ impl Task {
             Task::CoverageCurves { .. } => "coverage-curves",
             Task::AtpgTopup { .. } => "atpg-topup",
             Task::EquivalenceAblation { .. } => "equivalence-ablation",
+            Task::Bench { .. } => "bench",
         }
     }
 }
@@ -548,6 +558,13 @@ impl Resolved {
                 }
                 Ok(ReportData::EquivalenceAblation(rows))
             }
+            Task::Bench { quick } => {
+                let report = run_bench(
+                    &self.benches,
+                    &BenchOptions { quick: *quick, seed: config.seed },
+                )?;
+                Ok(ReportData::Bench(report))
+            }
         }
     }
 }
@@ -649,6 +666,8 @@ pub enum ReportData {
     AtpgTopup(Vec<BenchTopUp>),
     /// [`Task::EquivalenceAblation`] rows.
     EquivalenceAblation(Vec<BenchAblation>),
+    /// [`Task::Bench`] trajectory report.
+    Bench(BenchReport),
 }
 
 /// The typed outcome of one campaign run.
@@ -666,7 +685,15 @@ impl Report {
     /// Renders the report as pretty-printed JSON with a stable schema
     /// (`musa.campaign.v1`); pinned by the golden-file test in
     /// `tests/cli.rs`.
+    ///
+    /// The bench task is the one exception: it emits its own
+    /// `musa.bench.v1` document instead of the campaign envelope, so
+    /// the output is exactly what `BENCH_<n>.json` commits and
+    /// [`BenchReport::from_json`] parses back.
     pub fn to_json(&self) -> String {
+        if let ReportData::Bench(report) = &self.data {
+            return report.to_json();
+        }
         Json::Obj(vec![
             ("schema", Json::str("musa.campaign.v1")),
             ("meta", self.meta_json()),
@@ -720,6 +747,7 @@ impl Report {
                 "budgets",
                 Json::Arr(budgets.iter().map(|&b| Json::count(b)).collect()),
             )]),
+            Task::Bench { quick } => Json::Obj(vec![("quick", Json::Bool(*quick))]),
         }
     }
 
@@ -920,6 +948,7 @@ impl Report {
                     })
                     .collect(),
             ),
+            ReportData::Bench(report) => report.json(),
         }
     }
 
@@ -958,6 +987,9 @@ impl Report {
             }
             (Task::MutationGuided, ReportData::MutationGuided(rows)) => {
                 render_mg(&mut out, rows, meta);
+            }
+            (Task::Bench { .. }, ReportData::Bench(report)) => {
+                render_bench(&mut out, report);
             }
             // `Campaign::run` always pairs task and data, but the
             // fields are public — render a hand-built mismatch
@@ -1253,6 +1285,37 @@ fn render_profiles(out: &mut String, profiles: &[OperatorProfile], meta: &RunMet
     }
 }
 
+fn render_bench(out: &mut String, report: &BenchReport) {
+    let m = &report.meta;
+    let _ = writeln!(
+        out,
+        "Benchmark trajectory ({} mode, seed {:#x}, {} cpus, {} build, {} warmup + {} samples per cell)\n",
+        if m.quick { "quick" } else { "full" },
+        m.seed,
+        m.cpus,
+        if m.debug { "debug" } else { "release" },
+        m.warmup,
+        m.samples,
+    );
+    let mut table = Table::new(vec![
+        ("Cell", Align::Left),
+        ("Median ms", Align::Right),
+        ("MAD ms", Align::Right),
+        ("Min ms", Align::Right),
+        ("Invariants", Align::Left),
+    ]);
+    for cell in &report.cells {
+        table.row(vec![
+            cell.id(),
+            f2(cell.wall.median / 1e6),
+            f2(cell.wall.mad / 1e6),
+            f2(cell.wall.min / 1e6),
+            cell.invariants.summary(),
+        ]);
+    }
+    let _ = writeln!(out, "{}", table.render());
+}
+
 fn render_mg(out: &mut String, rows: &[MgOutcome], meta: &RunMeta) {
     let _ = writeln!(out, "Mutation-guided generation (seed {:#x})\n", meta.seed);
     let mut table = Table::new(vec![
@@ -1493,6 +1556,27 @@ mod tests {
         assert_eq!(rows[0].bench, "c17");
         assert!(rows[0].killed > 0);
         assert!(rows[0].total_len > 0);
+    }
+
+    #[test]
+    fn bench_task_emits_the_bench_document_not_the_campaign_envelope() {
+        let report = Campaign::new(Benchmark::C17)
+            .fast()
+            .seed(7)
+            .task(Task::Bench { quick: true })
+            .run()
+            .unwrap();
+        assert_eq!(report.task.slug(), "bench");
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"musa.bench.v1\""), "{json}");
+        assert!(!json.contains("musa.campaign.v1"), "{json}");
+        let parsed = BenchReport::from_json(&json).unwrap();
+        assert_eq!(parsed.meta.seed, 7);
+        assert!(parsed.meta.quick);
+        let text = report.render_text();
+        assert!(text.starts_with("Benchmark trajectory (quick mode, seed 0x7"), "{text}");
+        assert!(text.contains("mutant_exec/c17/lanes/jobs=auto"), "{text}");
+        assert!(text.contains("fault_sim/c17/reduce=on"), "{text}");
     }
 
     #[test]

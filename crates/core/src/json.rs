@@ -1,4 +1,5 @@
-//! A minimal, dependency-free JSON emitter for campaign reports.
+//! A minimal, dependency-free JSON emitter **and parser** for campaign
+//! and benchmark reports.
 //!
 //! The build environment is offline (no `serde`), so [`Json`] is a tiny
 //! hand-rolled value tree with a **stable** pretty printer: object keys
@@ -6,6 +7,14 @@
 //! shortest-round-trip `Display` (deterministic, bit-faithful), and
 //! non-finite floats render as `null`. The golden-file test in
 //! `tests/cli.rs` pins the emitted schema.
+//!
+//! The read side ([`parse`] → [`JsonValue`]) exists so `musa bench
+//! --baseline BENCH_<n>.json` can load a committed benchmark report.
+//! It is a strict RFC 8259 recursive-descent parser over the subset the
+//! emitter produces (plus `\uXXXX` escapes and scientific notation);
+//! numbers that look integral parse as [`JsonValue::Int`] /
+//! [`JsonValue::UInt`] so `u64` seeds round-trip exactly, everything
+//! else as [`JsonValue::Float`].
 
 use std::fmt::Write;
 
@@ -141,6 +150,381 @@ fn indent(out: &mut String, depth: usize) {
     }
 }
 
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value. Unlike the emit-side [`Json`] (whose object
+/// keys are `&'static str` because every emitted schema is known at
+/// compile time), keys here are owned strings read from the document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A negative integer.
+    Int(i64),
+    /// A non-negative integer (counts, seeds).
+    UInt(u64),
+    /// Any other number (fractional part, exponent, or out of integer
+    /// range).
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object; key order as written.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Object field lookup (first match; `None` on non-objects).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => {
+                fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            JsonValue::UInt(u) => Some(u),
+            JsonValue::Int(i) => u64::try_from(i).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a `usize`, if it is a non-negative integer.
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_u64().and_then(|u| usize::try_from(u).ok())
+    }
+
+    /// The value as an `f64` (any numeric variant).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            JsonValue::Int(i) => Some(i as f64),
+            JsonValue::UInt(u) => Some(u as f64),
+            JsonValue::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Why a document failed to parse: a message and the byte offset it
+/// was detected at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset into the input.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+/// Parses a complete JSON document (one value plus optional
+/// whitespace).
+///
+/// # Errors
+///
+/// Returns a [`JsonParseError`] describing the first offending byte —
+/// including trailing garbage after the value.
+pub fn parse(text: &str) -> Result<JsonValue, JsonParseError> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.error("trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: &str) -> JsonParseError {
+        JsonParseError { message: message.to_string(), offset: self.pos }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonParseError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, JsonParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected `{word}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, JsonParseError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'"') => self.string().map(JsonValue::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, JsonParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(self.error("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, JsonParseError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(fields));
+                }
+                _ => return Err(self.error("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(byte) = self.peek() else {
+                return Err(self.error("unterminated string"));
+            };
+            match byte {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let Some(escape) = self.peek() else {
+                        return Err(self.error("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => out.push(self.unicode_escape()?),
+                        _ => return Err(self.error("unknown escape")),
+                    }
+                }
+                0x00..=0x1f => return Err(self.error("raw control character in string")),
+                _ => {
+                    // Consume one UTF-8 scalar (the input is a &str, so
+                    // continuation bytes are always well formed).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self
+                        .peek()
+                        .is_some_and(|b| b & 0b1100_0000 == 0b1000_0000)
+                    {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .expect("input slice is valid UTF-8"),
+                    );
+                }
+            }
+        }
+    }
+
+    fn unicode_escape(&mut self) -> Result<char, JsonParseError> {
+        let unit = self.hex4()?;
+        // Surrogate pairs: \uD800-\uDBFF must be followed by \uDC00-\uDFFF.
+        let code = if (0xD800..=0xDBFF).contains(&unit) {
+            if self.peek() == Some(b'\\') {
+                self.pos += 1;
+                self.expect(b'u')?;
+                let low = self.hex4()?;
+                if !(0xDC00..=0xDFFF).contains(&low) {
+                    return Err(self.error("invalid low surrogate"));
+                }
+                0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00)
+            } else {
+                return Err(self.error("lone high surrogate"));
+            }
+        } else if (0xDC00..=0xDFFF).contains(&unit) {
+            return Err(self.error("lone low surrogate"));
+        } else {
+            unit
+        };
+        char::from_u32(code).ok_or_else(|| self.error("invalid unicode escape"))
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonParseError> {
+        let mut value = 0u32;
+        for _ in 0..4 {
+            let digit = self
+                .peek()
+                .and_then(|b| (b as char).to_digit(16))
+                .ok_or_else(|| self.error("expected 4 hex digits"))?;
+            value = value * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(value)
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits_start = self.pos;
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == digits_start {
+            return Err(self.error("expected digits"));
+        }
+        // RFC 8259: no leading zeros.
+        if self.pos - digits_start > 1 && self.bytes[digits_start] == b'0' {
+            return Err(JsonParseError {
+                message: "leading zero in number".to_string(),
+                offset: digits_start,
+            });
+        }
+        let mut integral = true;
+        if self.peek() == Some(b'.') {
+            integral = false;
+            self.pos += 1;
+            let frac_start = self.pos;
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            if self.pos == frac_start {
+                return Err(self.error("expected digits after `.`"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let exp_start = self.pos;
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            if self.pos == exp_start {
+                return Err(self.error("expected digits in exponent"));
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number bytes are ASCII");
+        if integral {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(JsonValue::UInt(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(JsonValue::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(JsonValue::Float)
+            .map_err(|_| self.error("number out of range"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,5 +570,98 @@ mod tests {
     fn opt_count_maps_none_to_null() {
         assert_eq!(Json::opt_count(None).render(), "null");
         assert_eq!(Json::opt_count(Some(7)).render(), "7");
+    }
+
+    // -- parser ---------------------------------------------------------
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null").unwrap(), JsonValue::Null);
+        assert_eq!(parse(" true ").unwrap(), JsonValue::Bool(true));
+        assert_eq!(parse("false").unwrap(), JsonValue::Bool(false));
+        assert_eq!(parse("42").unwrap(), JsonValue::UInt(42));
+        assert_eq!(parse("-42").unwrap(), JsonValue::Int(-42));
+        assert_eq!(
+            parse("18446744073709551615").unwrap(),
+            JsonValue::UInt(u64::MAX)
+        );
+        assert_eq!(parse("1.5").unwrap(), JsonValue::Float(1.5));
+        assert_eq!(parse("1e3").unwrap(), JsonValue::Float(1000.0));
+        assert_eq!(parse("-2.5e-1").unwrap(), JsonValue::Float(-0.25));
+        assert_eq!(parse("\"hi\"").unwrap(), JsonValue::Str("hi".into()));
+    }
+
+    #[test]
+    fn parses_escapes_and_unicode() {
+        assert_eq!(
+            parse(r#""a\"b\\c\nd\u00e9\uD83D\uDE00""#).unwrap(),
+            JsonValue::Str("a\"b\\c\ndé😀".into())
+        );
+        assert_eq!(parse("\"héllo\"").unwrap(), JsonValue::Str("héllo".into()));
+    }
+
+    #[test]
+    fn parses_containers_preserving_key_order() {
+        let v = parse(r#"{"b": 1, "a": [2, null, {"x": false}]}"#).unwrap();
+        let JsonValue::Obj(fields) = &v else { panic!("{v:?}") };
+        assert_eq!(fields[0].0, "b");
+        assert_eq!(fields[1].0, "a");
+        assert_eq!(v.get("b").and_then(JsonValue::as_u64), Some(1));
+        let arr = v.get("a").and_then(JsonValue::as_arr).unwrap();
+        assert_eq!(arr.len(), 3);
+        assert_eq!(arr[2].get("x").and_then(JsonValue::as_bool), Some(false));
+    }
+
+    #[test]
+    fn parse_round_trips_the_emitter() {
+        let emitted = Json::Obj(vec![
+            ("seed", Json::UInt(0xDA7E_2005)),
+            ("pi", Json::Float(3.25)),
+            ("none", Json::Null),
+            ("names", Json::Arr(vec![Json::str("a b"), Json::str("c\"d")])),
+            ("empty_obj", Json::Obj(vec![])),
+            ("empty_arr", Json::Arr(vec![])),
+        ])
+        .render();
+        let parsed = parse(&emitted).unwrap();
+        assert_eq!(parsed.get("seed").and_then(JsonValue::as_u64), Some(0xDA7E_2005));
+        assert_eq!(parsed.get("pi").and_then(JsonValue::as_f64), Some(3.25));
+        assert_eq!(parsed.get("none"), Some(&JsonValue::Null));
+        assert_eq!(
+            parsed.get("names").and_then(JsonValue::as_arr).unwrap()[1].as_str(),
+            Some("c\"d")
+        );
+    }
+
+    #[test]
+    fn parse_errors_carry_offsets() {
+        for (text, fragment) in [
+            ("", "expected a JSON value"),
+            ("{", "expected `\"`"),
+            ("[1,]", "expected a JSON value"),
+            ("{\"a\" 1}", "expected `:`"),
+            ("\"abc", "unterminated string"),
+            ("01", "leading zero"),
+            ("1.", "expected digits after `.`"),
+            ("tru", "expected `true`"),
+            ("1 2", "trailing characters"),
+            ("\"\\uD800\"", "lone high surrogate"),
+        ] {
+            let err = parse(text).unwrap_err();
+            assert!(
+                err.message.contains(fragment),
+                "{text:?}: got {err} (wanted {fragment:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn accessors_reject_wrong_types() {
+        let v = parse(r#"{"n": -1, "s": "x"}"#).unwrap();
+        assert_eq!(v.get("n").unwrap().as_u64(), None);
+        assert_eq!(v.get("n").unwrap().as_f64(), Some(-1.0));
+        assert_eq!(v.get("s").unwrap().as_f64(), None);
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(JsonValue::Null.get("x"), None);
     }
 }

@@ -16,7 +16,11 @@
 //!    [`equivalence_ablation`] (E4);
 //! 6. the [`Campaign`] builder — the typed front door every CLI caller
 //!    routes through: validate once, run any [`Task`], get a [`Report`]
-//!    with run metadata, a stable text rendering and JSON.
+//!    with run metadata, a stable text rendering and JSON;
+//! 7. the benchmark trajectory ([`run_bench`], `musa bench`) — a fixed
+//!    grid of timed workloads summarized with robust statistics,
+//!    emitted as `musa.bench.v1` JSON and regression-gated against
+//!    committed `BENCH_<n>.json` baselines.
 //!
 //! Repetition loops and mutant executions are sharded across worker
 //! threads by the [`parallel`] module, and every differential-
@@ -45,6 +49,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bench_task;
 pub mod campaign;
 mod config;
 mod data;
@@ -56,6 +61,10 @@ pub mod parallel;
 mod profile;
 mod tables;
 
+pub use bench_task::{
+    compare, next_bench_path, run_bench, BenchCell, BenchMeta, BenchOptions, BenchReport,
+    BenchWorkload, CellInvariants, ComparePolicy, Regression, BENCH_SCHEMA, DEFAULT_BENCHES,
+};
 pub use campaign::{
     BenchAblation, BenchOutcome, BenchSweep, BenchTopUp, Campaign, CampaignError, MgOutcome,
     Preset, Report, ReportData, RunMeta, Task, DEFAULT_SEED,

@@ -8,7 +8,9 @@
 //!   Efficiency: `ΔFC%` (coverage gain at equal length), `ΔL%` (length
 //!   gain at equal coverage) and their product `NLFCE`;
 //! * [`Table`] — fixed-width ASCII tables for the bench binaries that
-//!   regenerate the paper's tables.
+//!   regenerate the paper's tables;
+//! * [`RobustStats`] — median / MAD / min summaries of wall-clock
+//!   samples for the benchmark trajectory (`musa bench`).
 //!
 //! # Example
 //!
@@ -28,8 +30,10 @@
 
 mod curve;
 mod nlfce;
+mod stats;
 mod table;
 
 pub use curve::CoverageCurve;
 pub use nlfce::{Nlfce, NlfceInputs};
+pub use stats::{mad, median, RobustStats};
 pub use table::{f2, pct, signed0, Align, Table};

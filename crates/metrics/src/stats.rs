@@ -1,0 +1,111 @@
+//! Robust summary statistics for timing samples.
+//!
+//! Wall-clock samples from a benchmark run are small (a handful of
+//! repetitions) and contaminated by scheduler noise, so the benchmark
+//! trajectory quotes **median** and **MAD** (median absolute deviation
+//! from the median) rather than mean and standard deviation: one slow
+//! outlier moves the mean arbitrarily but leaves the median untouched,
+//! and the MAD gives the regression detector a scale-free noise band to
+//! guard its wall-clock gate with.
+
+/// The median of `samples`; even-length inputs average the two middle
+/// order statistics. The input order is irrelevant (the slice is
+/// sorted into a scratch copy).
+///
+/// # Panics
+///
+/// Panics on an empty slice — a benchmark cell always has at least one
+/// sample.
+pub fn median(samples: &[f64]) -> f64 {
+    assert!(!samples.is_empty(), "median of an empty sample set");
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("timing samples are finite"));
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    }
+}
+
+/// The median absolute deviation from the median — the robust analogue
+/// of the standard deviation (unscaled: no consistency factor).
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn mad(samples: &[f64]) -> f64 {
+    let m = median(samples);
+    let deviations: Vec<f64> = samples.iter().map(|x| (x - m).abs()).collect();
+    median(&deviations)
+}
+
+/// Robust summary of one benchmark cell's timing samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RobustStats {
+    /// Median sample.
+    pub median: f64,
+    /// Median absolute deviation from the median.
+    pub mad: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Number of samples summarized.
+    pub samples: usize,
+}
+
+impl RobustStats {
+    /// Summarizes `samples` (order-independent).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice.
+    pub fn of(samples: &[f64]) -> Self {
+        Self {
+            median: median(samples),
+            mad: mad(samples),
+            min: samples
+                .iter()
+                .copied()
+                .fold(f64::INFINITY, f64::min),
+            samples: samples.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0]), 3.0);
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.5);
+    }
+
+    #[test]
+    fn median_ignores_order() {
+        assert_eq!(median(&[9.0, 1.0, 5.0]), median(&[5.0, 9.0, 1.0]));
+    }
+
+    #[test]
+    fn mad_is_zero_for_constant_samples() {
+        assert_eq!(mad(&[7.0, 7.0, 7.0]), 0.0);
+    }
+
+    #[test]
+    fn mad_resists_one_outlier() {
+        // One wild sample leaves both median and MAD small.
+        let stats = RobustStats::of(&[10.0, 11.0, 10.0, 9.0, 500.0]);
+        assert_eq!(stats.median, 10.0);
+        assert_eq!(stats.mad, 1.0);
+        assert_eq!(stats.min, 9.0);
+        assert_eq!(stats.samples, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample set")]
+    fn median_of_empty_panics() {
+        median(&[]);
+    }
+}

@@ -8,10 +8,15 @@
 //! musa scoap  <file.bench> [TOP]        SCOAP testability, hardest nets
 //! musa atpg   <file.bench> [LIMIT]      PODEM over the collapsed faults
 //! musa bench  <name>                    stats for a bundled benchmark
+//! musa bench  [--quick] [--json]        benchmark trajectory: timed
+//!             [--filter <bench>]        workload grid, musa.bench.v1
+//!             [--baseline <file>]       report, regression gate against
+//!             [--write] [--seed N]      a committed BENCH_<n>.json
 //! musa sample <name> [FRACTION]         run a sampling experiment
 //!             [--jobs N] [--seed N] [--paper] [--fast] [--json]
 //!             [--engine scalar|lanes]
 //! musa list                             list bundled benchmarks
+//! musa help                             print the full usage text
 //! ```
 //!
 //! `sample` parses through the shared `musa_bench::cli` layer and runs
@@ -23,7 +28,7 @@
 //! `--json` emits the typed campaign report (`musa.campaign.v1`)
 //! instead of text.
 
-use musa::bench::cli::{print_report, SampleArgs};
+use musa::bench::cli::{print_report, run_trajectory, BenchCommand, SampleArgs, BENCH_USAGE};
 use musa::circuits::{Benchmark, Circuit};
 use musa::hdl::{parse, CheckedDesign};
 use musa::metrics::CoverageCurve;
@@ -35,6 +40,27 @@ use musa::synth::synthesize;
 use musa::testgen::{atpg_all, lfsr_patterns};
 use std::process::ExitCode;
 
+const USAGE: &str = "\
+usage: musa <command> ...
+
+  info     <file.mhdl> <entity>      parse/check/synthesize, print stats
+  synth    <file.mhdl> <entity>      emit the synthesized .bench netlist
+  mutants  <file.mhdl> <entity>      enumerate the mutant population
+  faultsim <file.bench> [N] [SEED]   grade N LFSR patterns (default 64)
+  scoap    <file.bench> [TOP]        SCOAP testability, hardest nets
+  atpg     <file.bench> [LIMIT]      PODEM over the collapsed faults
+  bench    <name>                    stats for one bundled benchmark
+  bench    [--quick] [--json] [--filter <bench>] [--baseline <file>]
+           [--write] [--seed N]      benchmark trajectory: timed workload
+                                     grid, musa.bench.v1 report, regression
+                                     gate against a committed BENCH_<n>.json
+  sample   <name> [FRACTION]         run a sampling experiment
+           [--jobs N] [--seed N] [--paper] [--fast] [--json]
+           [--engine scalar|lanes] [--fault-reduce on|off]
+  list                               list bundled benchmarks
+  help                               print this text
+";
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
@@ -44,12 +70,18 @@ fn main() -> ExitCode {
         Some("faultsim") => cmd_faultsim(&args[1..]),
         Some("atpg") => cmd_atpg(&args[1..]),
         Some("scoap") => cmd_scoap(&args[1..]),
-        Some("bench") => cmd_bench(&args[1..]),
+        Some("bench") => return cmd_bench(&args[1..]),
         Some("sample") => cmd_sample(&args[1..]),
         Some("list") => cmd_list(),
+        Some("help") | Some("--help") | Some("-h") => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
         _ => {
-            eprintln!("usage: musa <info|synth|mutants|faultsim|atpg|scoap|bench|sample|list> ...");
-            eprintln!("see the crate docs for per-command arguments");
+            eprintln!(
+                "usage: musa <info|synth|mutants|faultsim|atpg|scoap|bench|sample|list|help> ..."
+            );
+            eprintln!("run `musa help` for per-command arguments");
             return ExitCode::from(2);
         }
     };
@@ -200,10 +232,27 @@ fn cmd_scoap(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_bench(args: &[String]) -> Result<(), String> {
-    let Some(name) = args.first() else {
-        return Err("expected a benchmark name (see `musa list`)".into());
-    };
+fn cmd_bench(args: &[String]) -> ExitCode {
+    match BenchCommand::parse(args) {
+        Ok(BenchCommand::Legacy(name)) => match bench_stats(&name) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("error: {message}");
+                ExitCode::FAILURE
+            }
+        },
+        Ok(BenchCommand::Trajectory(trajectory)) => {
+            ExitCode::from(run_trajectory(&trajectory))
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("{BENCH_USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn bench_stats(name: &str) -> Result<(), String> {
     let bench = Benchmark::from_name(name).ok_or_else(|| format!("unknown benchmark `{name}`"))?;
     let circuit: Circuit = bench.load().map_err(|e| e.to_string())?;
     println!("{}:", circuit.name);

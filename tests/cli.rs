@@ -260,6 +260,143 @@ fn bench_with_unknown_name_exits_1() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown benchmark"));
 }
 
+// ---------------------------------------------------------------------
+// `musa bench` trajectory mode and `musa help`
+// ---------------------------------------------------------------------
+
+#[test]
+fn help_subcommand_lists_every_command_including_bench_trajectory() {
+    let stdout = stdout_of(&["help"]);
+    for fragment in [
+        "usage: musa", "info", "synth", "mutants", "faultsim", "scoap", "atpg",
+        "bench", "sample", "list", "help",
+        // ...and the trajectory flags of the new subcommand.
+        "--quick", "--baseline", "--filter", "--write",
+    ] {
+        assert!(stdout.contains(fragment), "help lacks {fragment}: {stdout}");
+    }
+}
+
+#[test]
+fn bench_rejects_unknown_filter_benchmark_with_exit_2() {
+    let out = musa(&["bench", "--quick", "--filter", "zz99"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown benchmark `zz99`"), "stderr: {stderr}");
+    assert!(stderr.contains("--filter"), "stderr: {stderr}");
+}
+
+#[test]
+fn bench_rejects_missing_and_malformed_baseline_with_exit_2() {
+    let out = musa(&["bench", "--quick", "--baseline", "/nonexistent/BENCH_0.json"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--baseline /nonexistent/BENCH_0.json:"),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let dir = std::env::temp_dir().join(format!("musa-cli-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.json");
+    std::fs::write(&bad, "{\"schema\": \"musa.campaign.v1\"}").unwrap();
+    let out = musa(&["bench", "--quick", "--baseline", bad.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("schema mismatch"),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn bench_rejects_unknown_trajectory_arguments_with_usage() {
+    let out = musa(&["bench", "--quick", "extra-positional"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown argument `extra-positional`"), "stderr: {stderr}");
+    assert!(stderr.contains("usage: musa bench"), "stderr: {stderr}");
+}
+
+/// Normalizes the `musa.bench.v1` timing and machine fields (the
+/// golden was normalized identically at capture time); everything
+/// else — structure, field order, invariants — must match exactly.
+fn normalize_bench_json(text: &str) -> String {
+    let keys = [
+        "\"median_ns\":", "\"mad_ns\":", "\"min_ns\":", "\"wall_ms\":",
+        "\"cpus\":", "\"git\":", "\"debug\":",
+    ];
+    text.lines()
+        .map(|line| match keys.iter().find(|k| line.contains(*k)) {
+            Some(key) => {
+                let indent: String =
+                    line.chars().take_while(|c| c.is_whitespace()).collect();
+                let comma = if line.trim_end().ends_with(',') { "," } else { "" };
+                format!("{indent}{key} 0{comma}")
+            }
+            None => line.to_string(),
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+        + "\n"
+}
+
+#[test]
+fn bench_json_matches_the_golden_schema() {
+    let actual = stdout_of(&["bench", "--quick", "--json", "--filter", "c17", "--seed", "7"]);
+    assert_eq!(
+        normalize_bench_json(&actual),
+        golden("bench_c17_quick.json"),
+        "musa.bench.v1 drifted from the golden"
+    );
+}
+
+#[test]
+fn bench_baseline_round_trip_gates_on_invariants() {
+    let dir = std::env::temp_dir().join(format!("musa-cli-roundtrip-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let baseline = dir.join("BENCH_1.json");
+
+    // Capture a quick c17 report and use it as its own baseline: an
+    // unchanged tree must exit 0.
+    let report = stdout_of(&["bench", "--quick", "--json", "--filter", "c17", "--seed", "7"]);
+    std::fs::write(&baseline, &report).unwrap();
+    let clean = musa(&[
+        "bench", "--quick", "--filter", "c17", "--seed", "7",
+        "--baseline", baseline.to_str().unwrap(),
+    ]);
+    assert_eq!(clean.status.code(), Some(0), "{:?}", clean);
+    assert!(
+        String::from_utf8_lossy(&clean.stderr).contains("baseline check"),
+        "stderr: {}",
+        String::from_utf8_lossy(&clean.stderr)
+    );
+
+    // A synthetically regressed baseline (tampered invariant) must
+    // exit 1 and name the drifted field.
+    let population = report
+        .lines()
+        .find(|l| l.contains("\"population\":"))
+        .expect("report has a population invariant")
+        .trim()
+        .trim_end_matches(',')
+        .to_string();
+    let tampered_value = population.replace(char::is_numeric, "") + "1";
+    let tampered = report.replace(&population, &tampered_value);
+    assert_ne!(report, tampered, "tampering must change the document");
+    std::fs::write(&baseline, &tampered).unwrap();
+    let regressed = musa(&[
+        "bench", "--quick", "--filter", "c17", "--seed", "7",
+        "--baseline", baseline.to_str().unwrap(),
+    ]);
+    assert_eq!(regressed.status.code(), Some(1), "{:?}", regressed);
+    let stderr = String::from_utf8_lossy(&regressed.stderr);
+    assert!(stderr.contains("regression:"), "stderr: {stderr}");
+    assert!(stderr.contains("invariant `population` changed"), "stderr: {stderr}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 #[test]
 fn missing_file_reports_error_not_panic() {
     let out = musa(&["faultsim", "/nonexistent/x.bench"]);

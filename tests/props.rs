@@ -2,6 +2,7 @@
 //! must hold across the whole public API for arbitrary inputs.
 
 use musa::hdl::{parse, Bits, CheckedDesign, Simulator};
+use musa::metrics::{mad, median, RobustStats};
 use musa::netlist::good_outputs;
 use musa::prng::{Lfsr, Prng, SplitMix64, XorShift64Star};
 use musa::synth::{flatten_inputs, synthesize, unflatten_outputs};
@@ -61,6 +62,49 @@ proptest! {
     #[test]
     fn parser_never_panics(input in ".{0,200}") {
         let _ = parse(&input);
+    }
+
+    /// The robust-stats helpers are order-free: every permutation of
+    /// the samples yields the identical median, MAD and summary.
+    #[test]
+    fn robust_stats_are_permutation_invariant(
+        raw in proptest::collection::vec(0u64..1_000_000u64, 1..50),
+        seed in any::<u64>(),
+    ) {
+        let samples: Vec<f64> = raw.iter().map(|&v| v as f64 / 128.0).collect();
+        let mut shuffled = samples.clone();
+        let mut rng = SplitMix64::new(seed);
+        for i in (1..shuffled.len()).rev() {
+            let j = rng.below(i as u64 + 1) as usize;
+            shuffled.swap(i, j);
+        }
+        prop_assert_eq!(median(&shuffled), median(&samples));
+        prop_assert_eq!(mad(&shuffled), mad(&samples));
+        prop_assert_eq!(RobustStats::of(&shuffled), RobustStats::of(&samples));
+    }
+
+    /// `median` matches the naive sort-based oracle for both parities:
+    /// the middle order statistic (odd length), the mean of the two
+    /// middle order statistics (even length) — and always lies within
+    /// the sample range.
+    #[test]
+    fn median_matches_the_sort_oracle(
+        raw in proptest::collection::vec(0u64..1_000_000u64, 1..60),
+    ) {
+        let samples: Vec<f64> = raw.iter().map(|&v| v as f64 / 64.0).collect();
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = sorted.len();
+        let oracle = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+        };
+        let m = median(&samples);
+        prop_assert_eq!(m, oracle);
+        prop_assert!(m >= sorted[0] && m <= sorted[n - 1]);
+        prop_assert!(mad(&samples) >= 0.0);
+        prop_assert_eq!(RobustStats::of(&samples).min, sorted[0]);
     }
 
     /// Synthesized combinational datapaths agree with the behavioral
