@@ -1,0 +1,23 @@
+//! Static analysis for MiniHDL designs.
+//!
+//! Three layers built on one dataflow core:
+//!
+//! * [`dataflow`] — constant folding, statement reachability and
+//!   assigned-vs-read signal accounting over the AST;
+//! * [`lint`] — a catalog of span-carrying diagnostics (`musa lint`);
+//! * [`screen`] — the static equivalent-mutant pre-screen behind
+//!   `--screen static`: mutants proven equivalent here skip simulation
+//!   and fold directly into the `E` term of `MS = K/(M−E)`.
+
+#![forbid(unsafe_code)]
+
+pub mod dataflow;
+pub mod lint;
+pub mod screen;
+
+pub use lint::{lint_design, LintFinding, LintRule, LINT_RULES};
+pub use screen::{screen_population, ScreenClass, MAX_FREE_BITS};
+
+pub use dataflow::{
+    analyze_dead, decl_widths, fold_expr, infer_width, ConstEnv, Deadness, EntityFacts, FoldValue,
+};

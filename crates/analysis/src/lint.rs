@@ -1,0 +1,660 @@
+//! The lint catalog: span-carrying diagnostics over *parsed* designs.
+//!
+//! Lints run before (and independently of) semantic checking: several
+//! rules diagnose exactly the situations [`musa_hdl::CheckedDesign`]
+//! rejects outright (multi-driven values, combinational cycles,
+//! duplicate case choices), so requiring a checked design would make
+//! them unreachable. Width- and constant-dependent rules degrade
+//! gracefully when a width cannot be inferred from declarations.
+
+use crate::dataflow::{
+    analyze_dead, decl_widths, fold_expr, infer_width, ConstEnv, EntityFacts,
+};
+use musa_hdl::ast::{Design, Entity, PortDir, Select, Stmt};
+use musa_hdl::Span;
+use std::collections::{HashMap, HashSet};
+
+/// One rule of the lint catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LintRule {
+    /// A statement that can never execute (constant guard, matched
+    /// constant case subject, or empty loop range).
+    DeadStatement,
+    /// A signal or constant that is never read anywhere.
+    UnreadSignal,
+    /// A signal that is written and read, but whose value can never
+    /// reach an output port.
+    WriteOnlyCone,
+    /// An `if` condition that folds to a constant.
+    ConstantCondition,
+    /// A `case` without `when others` that does not cover every
+    /// subject value (latch inference risk).
+    IncompleteCase,
+    /// An assignment whose value is wider than its target.
+    WidthTruncation,
+    /// A case choice value repeated across or within arms.
+    DuplicateCaseChoice,
+    /// Combinational processes forming a dependency cycle (including a
+    /// process reading a signal it drives).
+    CombLoop,
+    /// A signal or output port driven by more than one process.
+    MultiDriven,
+}
+
+/// Every rule, in catalog order.
+pub const LINT_RULES: [LintRule; 9] = [
+    LintRule::DeadStatement,
+    LintRule::UnreadSignal,
+    LintRule::WriteOnlyCone,
+    LintRule::ConstantCondition,
+    LintRule::IncompleteCase,
+    LintRule::WidthTruncation,
+    LintRule::DuplicateCaseChoice,
+    LintRule::CombLoop,
+    LintRule::MultiDriven,
+];
+
+impl LintRule {
+    /// Stable kebab-case identifier (used in text and JSON output).
+    pub fn slug(self) -> &'static str {
+        match self {
+            LintRule::DeadStatement => "dead-statement",
+            LintRule::UnreadSignal => "unread-signal",
+            LintRule::WriteOnlyCone => "write-only-cone",
+            LintRule::ConstantCondition => "constant-condition",
+            LintRule::IncompleteCase => "incomplete-case",
+            LintRule::WidthTruncation => "width-truncation",
+            LintRule::DuplicateCaseChoice => "duplicate-case-choice",
+            LintRule::CombLoop => "comb-loop",
+            LintRule::MultiDriven => "multi-driven",
+        }
+    }
+
+    /// One-line description for catalogs and docs.
+    pub fn description(self) -> &'static str {
+        match self {
+            LintRule::DeadStatement => "statement can never execute",
+            LintRule::UnreadSignal => "signal or constant is never read",
+            LintRule::WriteOnlyCone => "signal value never reaches an output",
+            LintRule::ConstantCondition => "condition is constant",
+            LintRule::IncompleteCase => "case without `when others` misses values",
+            LintRule::WidthTruncation => "assignment truncates its value",
+            LintRule::DuplicateCaseChoice => "case choice value repeated",
+            LintRule::CombLoop => "combinational dependency cycle",
+            LintRule::MultiDriven => "value driven by multiple processes",
+        }
+    }
+}
+
+/// One diagnostic produced by [`lint_design`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintFinding {
+    /// The rule that fired.
+    pub rule: LintRule,
+    /// The entity the finding is in.
+    pub entity: String,
+    /// Source location (may be [`Span::dummy`] for synthesized nodes).
+    pub span: Span,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// Runs the whole catalog over a parsed design.
+///
+/// Findings are sorted by entity (declaration order), then source
+/// position, then rule slug, so output is deterministic.
+pub fn lint_design(design: &Design) -> Vec<LintFinding> {
+    let mut findings: Vec<(usize, LintFinding)> = Vec::new();
+    for (idx, entity) in design.entities.iter().enumerate() {
+        let mut emit = |rule: LintRule, span: Span, message: String| {
+            findings.push((
+                idx,
+                LintFinding {
+                    rule,
+                    entity: entity.name.name.clone(),
+                    span,
+                    message,
+                },
+            ));
+        };
+        lint_entity(entity, &mut emit);
+    }
+    findings.sort_by(|(ia, a), (ib, b)| {
+        (ia, a.span.lo, a.rule.slug()).cmp(&(ib, b.span.lo, b.rule.slug()))
+    });
+    findings.into_iter().map(|(_, f)| f).collect()
+}
+
+fn lint_entity(entity: &Entity, emit: &mut impl FnMut(LintRule, Span, String)) {
+    let env = ConstEnv::from_entity(entity);
+    let facts = EntityFacts::new(entity);
+    let top_widths = decl_widths(entity);
+
+    structure_rules(entity, &facts, emit);
+
+    for process in &entity.processes {
+        let dead = analyze_dead(&process.body, &env, None);
+        for &(_, span) in &dead.roots {
+            emit(
+                LintRule::DeadStatement,
+                span,
+                "statement can never execute".to_owned(),
+            );
+        }
+        // Local variables shadow nothing (names are unique), but their
+        // widths matter for truncation checks inside this process.
+        let mut widths = top_widths.clone();
+        for var in &process.vars {
+            widths.insert(var.name.name.clone(), var.width);
+        }
+        musa_hdl::ast::walk_stmts(&process.body, &mut |stmt| {
+            if dead.nodes.contains(&stmt.id()) {
+                return; // already reported as part of a dead region
+            }
+            stmt_rules(stmt, &env, &widths, &dead.nodes, emit);
+        });
+    }
+}
+
+/// Entity-level rules: unread names, write-only cones, multi-driven
+/// values and combinational cycles.
+fn structure_rules(
+    entity: &Entity,
+    facts: &EntityFacts,
+    emit: &mut impl FnMut(LintRule, Span, String),
+) {
+    let read: HashSet<&str> = facts.read_anywhere();
+
+    for signal in &entity.signals {
+        if !read.contains(signal.name.name.as_str()) {
+            emit(
+                LintRule::UnreadSignal,
+                signal.name.span,
+                format!("signal `{}` is never read", signal.name.name),
+            );
+        }
+    }
+    for cst in &entity.consts {
+        if !read.contains(cst.name.name.as_str()) {
+            emit(
+                LintRule::UnreadSignal,
+                cst.name.span,
+                format!("constant `{}` is never read", cst.name.name),
+            );
+        }
+    }
+
+    let cone = facts.output_cone(entity);
+    for signal in &entity.signals {
+        let name = signal.name.name.as_str();
+        let written = facts.writes.iter().any(|w| w.contains(name));
+        if written && read.contains(name) && !cone.contains(name) {
+            emit(
+                LintRule::WriteOnlyCone,
+                signal.name.span,
+                format!("signal `{name}` is read but its value never reaches an output"),
+            );
+        }
+    }
+
+    // Multi-driven: a name `<=`-assigned by two or more processes.
+    let mut driver_count: HashMap<&str, usize> = HashMap::new();
+    for writes in &facts.writes {
+        for name in writes {
+            *driver_count.entry(name.as_str()).or_insert(0) += 1;
+        }
+    }
+    let decl_span = |name: &str| {
+        entity
+            .signals
+            .iter()
+            .map(|s| (&s.name.name, s.name.span))
+            .chain(entity.ports.iter().map(|p| (&p.name.name, p.name.span)))
+            .find(|(n, _)| n.as_str() == name)
+            .map_or(Span::dummy(), |(_, span)| span)
+    };
+    let mut multi: Vec<(&str, usize)> = driver_count
+        .iter()
+        .filter(|&(_, &n)| n >= 2)
+        .map(|(&name, &n)| (name, n))
+        .collect();
+    multi.sort_unstable();
+    for (name, n) in multi {
+        emit(
+            LintRule::MultiDriven,
+            decl_span(name),
+            format!("`{name}` is driven by {n} processes"),
+        );
+    }
+
+    let cycle = facts.comb_cycle(entity);
+    if !cycle.is_empty() {
+        let mut names: Vec<&str> = cycle
+            .iter()
+            .flat_map(|&p| facts.writes[p].iter().map(String::as_str))
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        let span = names.first().map_or(Span::dummy(), |n| decl_span(n));
+        emit(
+            LintRule::CombLoop,
+            span,
+            format!("combinational cycle through: {}", names.join(", ")),
+        );
+    }
+
+    // Input ports that are never read get the unread treatment too?
+    // No: unused inputs are an interface contract, not a bug — the
+    // catalog stays at signals and constants.
+    let _ = PortDir::In;
+}
+
+/// Statement-level rules: constant conditions, incomplete cases,
+/// duplicate choices and width truncation.
+fn stmt_rules(
+    stmt: &Stmt,
+    env: &ConstEnv,
+    widths: &HashMap<String, u32>,
+    dead: &HashSet<musa_hdl::ast::NodeId>,
+    emit: &mut impl FnMut(LintRule, Span, String),
+) {
+    match stmt {
+        Stmt::If { arms, .. } => {
+            for (cond, _) in arms {
+                if dead.contains(&cond.id()) {
+                    continue;
+                }
+                if let Some(v) = fold_expr(cond, env, None) {
+                    let verdict = if v.as_bool() { "true" } else { "false" };
+                    emit(
+                        LintRule::ConstantCondition,
+                        cond.span(),
+                        format!("condition is always {verdict}"),
+                    );
+                }
+            }
+        }
+        Stmt::Case {
+            subject,
+            arms,
+            default,
+            ..
+        } => {
+            // Duplicate choices: first repeat of each value, scanning
+            // arms in match order.
+            let mut seen: HashSet<u64> = HashSet::new();
+            let mut reported: HashSet<u64> = HashSet::new();
+            for arm in arms {
+                for &choice in &arm.choices {
+                    if !seen.insert(choice) && reported.insert(choice) {
+                        emit(
+                            LintRule::DuplicateCaseChoice,
+                            subject.span(),
+                            format!("case choice {choice} is repeated"),
+                        );
+                    }
+                }
+            }
+            if default.is_none() {
+                let missing = match infer_width(subject, widths) {
+                    Some(w) if w < 64 => {
+                        let covered = seen.iter().filter(|&&c| c < (1u64 << w)).count() as u64;
+                        (covered < (1u64 << w)).then(|| {
+                            format!(
+                                "case covers {covered} of {} subject values and has no `when others`",
+                                1u64 << w
+                            )
+                        })
+                    }
+                    Some(_) => Some(
+                        "case over a 64-bit subject cannot cover all values without `when others`"
+                            .to_owned(),
+                    ),
+                    None => Some("case has no `when others`".to_owned()),
+                };
+                if let Some(message) = missing {
+                    emit(LintRule::IncompleteCase, subject.span(), message);
+                }
+            }
+        }
+        Stmt::Assign { target, value, .. } => {
+            let target_width = match &target.sel {
+                Some(Select::Index(_)) => Some(1),
+                Some(Select::Slice { hi, lo }) => (hi >= lo).then(|| hi - lo + 1),
+                None => widths.get(&target.base.name).copied(),
+            };
+            if let (Some(tw), Some(vw)) = (target_width, infer_width(value, widths)) {
+                if vw > tw {
+                    emit(
+                        LintRule::WidthTruncation,
+                        stmt.span(),
+                        format!(
+                            "assignment truncates a {vw}-bit value into the {tw}-bit target `{}`",
+                            target.base.name
+                        ),
+                    );
+                }
+            }
+        }
+        Stmt::For { .. } | Stmt::Null { .. } => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use musa_hdl::parse;
+
+    /// Parses (without checking) and lints, returning `(slug, message)`
+    /// pairs in report order.
+    fn lint(src: &str) -> Vec<(&'static str, String)> {
+        let design = parse(src).unwrap();
+        lint_design(&design)
+            .into_iter()
+            .map(|f| (f.rule.slug(), f.message))
+            .collect()
+    }
+
+    fn slugs(src: &str) -> Vec<&'static str> {
+        lint(src).into_iter().map(|(s, _)| s).collect()
+    }
+
+    #[test]
+    fn clean_design_has_no_findings() {
+        let src = "
+            entity e is
+              port(a : in bits(2); y : out bits(2));
+            signal t : bits(2);
+            comb begin t <= a; end;
+            comb begin
+              case t is
+                when 0 => y <= 1;
+                when others => y <= t;
+              end case;
+            end;
+            end;
+        ";
+        assert!(lint(src).is_empty(), "{:?}", lint(src));
+    }
+
+    #[test]
+    fn dead_statement_positive_and_negative() {
+        let dirty = "
+            entity e is
+              port(a : in bit; y : out bit);
+            constant K : bit := 0;
+            comb begin
+              if K = 1 then
+                y <= not a;
+              else
+                y <= a;
+              end if;
+            end;
+            end;
+        ";
+        // The dead arm plus the constant condition that kills it.
+        let got = slugs(dirty);
+        assert!(got.contains(&"dead-statement"), "{got:?}");
+        let clean = "
+            entity e is
+              port(a : in bit; y : out bit);
+            comb begin
+              if a = 1 then y <= 0; else y <= 1; end if;
+            end;
+            end;
+        ";
+        assert!(!slugs(clean).contains(&"dead-statement"));
+    }
+
+    #[test]
+    fn unread_signal_positive_and_negative() {
+        let dirty = "
+            entity e is
+              port(a : in bit; y : out bit);
+            signal ghost : bit;
+            constant K : bits(2) := 1;
+            comb begin ghost <= a; y <= a; end;
+            end;
+        ";
+        let got = lint(dirty);
+        assert!(
+            got.iter()
+                .any(|(s, m)| *s == "unread-signal" && m.contains("ghost")),
+            "{got:?}"
+        );
+        assert!(
+            got.iter()
+                .any(|(s, m)| *s == "unread-signal" && m.contains("K")),
+            "{got:?}"
+        );
+        let clean = "
+            entity e is
+              port(a : in bit; y : out bit);
+            signal t : bit;
+            comb begin t <= a; end;
+            comb begin y <= t; end;
+            end;
+        ";
+        assert!(!slugs(clean).contains(&"unread-signal"));
+    }
+
+    #[test]
+    fn write_only_cone_positive_and_negative() {
+        // `u` and `v` feed only each other, never an output.
+        let dirty = "
+            entity e is
+              port(a : in bit; y : out bit);
+            signal u : bit;
+            signal v : bit;
+            comb begin u <= a; end;
+            comb begin v <= u; end;
+            comb begin y <= a; end;
+            end;
+        ";
+        let got = lint(dirty);
+        assert!(
+            got.iter()
+                .any(|(s, m)| *s == "write-only-cone" && m.contains("`u`")),
+            "{got:?}"
+        );
+        let clean = "
+            entity e is
+              port(a : in bit; y : out bit);
+            signal t : bit;
+            comb begin t <= a; end;
+            comb begin y <= t; end;
+            end;
+        ";
+        assert!(!slugs(clean).contains(&"write-only-cone"));
+    }
+
+    #[test]
+    fn constant_condition_positive_and_negative() {
+        let dirty = "
+            entity e is
+              port(a : in bit; y : out bit);
+            comb begin
+              if 1 = 1 then y <= a; else y <= 0; end if;
+            end;
+            end;
+        ";
+        let got = lint(dirty);
+        assert!(
+            got.iter()
+                .any(|(s, m)| *s == "constant-condition" && m.contains("always true")),
+            "{got:?}"
+        );
+        let clean = "
+            entity e is
+              port(a : in bit; y : out bit);
+            comb begin
+              if a = 1 then y <= 0; else y <= 1; end if;
+            end;
+            end;
+        ";
+        assert!(!slugs(clean).contains(&"constant-condition"));
+    }
+
+    #[test]
+    fn incomplete_case_positive_and_negative() {
+        let dirty = "
+            entity e is
+              port(s : in bits(2); y : out bit);
+            comb begin
+              case s is
+                when 0 => y <= 1;
+                when 1 => y <= 0;
+              end case;
+            end;
+            end;
+        ";
+        let got = lint(dirty);
+        assert!(
+            got.iter()
+                .any(|(s, m)| *s == "incomplete-case" && m.contains("2 of 4")),
+            "{got:?}"
+        );
+        // Full enumeration without `when others` is complete.
+        let clean = "
+            entity e is
+              port(s : in bit; y : out bit);
+            comb begin
+              case s is
+                when 0 => y <= 1;
+                when 1 => y <= 0;
+              end case;
+            end;
+            end;
+        ";
+        assert!(!slugs(clean).contains(&"incomplete-case"));
+    }
+
+    #[test]
+    fn width_truncation_positive_and_negative() {
+        let dirty = "
+            entity e is
+              port(a : in bits(4); b : in bits(4); y : out bits(4));
+            comb begin y <= a & b; end;
+            end;
+        ";
+        let got = lint(dirty);
+        assert!(
+            got.iter()
+                .any(|(s, m)| *s == "width-truncation" && m.contains("8-bit value")),
+            "{got:?}"
+        );
+        let clean = "
+            entity e is
+              port(a : in bits(4); y : out bits(4));
+            comb begin y <= a; end;
+            end;
+        ";
+        assert!(!slugs(clean).contains(&"width-truncation"));
+    }
+
+    #[test]
+    fn duplicate_case_choice_positive_and_negative() {
+        let dirty = "
+            entity e is
+              port(s : in bits(2); y : out bit);
+            comb begin
+              case s is
+                when 0 => y <= 1;
+                when 0 => y <= 0;
+                when others => y <= 0;
+              end case;
+            end;
+            end;
+        ";
+        let got = lint(dirty);
+        assert!(
+            got.iter()
+                .any(|(s, m)| *s == "duplicate-case-choice" && m.contains("choice 0")),
+            "{got:?}"
+        );
+        let clean = "
+            entity e is
+              port(s : in bits(2); y : out bit);
+            comb begin
+              case s is
+                when 0 => y <= 1;
+                when 1 => y <= 0;
+                when others => y <= 0;
+              end case;
+            end;
+            end;
+        ";
+        assert!(!slugs(clean).contains(&"duplicate-case-choice"));
+    }
+
+    #[test]
+    fn comb_loop_positive_and_negative() {
+        let dirty = "
+            entity e is
+              port(y : out bit);
+            signal s : bit;
+            comb begin s <= not s; end;
+            comb begin y <= s; end;
+            end;
+        ";
+        let got = lint(dirty);
+        assert!(
+            got.iter()
+                .any(|(s, m)| *s == "comb-loop" && m.contains("s")),
+            "{got:?}"
+        );
+        let clean = "
+            entity e is
+              port(clk : in bit; y : out bit);
+            signal s : bit;
+            seq(clk) begin s <= not s; end;
+            comb begin y <= s; end;
+            end;
+        ";
+        assert!(!slugs(clean).contains(&"comb-loop"));
+    }
+
+    #[test]
+    fn multi_driven_positive_and_negative() {
+        let dirty = "
+            entity e is
+              port(a : in bit; y : out bit);
+            signal t : bit;
+            comb begin t <= a; end;
+            comb begin t <= not a; end;
+            comb begin y <= t; end;
+            end;
+        ";
+        let got = lint(dirty);
+        assert!(
+            got.iter()
+                .any(|(s, m)| *s == "multi-driven" && m.contains("2 processes")),
+            "{got:?}"
+        );
+        let clean = "
+            entity e is
+              port(a : in bit; y : out bit);
+            signal t : bit;
+            comb begin t <= a; y <= t; end;
+            end;
+        ";
+        assert!(!slugs(clean).contains(&"multi-driven"));
+    }
+
+    #[test]
+    fn findings_are_sorted_and_span_lines_resolve() {
+        let src = "entity e is
+  port(a : in bit; y : out bit);
+signal ghost : bit;
+comb begin ghost <= a; y <= a; end;
+end;
+";
+        let design = parse(src).unwrap();
+        let findings = lint_design(&design);
+        assert_eq!(findings.len(), 1);
+        let (line, col) = findings[0].span.line_col(src);
+        assert_eq!(line, 3, "ghost is declared on line 3");
+        assert!(col > 1);
+        assert_eq!(findings[0].entity, "e");
+    }
+}

@@ -33,6 +33,9 @@ pub enum CliError {
     /// `--fault-reduce` had a missing or unrecognized value (expected
     /// `on` or `off`).
     FaultReduceValue,
+    /// `--screen` had a missing or unrecognized value (expected
+    /// `static` or `off`).
+    ScreenValue,
     /// An unrecognized `--flag` (strict front ends only).
     UnknownFlag(String),
     /// More positional arguments than the front end accepts.
@@ -58,6 +61,8 @@ pub struct Parsed {
     pub engine: Option<Engine>,
     /// `--fault-reduce on|off`.
     pub fault_reduce: Option<bool>,
+    /// `--screen static|off`.
+    pub screen: Option<bool>,
     /// Non-flag arguments, in order.
     pub positionals: Vec<String>,
 }
@@ -114,6 +119,14 @@ pub fn parse_tokens(
                 });
                 i += 1;
             }
+            "--screen" => {
+                parsed.screen = Some(match args.get(i + 1).map(String::as_str) {
+                    Some("static") => true,
+                    Some("off") => false,
+                    _ => return Err(CliError::ScreenValue),
+                });
+                i += 1;
+            }
             // Help short-circuits, exactly like the pre-redesign loop:
             // anything after it — including malformed values — is
             // never parsed.
@@ -157,6 +170,10 @@ pub struct CliOptions {
     /// simulation (`--fault-reduce on|off`, default on). Reported
     /// numbers are identical either way; only lane occupancy changes.
     pub fault_reduce: bool,
+    /// Static equivalent-mutant pre-screening (`--screen static|off`,
+    /// default on). Reported numbers are identical either way; only
+    /// the `screened` count in the JSON report changes.
+    pub screen: bool,
 }
 
 impl CliOptions {
@@ -180,6 +197,11 @@ options (shared by every musa_bench experiment binary):
               fault simulation (default on); reported numbers are
               bit-identical either way, only representatives (and
               residuals) occupy simulation lanes
+  --screen static|off
+              static equivalent-mutant pre-screening (default on);
+              statically proven-equivalent mutants skip simulation and
+              fold into the E term directly — reported numbers are
+              bit-identical either way
   --json      emit the typed campaign report as JSON (stable
               `musa.campaign.v1` schema) instead of text
   --help      print this text";
@@ -205,6 +227,7 @@ options (shared by every musa_bench experiment binary):
                 jobs: parsed.jobs.unwrap_or(0),
                 engine: parsed.engine.unwrap_or_default(),
                 fault_reduce: parsed.fault_reduce.unwrap_or(true),
+                screen: parsed.screen.unwrap_or(true),
             },
             Err(e) => {
                 let message = match e {
@@ -214,6 +237,7 @@ options (shared by every musa_bench experiment binary):
                         "--engine expects `scalar` or `lanes`"
                     }
                     CliError::FaultReduceValue => "--fault-reduce expects `on` or `off`",
+                    CliError::ScreenValue => "--screen expects `static` or `off`",
                     // Lenient parsing ignores unknown arguments.
                     CliError::UnknownFlag(_) | CliError::TooManyPositionals => {
                         unreachable!("lenient mode ignores unknown arguments")
@@ -239,6 +263,7 @@ options (shared by every musa_bench experiment binary):
             .with_jobs(self.jobs)
             .with_engine(self.engine)
             .with_fault_reduce(self.fault_reduce)
+            .with_screen(self.screen)
     }
 }
 
@@ -258,6 +283,8 @@ pub struct SampleArgs {
     pub engine: Engine,
     /// Dominance fault-list reduction (default on).
     pub fault_reduce: bool,
+    /// Static equivalent-mutant pre-screening (default on).
+    pub screen: bool,
     /// `--paper` preset requested (default: fast).
     pub paper: bool,
     /// `--fast` passed explicitly.
@@ -268,7 +295,8 @@ pub struct SampleArgs {
 
 /// The `musa sample` usage line.
 pub const SAMPLE_USAGE: &str = "expected <name> [fraction] [--jobs N] [--seed N] \
-[--paper] [--fast] [--json] [--engine scalar|lanes] [--fault-reduce on|off]";
+[--paper] [--fast] [--json] [--engine scalar|lanes] [--fault-reduce on|off] \
+[--screen static|off]";
 
 impl SampleArgs {
     /// Parses `musa sample`'s arguments (everything after the
@@ -284,6 +312,7 @@ impl SampleArgs {
             CliError::JobsValue => "--jobs expects a thread count".to_string(),
             CliError::EngineMissing => "--engine expects scalar|lanes".to_string(),
             CliError::FaultReduceValue => "--fault-reduce expects on|off".to_string(),
+            CliError::ScreenValue => "--screen expects static|off".to_string(),
             CliError::EngineInvalid(detail) => detail,
             CliError::UnknownFlag(flag) => format!("unknown flag `{flag}`; {SAMPLE_USAGE}"),
             CliError::TooManyPositionals => SAMPLE_USAGE.to_string(),
@@ -304,6 +333,7 @@ impl SampleArgs {
             jobs: parsed.jobs.unwrap_or(0),
             engine: parsed.engine.unwrap_or_default(),
             fault_reduce: parsed.fault_reduce.unwrap_or(true),
+            screen: parsed.screen.unwrap_or(true),
             paper: parsed.paper,
             fast: parsed.fast,
             json: parsed.json,
@@ -319,6 +349,7 @@ impl SampleArgs {
             .jobs(self.jobs)
             .engine(self.engine)
             .fault_reduce(self.fault_reduce)
+            .screen(self.screen)
             .task(Task::Sampling { fraction: self.fraction });
         if self.paper {
             campaign = campaign.paper();
@@ -684,6 +715,7 @@ mod tests {
             jobs: 0,
             engine: Engine::Scalar,
             fault_reduce: true,
+            screen: true,
         };
         let cfg = opts.config();
         assert_eq!(cfg.seed, 42);
@@ -700,6 +732,7 @@ mod tests {
             jobs: 3,
             engine: Engine::Scalar,
             fault_reduce: true,
+            screen: true,
         };
         assert_eq!(opts.config().jobs, 3);
     }
@@ -714,6 +747,7 @@ mod tests {
             jobs: 0,
             engine: Engine::Lanes,
             fault_reduce: true,
+            screen: true,
         };
         let cfg = opts.config();
         assert_eq!(cfg.engine, Engine::Lanes);
@@ -724,7 +758,7 @@ mod tests {
     fn usage_documents_every_flag() {
         for flag in [
             "--fast", "--paper", "--seed", "--jobs", "--engine", "--fault-reduce",
-            "--json", "--help",
+            "--screen", "--json", "--help",
         ] {
             assert!(CliOptions::USAGE.contains(flag), "usage lacks {flag}");
         }
@@ -786,6 +820,7 @@ mod tests {
             jobs: 0,
             engine: Engine::Scalar,
             fault_reduce: false,
+            screen: true,
         };
         assert!(!opts.config().fault_reduce);
         let args =
@@ -798,6 +833,41 @@ mod tests {
         );
         // Default: reduction on.
         assert!(SampleArgs::parse(&strings(&["c17"])).unwrap().fault_reduce);
+    }
+
+    #[test]
+    fn screen_flag_parses_and_reaches_the_config() {
+        let parsed = parse_tokens(&strings(&["--screen", "off"]), 0, true).unwrap();
+        assert_eq!(parsed.screen, Some(false));
+        let parsed = parse_tokens(&strings(&["--screen", "static"]), 0, true).unwrap();
+        assert_eq!(parsed.screen, Some(true));
+        for bad in [&["--screen"][..], &["--screen", "on"][..]] {
+            assert_eq!(
+                parse_tokens(&strings(bad), 0, true).unwrap_err(),
+                CliError::ScreenValue,
+                "{bad:?}"
+            );
+        }
+        let opts = CliOptions {
+            fast: true,
+            paper: false,
+            json: false,
+            seed: 1,
+            jobs: 0,
+            engine: Engine::Scalar,
+            fault_reduce: true,
+            screen: false,
+        };
+        assert!(!opts.config().screen);
+        let args = SampleArgs::parse(&strings(&["c17", "--screen", "off"])).unwrap();
+        assert!(!args.screen);
+        assert!(
+            SampleArgs::parse(&strings(&["c17", "--screen", "on"]))
+                .unwrap_err()
+                .contains("static|off")
+        );
+        // Default: screening on.
+        assert!(SampleArgs::parse(&strings(&["c17"])).unwrap().screen);
     }
 
     #[test]
@@ -971,6 +1041,7 @@ mod tests {
                 jobs: 1,
                 engine: Engine::Scalar,
                 fault_reduce: true,
+                screen: true,
             };
             bin.campaign(&opts).validate().unwrap_or_else(|e| panic!("{bin:?}: {e}"));
         }

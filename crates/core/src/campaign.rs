@@ -30,6 +30,7 @@
 
 use crate::bench_task::{run_bench, BenchOptions, BenchReport};
 use crate::config::ExperimentConfig;
+use crate::lint_task::{lint_bench, lint_report_json, render_lint_text, LintRow};
 use crate::experiment::{run_sampling_experiment, SamplingOutcome};
 use crate::extensions::{
     atpg_topup_on, coverage_curves, equivalence_ablation, sweep_fractions, AblationPoint,
@@ -132,6 +133,9 @@ pub enum Task {
         /// invariants.
         quick: bool,
     },
+    /// Static lint catalog over the campaign's benchmark sources
+    /// (`musa lint`; see [`crate::lint_task`]).
+    Lint,
 }
 
 impl Task {
@@ -148,6 +152,7 @@ impl Task {
             Task::AtpgTopup { .. } => "atpg-topup",
             Task::EquivalenceAblation { .. } => "equivalence-ablation",
             Task::Bench { .. } => "bench",
+            Task::Lint => "lint",
         }
     }
 }
@@ -228,6 +233,7 @@ pub struct Campaign {
     jobs: Option<usize>,
     engine: Option<Engine>,
     fault_reduce: Option<bool>,
+    screen: Option<bool>,
     paper: bool,
     fast: bool,
     task: Option<Task>,
@@ -253,6 +259,7 @@ impl Campaign {
             jobs: None,
             engine: None,
             fault_reduce: None,
+            screen: None,
             paper: false,
             fast: false,
             task: None,
@@ -308,6 +315,16 @@ impl Campaign {
     #[must_use]
     pub fn fault_reduce(mut self, fault_reduce: bool) -> Self {
         self.fault_reduce = Some(fault_reduce);
+        self
+    }
+
+    /// Static equivalent-mutant pre-screening (default on). Statically
+    /// proven-equivalent mutants skip simulation and fold into the `E`
+    /// term directly; every reported number is identical either way —
+    /// only the `screened` count in the JSON report changes.
+    #[must_use]
+    pub fn screen(mut self, screen: bool) -> Self {
+        self.screen = Some(screen);
         self
     }
 
@@ -388,15 +405,18 @@ impl Campaign {
         if let Some(fault_reduce) = self.fault_reduce {
             config = config.with_fault_reduce(fault_reduce);
         }
+        if let Some(screen) = self.screen {
+            config = config.with_screen(screen);
+        }
         if config.repetitions == 0 {
             return Err(CampaignError::ZeroRepetitions);
         }
         let fraction_ok = |f: f64| f > 0.0 && f <= 1.0;
         match &task {
-            Task::Sampling { fraction } | Task::Table2 { fraction } => {
-                if !fraction_ok(*fraction) {
-                    return Err(CampaignError::BadFraction(*fraction));
-                }
+            Task::Sampling { fraction } | Task::Table2 { fraction }
+                if !fraction_ok(*fraction) =>
+            {
+                return Err(CampaignError::BadFraction(*fraction));
             }
             Task::SweepFraction { fractions } => {
                 if let Some(&bad) = fractions.iter().find(|f| !fraction_ok(**f)) {
@@ -425,6 +445,7 @@ impl Campaign {
                 jobs: resolved.config.jobs,
                 engine: resolved.config.engine,
                 fault_reduce: resolved.config.fault_reduce,
+                screen: resolved.config.screen,
                 preset: resolved.preset,
                 wall: started.elapsed(),
             },
@@ -565,6 +586,17 @@ impl Resolved {
                 )?;
                 Ok(ReportData::Bench(report))
             }
+            Task::Lint => {
+                let mut rows = Vec::with_capacity(self.benches.len());
+                for &bench in &self.benches {
+                    // Load first so a hypothetical parse/check failure
+                    // surfaces as the usual per-bench error, not a
+                    // panic inside the lint helper.
+                    bench.load().map_err(|e| per_bench(bench, e.into()))?;
+                    rows.push(lint_bench(bench));
+                }
+                Ok(ReportData::Lint(rows))
+            }
         }
     }
 }
@@ -586,6 +618,8 @@ pub struct RunMeta {
     pub engine: Engine,
     /// Whether dominance fault-list reduction was on.
     pub fault_reduce: bool,
+    /// Whether static equivalent-mutant pre-screening was on.
+    pub screen: bool,
     /// Configuration preset.
     pub preset: Preset,
     /// Wall-clock time of the run.
@@ -668,6 +702,8 @@ pub enum ReportData {
     EquivalenceAblation(Vec<BenchAblation>),
     /// [`Task::Bench`] trajectory report.
     Bench(BenchReport),
+    /// [`Task::Lint`] rows.
+    Lint(Vec<LintRow>),
 }
 
 /// The typed outcome of one campaign run.
@@ -686,13 +722,16 @@ impl Report {
     /// (`musa.campaign.v1`); pinned by the golden-file test in
     /// `tests/cli.rs`.
     ///
-    /// The bench task is the one exception: it emits its own
-    /// `musa.bench.v1` document instead of the campaign envelope, so
-    /// the output is exactly what `BENCH_<n>.json` commits and
-    /// [`BenchReport::from_json`] parses back.
+    /// The bench and lint tasks are the two exceptions: each emits its
+    /// own document (`musa.bench.v1` / `musa.lint.v1`) instead of the
+    /// campaign envelope, so the output is exactly what `BENCH_<n>.json`
+    /// commits / the lint golden files pin.
     pub fn to_json(&self) -> String {
         if let ReportData::Bench(report) = &self.data {
             return report.to_json();
+        }
+        if let ReportData::Lint(rows) = &self.data {
+            return lint_report_json(&self.meta.benches, rows);
         }
         Json::Obj(vec![
             ("schema", Json::str("musa.campaign.v1")),
@@ -716,6 +755,10 @@ impl Report {
             (
                 "fault_reduce",
                 Json::str(if self.meta.fault_reduce { "on" } else { "off" }),
+            ),
+            (
+                "screen",
+                Json::str(if self.meta.screen { "static" } else { "off" }),
             ),
             ("preset", Json::str(self.meta.preset.to_string())),
             ("wall_ms", Json::count(self.meta.wall.as_millis() as usize)),
@@ -748,6 +791,7 @@ impl Report {
                 Json::Arr(budgets.iter().map(|&b| Json::count(b)).collect()),
             )]),
             Task::Bench { quick } => Json::Obj(vec![("quick", Json::Bool(*quick))]),
+            Task::Lint => Json::Obj(vec![]),
         }
     }
 
@@ -949,6 +993,12 @@ impl Report {
                     .collect(),
             ),
             ReportData::Bench(report) => report.json(),
+            // Unreachable through `to_json` (the lint early-return owns
+            // the document), kept total for hand-built reports.
+            ReportData::Lint(rows) => Json::Obj(vec![(
+                "findings",
+                Json::count(crate::lint_task::total_findings(rows)),
+            )]),
         }
     }
 
@@ -991,6 +1041,9 @@ impl Report {
             (Task::Bench { .. }, ReportData::Bench(report)) => {
                 render_bench(&mut out, report);
             }
+            (Task::Lint, ReportData::Lint(rows)) => {
+                out.push_str(&render_lint_text(rows));
+            }
             // `Campaign::run` always pairs task and data, but the
             // fields are public — render a hand-built mismatch
             // honestly instead of panicking.
@@ -1018,6 +1071,7 @@ fn outcome_json(o: &SamplingOutcome) -> Json {
         ("data_len", Json::count(o.data_len)),
         ("faults_simulated", Json::count(o.fault_sim.faults_simulated)),
         ("faults_total", Json::count(o.fault_sim.faults_total)),
+        ("screened", Json::count(o.screened)),
     ])
 }
 

@@ -46,6 +46,14 @@ pub struct ExperimentConfig {
     /// off; on is the default. The pseudo-random baseline (whose curve
     /// interior the ΔFC/ΔL metrics read) always uses full simulation.
     pub fault_reduce: bool,
+    /// Static equivalent-mutant pre-screening (`musa_analysis`): mutants
+    /// proven unkillable by dataflow analysis — dead mutation sites or
+    /// local rewrites that constant-fold to the original — skip
+    /// simulation entirely and fold straight into the `E` term of
+    /// `MS = K/(M−E)` with the exact class full execution would report.
+    /// Every reported number is bit-identical with the knob on or off;
+    /// on is the default.
+    pub screen: bool,
 }
 
 impl ExperimentConfig {
@@ -78,6 +86,7 @@ impl ExperimentConfig {
             jobs: 0,
             engine: Engine::Scalar,
             fault_reduce: true,
+            screen: true,
         }
     }
 
@@ -93,6 +102,7 @@ impl ExperimentConfig {
             jobs: 0,
             engine: Engine::Scalar,
             fault_reduce: true,
+            screen: true,
         }
     }
 
@@ -116,6 +126,14 @@ impl ExperimentConfig {
     #[must_use]
     pub fn with_fault_reduce(mut self, fault_reduce: bool) -> Self {
         self.fault_reduce = fault_reduce;
+        self
+    }
+
+    /// Returns a copy with static equivalent-mutant pre-screening on or
+    /// off.
+    #[must_use]
+    pub fn with_screen(mut self, screen: bool) -> Self {
+        self.screen = screen;
         self
     }
 

@@ -14,9 +14,10 @@ use crate::data::{
 use crate::parallel::{split_jobs, try_par_map};
 use musa_circuits::Circuit;
 use musa_metrics::{Nlfce, NlfceInputs};
+use musa_analysis::screen_population;
 use musa_mutation::{
-    classify_mutants, execute_mutants_engine, generate_mutants, Engine, EquivalenceClass,
-    GenerateOptions, KillResult, Mutant, MutationError, MutationScore,
+    classify_mutants, execute_mutants_engine, generate_mutants, survivor_class, Engine,
+    EquivalenceClass, GenerateOptions, KillResult, Mutant, MutationError, MutationScore,
 };
 use musa_prng::{Prng, SplitMix64};
 use musa_testgen::{mutation_guided_tests, sample_mutants, MgConfig, SamplingStrategy};
@@ -46,6 +47,11 @@ pub struct SamplingOutcome {
     /// ([`ExperimentConfig::fault_reduce`]) credited faults out of the
     /// lanes. Coverage numbers are identical either way.
     pub fault_sim: FaultSimStats,
+    /// Mutants the static pre-screen ([`ExperimentConfig::screen`])
+    /// proved equivalent without simulation. They skip every execution
+    /// stage and fold into the `E` term with the class full execution
+    /// would report, so every score is identical with screening off.
+    pub screened: usize,
 }
 
 /// Runs one sampling experiment on a circuit.
@@ -98,6 +104,14 @@ pub fn run_sampling_experiment_on(
     let reduction = config
         .fault_reduce
         .then(|| reduced_universe(circuit, &faults));
+    // The static pre-screen is likewise a pure analysis of the checked
+    // design and the population — one pass serves every repetition.
+    let screened: Option<Vec<bool>> = config.screen.then(|| {
+        screen_population(&circuit.checked, &circuit.name, population)
+            .iter()
+            .map(|class| class.is_proven())
+            .collect()
+    });
     // Repetitions get the outer share of the thread budget; each
     // repetition's mutant executions split what remains.
     let (outer_jobs, inner_jobs) = split_jobs(config.jobs, repetitions);
@@ -109,6 +123,7 @@ pub fn run_sampling_experiment_on(
             config,
             &faults,
             reduction.as_ref(),
+            screened.as_deref(),
             sample,
             mg,
             baseline,
@@ -218,6 +233,10 @@ impl SamplingAggregate {
                 o.fault_sim.faults_total, first.fault_sim.faults_total,
                 "fault universe varies between repetitions"
             );
+            assert_eq!(
+                o.screened, first.screened,
+                "static screen verdicts vary between repetitions"
+            );
         }
         let mean_f = |field: fn(&SamplingOutcome) -> f64| -> f64 {
             outcomes.iter().map(field).sum::<f64>() / nf
@@ -254,6 +273,7 @@ impl SamplingAggregate {
                 faults_simulated: mean_n(|o| o.fault_sim.faults_simulated),
                 faults_total: first.fault_sim.faults_total,
             },
+            screened: first.screened,
         }
     }
 }
@@ -266,6 +286,7 @@ fn run_sampling_once(
     config: &ExperimentConfig,
     faults: &[musa_netlist::Fault],
     reduction: Option<&musa_netlist::FaultReduction>,
+    screened: Option<&[bool]>,
     sample_seed: u64,
     mg_seed: u64,
     baseline_seed: u64,
@@ -282,10 +303,18 @@ fn run_sampling_once(
     };
     let generated = mutation_guided_tests(&circuit.checked, &circuit.name, &subset, &mg)?;
 
-    // 3. Mutation Score on the FULL population.
-    let kills =
-        kills_over_sessions(circuit, population, &generated.sessions, jobs, config.engine)?;
-    let classes = classify_survivors(circuit, population, &kills, config)?;
+    // 3. Mutation Score on the FULL population. Statically screened
+    // mutants never enter the simulator: they stay unkilled and are
+    // classified directly with the class execution would report.
+    let kills = kills_over_sessions(
+        circuit,
+        population,
+        &generated.sessions,
+        jobs,
+        config.engine,
+        screened,
+    )?;
+    let classes = classify_survivors(circuit, population, &kills, config, screened)?;
     let score = MutationScore::from_results(&kills, &classes);
 
     // 4. Gate-level efficiency of the same data. The mutation-data
@@ -319,24 +348,29 @@ fn run_sampling_once(
         nlfce: metrics.nlfce,
         data_len: generated.total_len(),
         fault_sim,
+        screened: screened.map_or(0, |mask| mask.iter().filter(|&&s| s).count()),
     })
 }
 
 /// Executes the whole population against multi-session data with fault
 /// dropping across sessions, sharding each session's live mutants (or
 /// lane groups, on the lane engine) across `jobs` worker threads.
+/// Mutants flagged in `screened` are statically proven unkillable and
+/// never occupy a simulation slot (their `first_kill` stays `None`,
+/// exactly as exhaustive execution would leave it).
 pub(crate) fn kills_over_sessions(
     circuit: &Circuit,
     population: &[Mutant],
     sessions: &[Vec<Vec<musa_hdl::Bits>>],
     jobs: usize,
     engine: Engine,
+    screened: Option<&[bool]>,
 ) -> Result<KillResult, MutationError> {
     let mut first_kill: Vec<Option<usize>> = vec![None; population.len()];
     let mut base = 0usize;
     for session in sessions {
         let live: Vec<usize> = (0..population.len())
-            .filter(|&i| first_kill[i].is_none())
+            .filter(|&i| first_kill[i].is_none() && !screened.is_some_and(|m| m[i]))
             .collect();
         if live.is_empty() {
             base += session.len();
@@ -363,14 +397,25 @@ pub(crate) fn kills_over_sessions(
 
 /// Classifies only the surviving mutants (killed ones are trivially
 /// non-equivalent), sparing the bulk of the equivalence budget.
+/// Survivors flagged in `screened` are assigned [`survivor_class`]
+/// directly — the class [`classify_mutants`] reports for any mutant
+/// that survives every sequence, which a statically proven-equivalent
+/// mutant is guaranteed to do — so the budget is spent only on the
+/// mutants that genuinely need it.
 pub(crate) fn classify_survivors(
     circuit: &Circuit,
     population: &[Mutant],
     kills: &KillResult,
     config: &ExperimentConfig,
+    screened: Option<&[bool]>,
 ) -> Result<Vec<EquivalenceClass>, MutationError> {
     let survivors: Vec<usize> = kills.alive();
-    let subset: Vec<Mutant> = survivors.iter().map(|&i| population[i].clone()).collect();
+    let to_simulate: Vec<usize> = survivors
+        .iter()
+        .copied()
+        .filter(|&i| !screened.is_some_and(|m| m[i]))
+        .collect();
+    let subset: Vec<Mutant> = to_simulate.iter().map(|&i| population[i].clone()).collect();
     let survivor_classes = classify_mutants(
         &circuit.checked,
         &circuit.name,
@@ -378,8 +423,18 @@ pub(crate) fn classify_survivors(
         &config.equivalence,
     )?;
     let mut classes = vec![EquivalenceClass::Killable; population.len()];
-    for (slot, &mi) in survivors.iter().enumerate() {
+    for (slot, &mi) in to_simulate.iter().enumerate() {
         classes[mi] = survivor_classes[slot];
+    }
+    if let Some(mask) = screened {
+        let info = circuit
+            .checked
+            .entity_info(&circuit.name)
+            .ok_or_else(|| MutationError::EntityNotFound(circuit.name.clone()))?;
+        let class = survivor_class(info, &config.equivalence);
+        for &mi in survivors.iter().filter(|&&i| mask[i]) {
+            classes[mi] = class;
+        }
     }
     Ok(classes)
 }
@@ -418,6 +473,9 @@ mod tests {
                 faults_simulated: 50 + k,
                 faults_total: 80,
             },
+            // Invariant across repetitions (screening is one pass over
+            // the shared population), like `population` above.
+            screened: 7,
         }
     }
 
@@ -447,6 +505,7 @@ mod tests {
         assert_eq!(mean.data_len, 32);
         assert_eq!(mean.fault_sim.faults_simulated, 52);
         assert_eq!(mean.fault_sim.faults_total, 80);
+        assert_eq!(mean.screened, 7);
         assert!((mean.mutation_score_pct - 52.0).abs() < 1e-12);
         assert!((mean.nlfce - 102.0).abs() < 1e-12);
         assert!((mean.metrics.nlfce - 102.0).abs() < 1e-12);

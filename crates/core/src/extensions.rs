@@ -370,12 +370,16 @@ pub fn equivalence_ablation(
     };
     let generated = mutation_guided_tests(&circuit.checked, &circuit.name, &subset, &mg)
         .map_err(TableError::from)?;
+    // The ablation varies the *classification budget*; screening would
+    // remove exactly the mutants whose class the budget decides, so the
+    // whole population runs unscreened here.
     let kills = kills_over_sessions(
         &circuit,
         &population,
         &generated.sessions,
         config.jobs,
         config.engine,
+        None,
     )?;
 
     let mut points = Vec::with_capacity(budgets.len());
@@ -385,7 +389,7 @@ pub fn equivalence_ablation(
             budget,
             ..config.equivalence
         };
-        let classes = classify_survivors(&circuit, &population, &kills, &cfg)?;
+        let classes = classify_survivors(&circuit, &population, &kills, &cfg, None)?;
         let score = MutationScore::from_results(&kills, &classes);
         points.push(AblationPoint {
             budget,

@@ -56,6 +56,7 @@ mod data;
 mod experiment;
 mod extensions;
 pub mod json;
+pub mod lint_task;
 pub mod paper;
 pub mod parallel;
 mod profile;
@@ -71,6 +72,10 @@ pub use campaign::{
 };
 pub use config::ExperimentConfig;
 pub use json::Json;
+pub use lint_task::{
+    lint_bench, lint_report_json, lint_source, render_lint_text, total_findings,
+    LintFindingRow, LintRow, LINT_SCHEMA,
+};
 pub use data::{
     coverage_of_sessions, coverage_of_sessions_reduced, fault_universe, random_baseline_curve,
     reduced_universe, sessions_to_patterns, FaultSimStats,

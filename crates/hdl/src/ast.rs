@@ -326,6 +326,42 @@ impl Stmt {
             | Stmt::Null { id } => *id,
         }
     }
+
+    /// The smallest source span covering this statement (leaf-span
+    /// merge, like [`Expr::span`]; dummy leaves are ignored).
+    pub fn span(&self) -> Span {
+        match self {
+            Stmt::Assign { target, value, .. } => {
+                let sel = match &target.sel {
+                    Some(Select::Index(ix)) => ix.span(),
+                    _ => Span::dummy(),
+                };
+                join_spans(target.base.span, join_spans(sel, value.span()))
+            }
+            Stmt::If { arms, else_body, .. } => {
+                let mut span = Span::dummy();
+                for (cond, body) in arms {
+                    span = join_spans(span, join_spans(cond.span(), body_span(body)));
+                }
+                if let Some(body) = else_body {
+                    span = join_spans(span, body_span(body));
+                }
+                span
+            }
+            Stmt::Case { subject, arms, default, .. } => {
+                let mut span = subject.span();
+                for arm in arms {
+                    span = join_spans(span, body_span(&arm.body));
+                }
+                if let Some(body) = default {
+                    span = join_spans(span, body_span(body));
+                }
+                span
+            }
+            Stmt::For { var, body, .. } => join_spans(var.span, body_span(body)),
+            Stmt::Null { .. } => Span::dummy(),
+        }
+    }
 }
 
 /// Binary operators.
@@ -549,6 +585,25 @@ pub enum Expr {
     },
 }
 
+/// Merges two spans, ignoring dummy (synthesized) spans so that one
+/// synthetic leaf cannot drag a real location down to byte 0.
+fn join_spans(a: Span, b: Span) -> Span {
+    if a == Span::dummy() {
+        b
+    } else if b == Span::dummy() {
+        a
+    } else {
+        a.merge(b)
+    }
+}
+
+/// The smallest span covering every real leaf span in a statement list.
+fn body_span(stmts: &[Stmt]) -> Span {
+    stmts
+        .iter()
+        .fold(Span::dummy(), |acc, s| join_spans(acc, s.span()))
+}
+
 impl Expr {
     /// The expression's node id.
     pub fn id(&self) -> NodeId {
@@ -562,6 +617,27 @@ impl Expr {
             | Expr::Reduce { id, .. }
             | Expr::Concat { id, .. }
             | Expr::Shift { id, .. } => *id,
+        }
+    }
+
+    /// The smallest source span covering this expression.
+    ///
+    /// Spans are recorded on the leaves (identifiers and literals); the
+    /// span of an interior node is the merge of its leaves' spans, with
+    /// dummy (synthesized) leaves ignored. An expression built entirely
+    /// from synthesized nodes reports [`Span::dummy`].
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Literal { span, .. } => *span,
+            Expr::Ref { name, .. } => name.span,
+            Expr::Index { base, index, .. } => join_spans(base.span(), index.span()),
+            Expr::Slice { base, .. } => base.span(),
+            Expr::Unary { arg, .. } | Expr::Reduce { arg, .. } | Expr::Shift { arg, .. } => {
+                arg.span()
+            }
+            Expr::Binary { lhs, rhs, .. } | Expr::Concat { lhs, rhs, .. } => {
+                join_spans(lhs.span(), rhs.span())
+            }
         }
     }
 
@@ -677,6 +753,53 @@ mod tests {
         let mut ids = Vec::new();
         walk_stmts(&body, &mut |s| ids.push(s.id().0));
         assert_eq!(ids, vec![0, 2, 3, 4]);
+    }
+
+    #[test]
+    fn expr_span_merges_real_leaves_and_ignores_dummies() {
+        let real = Expr::Literal {
+            id: NodeId(1),
+            value: 3,
+            width: None,
+            span: Span::new(10, 12),
+        };
+        let synth = Expr::Ref {
+            id: NodeId(2),
+            name: Ident::synthetic("x"),
+        };
+        let e = Expr::Binary {
+            id: NodeId(0),
+            op: BinOp::Add,
+            lhs: Box::new(real),
+            rhs: Box::new(synth),
+        };
+        assert_eq!(e.span(), Span::new(10, 12));
+        let all_synth = Expr::Ref {
+            id: NodeId(3),
+            name: Ident::synthetic("y"),
+        };
+        assert_eq!(all_synth.span(), Span::dummy());
+    }
+
+    #[test]
+    fn stmt_span_covers_target_and_value() {
+        let s = Stmt::Assign {
+            id: NodeId(0),
+            kind: AssignKind::Signal,
+            target: Target {
+                id: NodeId(1),
+                base: Ident { name: "q".into(), span: Span::new(4, 5) },
+                sel: None,
+            },
+            value: Expr::Literal {
+                id: NodeId(2),
+                value: 1,
+                width: None,
+                span: Span::new(9, 10),
+            },
+        };
+        assert_eq!(s.span(), Span::new(4, 10));
+        assert_eq!(Stmt::Null { id: NodeId(3) }.span(), Span::dummy());
     }
 
     #[test]

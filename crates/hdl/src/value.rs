@@ -33,6 +33,11 @@ pub struct Bits {
     raw: u64,
 }
 
+// The inherent `not`/`add`/`sub`/`mul`/`shl`/`shr` names are
+// deliberate: they sit next to `nand`/`xnor`/`cmp_eq` as the uniform
+// width-checked HDL operation set, and operator sugar would hide the
+// panic-on-width-mismatch contract at call sites.
+#[allow(clippy::should_implement_trait)]
 impl Bits {
     /// Creates a bit-vector, masking `raw` to `width` bits.
     ///

@@ -79,10 +79,10 @@ impl Table {
                 match self.aligns[i] {
                     Align::Left => {
                         out.push_str(cell);
-                        out.extend(std::iter::repeat_n(' ', pad));
+                        out.extend(std::iter::repeat(' ').take(pad));
                     }
                     Align::Right => {
-                        out.extend(std::iter::repeat_n(' ', pad));
+                        out.extend(std::iter::repeat(' ').take(pad));
                         out.push_str(cell);
                     }
                 }
@@ -95,7 +95,7 @@ impl Table {
         };
         render_row(&self.headers, &mut out);
         let total: usize = widths.iter().sum::<usize>() + 2 * (n - 1);
-        out.extend(std::iter::repeat_n('-', total));
+        out.extend(std::iter::repeat('-').take(total));
         out.push('\n');
         for row in &self.rows {
             render_row(row, &mut out);
@@ -156,7 +156,7 @@ mod tests {
         assert_eq!(pct(0.934123), "93.41");
         assert_eq!(signed0(340.2), "+340");
         assert_eq!(signed0(-12.7), "-13");
-        assert_eq!(f2(3.14159), "3.14");
+        assert_eq!(f2(4.5678), "4.57");
     }
 
     #[test]

@@ -124,6 +124,20 @@ pub fn classify_mutants(
     Ok(classes)
 }
 
+/// The class [`classify_mutants`] would assign to a mutant that
+/// survives every sequence: proven on exhaustively-enumerable
+/// combinational entities, presumed otherwise.
+///
+/// The static pre-screen uses this to fold proven-unkillable mutants
+/// into the `E` term with the exact class full execution would report.
+pub fn survivor_class(info: &EntityInfo, policy: &EquivalencePolicy) -> EquivalenceClass {
+    if info.is_combinational() && info.input_bits() <= policy.exhaustive_limit {
+        EquivalenceClass::ProvenEquivalent
+    } else {
+        EquivalenceClass::PresumedEquivalent
+    }
+}
+
 fn build_sequences(
     info: &EntityInfo,
     policy: &EquivalencePolicy,

@@ -196,6 +196,11 @@ pub(crate) fn compile_group(
     let fallback = (0..group.len())
         .filter(|slot| compiler.applied & (1u64 << (slot + 1)) == 0)
         .collect();
+    #[cfg(debug_assertions)]
+    {
+        super::verify::verify_tape(&comb, init.len());
+        super::verify::verify_tape(&edge, init.len());
+    }
     Ok(Compiled {
         comb,
         edge,

@@ -23,6 +23,10 @@
 
 mod compile;
 mod tape;
+// The structural tape checker runs (and therefore compiles) only in
+// debug builds, mirroring the `debug_assertions` hook in `compile`.
+#[cfg(debug_assertions)]
+mod verify;
 
 use crate::execute::{reference_transcript, run_one, try_shard, KillResult};
 use crate::mutant::{Mutant, MutationError};
@@ -158,6 +162,11 @@ pub struct LanePlan<'a> {
 }
 
 /// One executable unit of a [`LanePlan`].
+///
+/// Nearly every group is a `Tape`, so boxing the compiled payload to
+/// shrink the rare `ScalarOne` variant would buy nothing but an extra
+/// indirection on the hot path.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 enum PlanGroup {
     /// A compiled lane group covering `mutants[start..start + len]`.

@@ -1,0 +1,169 @@
+//! Structural verification of compiled lane tapes.
+//!
+//! [`verify_tape`] checks the invariants the [`super::tape::LaneVm`]
+//! executor silently relies on — SSA operand-before-use, symbol indices
+//! in range, well-formed slices, and mutation masks that never touch
+//! the reference lane — and panics with a precise message when a
+//! compile bug violates one. It runs after every group compile under
+//! `debug_assertions`, so release sweeps pay nothing.
+
+use super::tape::{Instr, Reg, Tape};
+
+/// Panics unless the tape upholds every structural invariant.
+///
+/// * the destination of instruction `i` is register `i` (pure SSA), so
+///   every operand must reference a register `< i`;
+/// * `Load`/store symbols must index into the `n_symbols`-entry state;
+/// * slices must have `hi >= lo` (the executor computes `hi - lo + 1`);
+/// * `MaskSel` masks must select at least one lane and never lane 0 —
+///   lane 0 is the reference machine and no mutation may divert it.
+pub(crate) fn verify_tape(tape: &Tape, n_symbols: usize) {
+    let check_reg = |r: Reg, i: usize, role: &str| {
+        assert!(
+            (r as usize) < i,
+            "tape instr {i} uses {role} register r{r} not defined before it"
+        );
+    };
+    for (i, instr) in tape.instrs.iter().enumerate() {
+        match *instr {
+            Instr::Load { sym } => {
+                assert!(
+                    (sym as usize) < n_symbols,
+                    "tape instr {i} loads symbol {sym} out of range (state has {n_symbols})"
+                );
+            }
+            Instr::Const { .. } => {}
+            Instr::MaskSel { mask, a, b } => {
+                check_reg(a, i, "mask-sel a");
+                check_reg(b, i, "mask-sel b");
+                assert!(mask != 0, "tape instr {i} has an empty mutation mask");
+                assert!(
+                    mask & 1 == 0,
+                    "tape instr {i} mutation mask selects reference lane 0"
+                );
+            }
+            Instr::Sel { cond, a, b } => {
+                check_reg(cond, i, "sel cond");
+                check_reg(a, i, "sel a");
+                check_reg(b, i, "sel b");
+            }
+            Instr::Not { a, .. } | Instr::Reduce { a, .. } | Instr::Shift { a, .. } => {
+                check_reg(a, i, "unary");
+            }
+            Instr::Bin { a, b, .. } => {
+                check_reg(a, i, "bin lhs");
+                check_reg(b, i, "bin rhs");
+            }
+            Instr::Slice { a, hi, lo } => {
+                check_reg(a, i, "slice");
+                assert!(hi >= lo, "tape instr {i} slices [{hi}:{lo}] with hi < lo");
+            }
+            Instr::Concat { a, b, .. } => {
+                check_reg(a, i, "concat high");
+                check_reg(b, i, "concat low");
+            }
+            Instr::DynGet { base, index, .. } => {
+                check_reg(base, i, "dyn-get base");
+                check_reg(index, i, "dyn-get index");
+            }
+            Instr::DynSet {
+                cur, index, bit, ..
+            } => {
+                check_reg(cur, i, "dyn-set cur");
+                check_reg(index, i, "dyn-set index");
+                check_reg(bit, i, "dyn-set bit");
+            }
+            Instr::WithSlice { cur, v, hi, lo } => {
+                check_reg(cur, i, "with-slice cur");
+                check_reg(v, i, "with-slice value");
+                assert!(
+                    hi >= lo,
+                    "tape instr {i} writes slice [{hi}:{lo}] with hi < lo"
+                );
+            }
+        }
+    }
+    for &(sym, reg) in &tape.stores {
+        assert!(
+            (sym as usize) < n_symbols,
+            "tape stores to symbol {sym} out of range (state has {n_symbols})"
+        );
+        assert!(
+            (reg as usize) < tape.instrs.len(),
+            "tape stores from register r{reg} past the end of the stream"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use musa_hdl::ast::BinOp;
+
+    fn valid_tape() -> Tape {
+        Tape {
+            instrs: vec![
+                Instr::Load { sym: 0 },
+                Instr::Const { value: 1 },
+                Instr::Bin {
+                    op: BinOp::Add,
+                    a: 0,
+                    b: 1,
+                    width: 4,
+                },
+                Instr::MaskSel { mask: 0b10, a: 1, b: 2 },
+            ],
+            stores: vec![(0, 3)],
+        }
+    }
+
+    #[test]
+    fn valid_tape_passes() {
+        verify_tape(&valid_tape(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not defined before it")]
+    fn forward_operand_reference_panics() {
+        let mut tape = valid_tape();
+        tape.instrs[2] = Instr::Bin {
+            op: BinOp::Add,
+            a: 0,
+            b: 2, // self-reference: defined *at* index 2, not before
+            width: 4,
+        };
+        verify_tape(&tape, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn load_of_unknown_symbol_panics() {
+        let mut tape = valid_tape();
+        tape.instrs[0] = Instr::Load { sym: 5 };
+        verify_tape(&tape, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "reference lane 0")]
+    fn mask_touching_lane_zero_panics() {
+        let mut tape = valid_tape();
+        tape.instrs[3] = Instr::MaskSel { mask: 0b11, a: 1, b: 2 };
+        verify_tape(&tape, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty mutation mask")]
+    fn empty_mask_panics() {
+        let mut tape = valid_tape();
+        tape.instrs[3] = Instr::MaskSel { mask: 0, a: 1, b: 2 };
+        verify_tape(&tape, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "past the end")]
+    fn store_from_missing_register_panics() {
+        let mut tape = valid_tape();
+        tape.stores = vec![(0, 9)];
+        verify_tape(&tape, 1);
+    }
+}

@@ -510,11 +510,11 @@ mod tests {
         let red = reduce_faults(&nl, &faults);
         // The PO stems are observed, but no fault is ever *credited*
         // through an XOR gate.
-        for i in 0..red.total() {
+        for (i, fault) in faults.iter().enumerate() {
             assert!(
                 !matches!(red.plan(i), FaultPlan::Credit(_)),
                 "{}: {:?}",
-                faults[i].describe(&nl),
+                fault.describe(&nl),
                 red.plan(i)
             );
         }

@@ -764,7 +764,7 @@ d = XOR(q, en)
         let nl = parse_bench(C17, "c17").unwrap();
         let faults = collapsed_faults(&nl);
         let all = exhaustive_patterns(5);
-        assert_reduced_matches(&nl, &faults, &[all.clone()], true);
+        assert_reduced_matches(&nl, &faults, std::slice::from_ref(&all), true);
         // Split sessions and a sparse prefix (leaves undetected faults,
         // exercising the residual pass; credit may or may not land, so
         // no strict-reduction expectation).
@@ -800,7 +800,12 @@ y = OR(q, b)
                     vec![(rng >> 61) & 1 == 1, (rng >> 62) & 1 == 1]
                 })
                 .collect();
-            best = best.min(assert_reduced_matches(&nl, &faults, &[vectors.clone()], false));
+            best = best.min(assert_reduced_matches(
+                &nl,
+                &faults,
+                std::slice::from_ref(&vectors),
+                false,
+            ));
             let half = vectors.len() / 2;
             best = best.min(assert_reduced_matches(
                 &nl,

@@ -368,9 +368,9 @@ mod tests {
     #[test]
     fn mux_truth_table() {
         let tt = truth_table(|b, x| b.mux(x[0], x[1], x[2]), 3);
-        for p in 0..8usize {
+        for (p, &got) in tt.iter().enumerate() {
             let (sel, t, e) = (p & 1 == 1, p & 2 == 2, p & 4 == 4);
-            assert_eq!(tt[p], if sel { t } else { e }, "p={p}");
+            assert_eq!(got, if sel { t } else { e }, "p={p}");
         }
     }
 
@@ -510,16 +510,16 @@ mod tests {
     #[test]
     fn reductions() {
         let tt = truth_table(|b, x| b.xor_reduce(x), 3);
-        for p in 0..8usize {
-            assert_eq!(tt[p], (p.count_ones() % 2) == 1, "p={p}");
+        for (p, &got) in tt.iter().enumerate() {
+            assert_eq!(got, (p.count_ones() % 2) == 1, "p={p}");
         }
         let tt = truth_table(|b, x| b.and_reduce(x), 3);
-        for p in 0..8usize {
-            assert_eq!(tt[p], p == 7, "p={p}");
+        for (p, &got) in tt.iter().enumerate() {
+            assert_eq!(got, p == 7, "p={p}");
         }
         let tt = truth_table(|b, x| b.or_reduce(x), 3);
-        for p in 0..8usize {
-            assert_eq!(tt[p], p != 0, "p={p}");
+        for (p, &got) in tt.iter().enumerate() {
+            assert_eq!(got, p != 0, "p={p}");
         }
     }
 }

@@ -455,15 +455,15 @@ impl<'a> Elaborator<'a> {
                 match op {
                     ShiftOp::Left => {
                         let mut out = vec![zero; w];
-                        for i in k..w {
-                            out[i] = bits[i - k];
+                        if k < w {
+                            out[k..].copy_from_slice(&bits[..w - k]);
                         }
                         out
                     }
                     ShiftOp::Right => {
                         let mut out = vec![zero; w];
-                        for i in 0..w.saturating_sub(k) {
-                            out[i] = bits[i + k];
+                        if k < w {
+                            out[..w - k].copy_from_slice(&bits[k..]);
                         }
                         out
                     }

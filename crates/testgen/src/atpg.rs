@@ -501,7 +501,7 @@ mod tests {
             let PodemResult::Test(pattern) = result else {
                 panic!("expected test");
             };
-            let sim = fault_simulate(&nl, &[*fault], &[pattern.clone()]);
+            let sim = fault_simulate(&nl, &[*fault], std::slice::from_ref(pattern));
             assert_eq!(
                 sim.detected_count(),
                 1,
@@ -585,7 +585,7 @@ mod tests {
             let PodemResult::Test(pattern) = result else {
                 panic!()
             };
-            let sim = fault_simulate(&nl, &[*fault], &[pattern.clone()]);
+            let sim = fault_simulate(&nl, &[*fault], std::slice::from_ref(pattern));
             assert_eq!(sim.detected_count(), 1, "{}", fault.describe(&nl));
         }
     }

@@ -14,6 +14,9 @@
 //! * [`synth`] — RTL synthesis from MiniHDL to gates;
 //! * [`mutation`] — the ten VHDL-style mutation operators, mutant
 //!   generation/execution and mutation-score computation;
+//! * [`analysis`] — dataflow analyses over the checked AST feeding the
+//!   lint catalog (`musa lint`) and the static equivalent-mutant
+//!   pre-screen (`--screen static`);
 //! * [`testgen`] — pseudo-random and mutation-guided test generation,
 //!   mutant sampling strategies, and a PODEM ATPG;
 //! * [`circuits`] — behavioral re-implementations of the paper's benchmark
@@ -43,6 +46,7 @@
 //! # }
 //! ```
 
+pub use musa_analysis as analysis;
 pub use musa_bench as bench;
 pub use musa_circuits as circuits;
 pub use musa_core as core;

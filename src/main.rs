@@ -15,6 +15,8 @@
 //! musa sample <name> [FRACTION]         run a sampling experiment
 //!             [--jobs N] [--seed N] [--paper] [--fast] [--json]
 //!             [--engine scalar|lanes]
+//! musa lint   <name>|--all|<file.mhdl>  run the static lint catalog;
+//!             [--json]                  exit 1 when findings exist
 //! musa list                             list bundled benchmarks
 //! musa help                             print the full usage text
 //! ```
@@ -30,6 +32,9 @@
 
 use musa::bench::cli::{print_report, run_trajectory, BenchCommand, SampleArgs, BENCH_USAGE};
 use musa::circuits::{Benchmark, Circuit};
+use musa::core::{
+    lint_report_json, lint_source, render_lint_text, total_findings, Campaign, ReportData, Task,
+};
 use musa::hdl::{parse, CheckedDesign};
 use musa::metrics::CoverageCurve;
 use musa::mutation::{count_by_operator, generate_mutants, GenerateOptions};
@@ -57,6 +62,12 @@ usage: musa <command> ...
   sample   <name> [FRACTION]         run a sampling experiment
            [--jobs N] [--seed N] [--paper] [--fast] [--json]
            [--engine scalar|lanes] [--fault-reduce on|off]
+           [--screen static|off]
+  lint     <name>|--all|<file.mhdl>  run the static lint catalog over a
+           [--json]                  benchmark (or every bundled one, or
+                                     an .mhdl file); compiler-style text
+                                     or musa.lint.v1 JSON; exit 1 when
+                                     findings exist
   list                               list bundled benchmarks
   help                               print this text
 ";
@@ -72,6 +83,7 @@ fn main() -> ExitCode {
         Some("scoap") => cmd_scoap(&args[1..]),
         Some("bench") => return cmd_bench(&args[1..]),
         Some("sample") => cmd_sample(&args[1..]),
+        Some("lint") => return cmd_lint(&args[1..]),
         Some("list") => cmd_list(),
         Some("help") | Some("--help") | Some("-h") => {
             print!("{USAGE}");
@@ -79,7 +91,7 @@ fn main() -> ExitCode {
         }
         _ => {
             eprintln!(
-                "usage: musa <info|synth|mutants|faultsim|atpg|scoap|bench|sample|list|help> ..."
+                "usage: musa <info|synth|mutants|faultsim|atpg|scoap|bench|sample|lint|list|help> ..."
             );
             eprintln!("run `musa help` for per-command arguments");
             return ExitCode::from(2);
@@ -264,6 +276,104 @@ fn bench_stats(name: &str) -> Result<(), String> {
     );
     println!("  mutant population: {}", mutants.len());
     Ok(())
+}
+
+const LINT_USAGE: &str = "usage: musa lint <name>|--all|<file.mhdl> [--json]";
+
+/// `musa lint`: exit 0 when every target is clean, 1 when findings (or
+/// a parse/check error in file mode) exist, 2 on usage errors and
+/// unknown benchmark names — decided before any analysis runs.
+fn cmd_lint(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut all = false;
+    let mut target: Option<&str> = None;
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--all" => all = true,
+            other if target.is_none() && !other.starts_with('-') => target = Some(other),
+            other => {
+                eprintln!("error: unexpected argument `{other}`");
+                eprintln!("{LINT_USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if all == target.is_some() {
+        eprintln!("{LINT_USAGE}");
+        return ExitCode::from(2);
+    }
+    // An explicit .mhdl path lints an on-disk file without a campaign.
+    if let Some(path) = target.filter(|t| t.ends_with(".mhdl")) {
+        return lint_file(path, json);
+    }
+    let benches: Vec<Benchmark> = if all {
+        Benchmark::all().to_vec()
+    } else {
+        let name = target.expect("checked above: exactly one of --all/<name>");
+        match Benchmark::from_name(name) {
+            Some(bench) => vec![bench],
+            None => {
+                eprintln!("error: unknown benchmark `{name}` (see `musa list`)");
+                return ExitCode::from(2);
+            }
+        }
+    };
+    let campaign = Campaign::new(benches[0]).benches(&benches).task(Task::Lint);
+    let report = match campaign.run() {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let ReportData::Lint(rows) = &report.data else {
+        unreachable!("the lint task yields lint rows");
+    };
+    let findings = total_findings(rows);
+    print_report(&report, json);
+    exit_by_findings(findings)
+}
+
+/// File mode for `musa lint`: read, parse, check, lint one `.mhdl`.
+fn lint_file(path: &str, json: bool) -> ExitCode {
+    let source = match std::fs::read_to_string(path) {
+        Ok(source) => source,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let stem = std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or(path)
+        .to_string();
+    let row = match lint_source(&stem, path, &source) {
+        Ok(row) => row,
+        Err(e) => {
+            eprintln!("error: {}", e.render(&source));
+            return ExitCode::FAILURE;
+        }
+    };
+    let findings = total_findings(std::slice::from_ref(&row));
+    if json {
+        println!(
+            "{}",
+            lint_report_json(std::slice::from_ref(&stem), std::slice::from_ref(&row))
+        );
+    } else {
+        print!("{}", render_lint_text(std::slice::from_ref(&row)));
+    }
+    exit_by_findings(findings)
+}
+
+fn exit_by_findings(findings: usize) -> ExitCode {
+    if findings == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 fn cmd_sample(args: &[String]) -> Result<(), String> {

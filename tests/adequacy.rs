@@ -61,7 +61,7 @@ fn podem_tests_detect_their_faults_on_synthesized_circuits() {
         for (fault, result) in faults.iter().zip(&results) {
             match result {
                 PodemResult::Test(pattern) => {
-                    let sim = fault_simulate(nl, &[*fault], &[pattern.clone()]);
+                    let sim = fault_simulate(nl, &[*fault], std::slice::from_ref(pattern));
                     assert_eq!(
                         sim.detected_count(),
                         1,

@@ -269,9 +269,11 @@ fn help_subcommand_lists_every_command_including_bench_trajectory() {
     let stdout = stdout_of(&["help"]);
     for fragment in [
         "usage: musa", "info", "synth", "mutants", "faultsim", "scoap", "atpg",
-        "bench", "sample", "list", "help",
+        "bench", "sample", "lint", "list", "help",
         // ...and the trajectory flags of the new subcommand.
         "--quick", "--baseline", "--filter", "--write",
+        // ...and the analysis knobs.
+        "--screen static|off", "musa.lint.v1",
     ] {
         assert!(stdout.contains(fragment), "help lacks {fragment}: {stdout}");
     }
@@ -395,6 +397,137 @@ fn bench_baseline_round_trip_gates_on_invariants() {
     assert!(stderr.contains("regression:"), "stderr: {stderr}");
     assert!(stderr.contains("invariant `population` changed"), "stderr: {stderr}");
     std::fs::remove_dir_all(&dir).unwrap();
+}
+
+// ---------------------------------------------------------------------
+// `musa lint` contract: exit 0 clean, 1 findings, 2 usage — and the
+// `musa.lint.v1` JSON pinned by goldens.
+// ---------------------------------------------------------------------
+
+const DIRTY_FIXTURE: &str = "tests/fixtures/lint_dirty.mhdl";
+
+#[test]
+fn lint_without_target_exits_2_with_usage() {
+    let out = musa(&["lint"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage: musa lint"));
+    // `--all` plus a name is equally a usage error.
+    let both = musa(&["lint", "--all", "c17"]);
+    assert_eq!(both.status.code(), Some(2));
+}
+
+#[test]
+fn lint_unknown_bench_exits_2_before_analysis() {
+    let out = musa(&["lint", "zz99"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown benchmark `zz99`"), "stderr: {stderr}");
+    assert!(out.stdout.is_empty(), "no analysis output before the error");
+}
+
+#[test]
+fn lint_clean_bench_exits_0_with_clean_line() {
+    let out = musa(&["lint", "c17"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert_eq!(String::from_utf8_lossy(&out.stdout), "c17.mhdl: clean\n");
+}
+
+#[test]
+fn lint_all_bundled_benchmarks_are_clean() {
+    let out = musa(&["lint", "--all"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 11, "one line per bundled benchmark: {stdout}");
+    for line in &lines {
+        assert!(line.ends_with(": clean"), "{line}");
+    }
+}
+
+#[test]
+fn lint_dirty_fixture_exits_1_with_file_line_findings() {
+    let out = musa(&["lint", DIRTY_FIXTURE]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // Every finding is a compiler-style `file:line:col: rule: message`
+    // line anchored at the fixture path.
+    assert!(!stdout.is_empty());
+    for line in stdout.lines() {
+        assert!(line.starts_with(&format!("{DIRTY_FIXTURE}:")), "{line}");
+    }
+    for fragment in [
+        ":3:8: unread-signal: ",
+        ":7:6: constant-condition: ",
+        ":8:5: dead-statement: ",
+    ] {
+        assert!(stdout.contains(fragment), "missing {fragment}: {stdout}");
+    }
+}
+
+#[test]
+fn lint_json_matches_the_goldens() {
+    let dirty = musa(&["lint", DIRTY_FIXTURE, "--json"]);
+    assert_eq!(dirty.status.code(), Some(1));
+    assert_eq!(
+        String::from_utf8_lossy(&dirty.stdout),
+        golden("lint_dirty.json"),
+        "musa.lint.v1 drifted from the dirty golden"
+    );
+    assert_eq!(
+        stdout_of(&["lint", "c17", "--json"]),
+        golden("lint_c17.json"),
+        "musa.lint.v1 drifted from the clean golden"
+    );
+}
+
+#[test]
+fn lint_missing_file_exits_2_and_broken_file_exits_1() {
+    let out = musa(&["lint", "/nonexistent/x.mhdl"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("/nonexistent/x.mhdl"));
+
+    let dir = std::env::temp_dir().join(format!("musa-cli-lint-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.mhdl");
+    std::fs::write(&bad, "entity nope").unwrap();
+    let out = musa(&["lint", bad.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "parse errors are failures, not usage");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error:"));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn sample_json_is_identical_across_screen_settings() {
+    // The static pre-screen is a work-avoidance knob, not a numbers
+    // knob: apart from the fields that *report* the knob and the
+    // screened count, the reports must match byte for byte.
+    let normalize = |text: String| -> String {
+        text.lines()
+            .filter(|l| {
+                !l.contains("\"wall_ms\":")
+                    && !l.contains("\"screen\":")
+                    && !l.contains("\"screened\":")
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let on = stdout_of(&[
+        "sample", "b01", "0.3", "--seed", "7", "--screen", "static", "--json",
+    ]);
+    assert!(on.contains("\"screen\": \"static\""));
+    let off = stdout_of(&[
+        "sample", "b01", "0.3", "--seed", "7", "--screen", "off", "--json",
+    ]);
+    assert!(off.contains("\"screen\": \"off\""));
+    assert!(off.contains("\"screened\": 0"));
+    assert_eq!(normalize(on), normalize(off));
+}
+
+#[test]
+fn sample_rejects_bad_screen_value() {
+    let out = musa(&["sample", "c17", "--screen", "sometimes"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("static|off"));
 }
 
 #[test]

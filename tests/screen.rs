@@ -1,0 +1,157 @@
+//! Static equivalent-mutant pre-screening (`--screen static`):
+//!
+//! * **soundness** — every mutant the screen proves equivalent really
+//!   does survive the scalar engine on arbitrary stimuli (proptest);
+//! * **bit-identity** — screening on vs off yields identical sampling
+//!   outcomes (kills, MS, NLFCE, every reported number) on every
+//!   bundled benchmark, and identical Table 1 / Table 2 renders. The
+//!   Table 2 rows *are* `run_sampling_experiment_on` outcomes, so the
+//!   all-bench outcome sweep is the table-level guarantee;
+//! * **usefulness** — the screen proves at least one equivalent on b01
+//!   (the `if rst = 1` width-1 relational site), so the knob is
+//!   exercised, not vacuous.
+
+use musa::analysis::screen_population;
+use musa::circuits::Benchmark;
+use musa::core::{ExperimentConfig, Table1, Table2, run_sampling_experiment_on};
+use musa::hdl::Bits;
+use musa::mutation::{
+    execute_mutants_jobs, generate_mutants, GenerateOptions, Mutant, MutationOperator,
+};
+use musa::prng::{Prng, SplitMix64};
+use musa::testgen::SamplingStrategy;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn circuits() -> &'static Vec<(musa::circuits::Circuit, Vec<Mutant>)> {
+    static CACHE: OnceLock<Vec<(musa::circuits::Circuit, Vec<Mutant>)>> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        Benchmark::all()
+            .into_iter()
+            .map(|bench| {
+                let circuit = bench.load().expect("benchmark loads");
+                let population = generate_mutants(
+                    &circuit.checked,
+                    &circuit.name,
+                    &GenerateOptions::default(),
+                );
+                (circuit, population)
+            })
+            .collect()
+    })
+}
+
+fn random_sequence_for(
+    circuit: &musa::circuits::Circuit,
+    cycles: usize,
+    seed: u64,
+) -> Vec<Vec<Bits>> {
+    let info = circuit.info();
+    let mut rng = SplitMix64::new(seed);
+    (0..cycles)
+        .map(|_| {
+            info.data_inputs
+                .iter()
+                .map(|&p| {
+                    let w = info.symbol(p).width;
+                    Bits::new(w, rng.bits(w))
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The screened mutants of one circuit, as (index, mutant) pairs.
+fn proven_of(circuit_index: usize) -> Vec<(usize, Mutant)> {
+    let (circuit, population) = &circuits()[circuit_index];
+    screen_population(&circuit.checked, &circuit.name, population)
+        .iter()
+        .enumerate()
+        .filter(|(_, class)| class.is_proven())
+        .map(|(i, _)| (i, population[i].clone()))
+        .collect()
+}
+
+#[test]
+fn b01_static_screen_proves_equivalents() {
+    let index = circuits()
+        .iter()
+        .position(|(c, _)| c.name == "b01")
+        .expect("b01 is bundled");
+    assert!(
+        !proven_of(index).is_empty(),
+        "the b01 width-1 relational sites must screen as equivalent"
+    );
+}
+
+/// Screening on vs off: byte-identical `Debug` of the full outcome —
+/// every score, count and metric — once the field that *reports* the
+/// screen (`screened`) is masked. Covers Table 2 for every bench, since
+/// its rows are exactly these outcomes.
+#[test]
+fn sampling_outcomes_are_identical_with_screen_on_and_off() {
+    for (circuit, population) in circuits() {
+        let seed = 0x5C_4EE0 ^ circuit.name.len() as u64;
+        let on_cfg = ExperimentConfig::fast(seed).with_screen(true);
+        let off_cfg = ExperimentConfig::fast(seed).with_screen(false);
+        let on = run_sampling_experiment_on(
+            circuit, population, SamplingStrategy::random(0.3), &on_cfg,
+        )
+        .expect("experiment runs");
+        let off = run_sampling_experiment_on(
+            circuit, population, SamplingStrategy::random(0.3), &off_cfg,
+        )
+        .expect("experiment runs");
+        assert_eq!(off.screened, 0, "{}: off must not screen", circuit.name);
+        let mut masked = on.clone();
+        masked.screened = 0;
+        assert_eq!(
+            format!("{masked:?}"),
+            format!("{off:?}"),
+            "{}: screening changed a reported number",
+            circuit.name
+        );
+    }
+}
+
+#[test]
+fn table_renders_are_identical_with_screen_on_and_off() {
+    let benches = [Benchmark::C17, Benchmark::B01];
+    let on_cfg = ExperimentConfig::fast(0x7AB1E).with_screen(true);
+    let off_cfg = on_cfg.with_screen(false);
+    let t1_on = Table1::measure(&benches, &MutationOperator::paper_set(), &on_cfg).unwrap();
+    let t1_off = Table1::measure(&benches, &MutationOperator::paper_set(), &off_cfg).unwrap();
+    assert_eq!(t1_on.render(), t1_off.render());
+    let t2_on = Table2::measure(&benches, 0.25, &on_cfg).unwrap();
+    let t2_off = Table2::measure(&benches, 0.25, &off_cfg).unwrap();
+    assert_eq!(t2_on.render(), t2_off.render());
+}
+
+proptest! {
+    /// Soundness: a `ProvenEquivalentStatic` verdict is a promise that
+    /// no stimulus distinguishes the mutant from the reference. Feed
+    /// every proven mutant random sequences through the scalar engine
+    /// and demand zero kills.
+    #[test]
+    fn proven_equivalent_mutants_survive_random_sequences(
+        seed in any::<u64>(),
+        pick in 0usize..Benchmark::all().len(),
+        cycles in 2usize..9,
+    ) {
+        let (circuit, _) = &circuits()[pick];
+        let proven = proven_of(pick);
+        if !proven.is_empty() {
+            let mutants: Vec<Mutant> =
+                proven.iter().map(|(_, m)| m.clone()).take(32).collect();
+            let sequence = random_sequence_for(circuit, cycles, seed);
+            let kills = execute_mutants_jobs(
+                &circuit.checked, &circuit.name, &mutants, &sequence, 1,
+            ).unwrap();
+            prop_assert_eq!(
+                kills.killed_count(), 0,
+                "{}: a statically-proven mutant was killed: {:?}",
+                &circuit.name, kills.first_kill
+            );
+        }
+    }
+}
