@@ -60,6 +60,7 @@ pub fn screen_population(
     entity: &str,
     mutants: &[Mutant],
 ) -> Vec<ScreenClass> {
+    let _trace = musa_trace::span("screen");
     let Some((ent, info)) = checked.entity(entity) else {
         return vec![ScreenClass::Viable; mutants.len()];
     };

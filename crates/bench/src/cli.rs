@@ -12,7 +12,8 @@
 
 use musa_circuits::Benchmark;
 use musa_core::{
-    compare, next_bench_path, BenchReport, Campaign, CampaignError, ComparePolicy,
+    bench_history_json, chrome_json, compare, next_bench_path, render_bench_history,
+    render_profile, trace_json, BenchReport, Campaign, CampaignError, ComparePolicy,
     ExperimentConfig, Report, ReportData, Task, DEFAULT_BENCHES, DEFAULT_SEED,
 };
 use musa_mutation::{Engine, MutationOperator};
@@ -36,10 +37,83 @@ pub enum CliError {
     /// `--screen` had a missing or unrecognized value (expected
     /// `static` or `off`).
     ScreenValue,
+    /// `--trace` had a missing value (a file path).
+    TraceValue,
+    /// `--trace-format` had a missing or unrecognized value (expected
+    /// `json` or `chrome`).
+    TraceFormatValue,
     /// An unrecognized `--flag` (strict front ends only).
     UnknownFlag(String),
     /// More positional arguments than the front end accepts.
     TooManyPositionals,
+}
+
+/// On-disk format for `--trace <file>`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// The `musa.trace.v1` document (round-trips through
+    /// `musa_core::json`).
+    #[default]
+    Json,
+    /// Chrome `trace_event` format, loadable in Perfetto /
+    /// `chrome://tracing`.
+    Chrome,
+}
+
+/// The observability flag set shared by every front end:
+/// `--trace <file>`, `--trace-format json|chrome`, `--profile`,
+/// `--progress`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceOpts {
+    /// `--trace <file>`: write the collected trace here after the run.
+    pub trace: Option<String>,
+    /// `--trace-format`: the file format for `--trace`.
+    pub format: TraceFormat,
+    /// `--profile`: print the per-phase breakdown after the run.
+    pub profile: bool,
+    /// `--progress`: coarse stderr progress lines while running.
+    pub progress: bool,
+}
+
+impl TraceOpts {
+    /// Whether the campaign needs a live tracer (a trace file or the
+    /// profile table was requested). When `false` the campaign runs
+    /// with the no-op sink and every output stays bit-identical.
+    pub fn wants_trace(&self) -> bool {
+        self.trace.is_some() || self.profile
+    }
+}
+
+/// Finishes a run's observability outputs: writes the `--trace` file
+/// (in the selected format) and prints the `--profile` table — to
+/// stdout normally, to stderr when stdout carries a `--json` document.
+///
+/// # Errors
+///
+/// Returns a message when the trace file cannot be written.
+pub fn emit_observability(
+    report: &Report,
+    opts: &TraceOpts,
+    json_stdout: bool,
+) -> Result<(), String> {
+    if let Some(path) = &opts.trace {
+        let document = match opts.format {
+            TraceFormat::Json => trace_json(report),
+            TraceFormat::Chrome => chrome_json(report),
+        }
+        .expect("wants_trace() enabled the campaign tracer");
+        std::fs::write(path, format!("{document}\n"))
+            .map_err(|e| format!("--trace {path}: {e}"))?;
+    }
+    if opts.profile {
+        let table = render_profile(report).expect("wants_trace() enabled the campaign tracer");
+        if json_stdout {
+            eprint!("{table}");
+        } else {
+            print!("{table}");
+        }
+    }
+    Ok(())
 }
 
 /// The flag set shared by every front end, as parsed.
@@ -63,6 +137,8 @@ pub struct Parsed {
     pub fault_reduce: Option<bool>,
     /// `--screen static|off`.
     pub screen: Option<bool>,
+    /// `--trace`, `--trace-format`, `--profile`, `--progress`.
+    pub trace: TraceOpts,
     /// Non-flag arguments, in order.
     pub positionals: Vec<String>,
 }
@@ -127,6 +203,25 @@ pub fn parse_tokens(
                 });
                 i += 1;
             }
+            "--trace" => {
+                parsed.trace.trace = Some(
+                    args.get(i + 1)
+                        .filter(|v| !v.starts_with('-'))
+                        .ok_or(CliError::TraceValue)?
+                        .clone(),
+                );
+                i += 1;
+            }
+            "--trace-format" => {
+                parsed.trace.format = match args.get(i + 1).map(String::as_str) {
+                    Some("json") => TraceFormat::Json,
+                    Some("chrome") => TraceFormat::Chrome,
+                    _ => return Err(CliError::TraceFormatValue),
+                };
+                i += 1;
+            }
+            "--profile" => parsed.trace.profile = true,
+            "--progress" => parsed.trace.progress = true,
             // Help short-circuits, exactly like the pre-redesign loop:
             // anything after it — including malformed values — is
             // never parsed.
@@ -151,7 +246,7 @@ pub fn parse_tokens(
 }
 
 /// Command-line options shared by every bench binary.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct CliOptions {
     /// Use the scaled-down configuration.
     pub fast: bool,
@@ -174,6 +269,26 @@ pub struct CliOptions {
     /// default on). Reported numbers are identical either way; only
     /// the `screened` count in the JSON report changes.
     pub screen: bool,
+    /// Observability flags (`--trace`, `--trace-format`, `--profile`,
+    /// `--progress`). All off by default; every report output stays
+    /// bit-identical when they are.
+    pub trace: TraceOpts,
+}
+
+impl Default for CliOptions {
+    fn default() -> Self {
+        Self {
+            fast: false,
+            paper: false,
+            json: false,
+            seed: DEFAULT_SEED,
+            jobs: 0,
+            engine: Engine::default(),
+            fault_reduce: true,
+            screen: true,
+            trace: TraceOpts::default(),
+        }
+    }
 }
 
 impl CliOptions {
@@ -204,6 +319,18 @@ options (shared by every musa_bench experiment binary):
               bit-identical either way
   --json      emit the typed campaign report as JSON (stable
               `musa.campaign.v1` schema) instead of text
+  --trace FILE
+              write the collected spans + counters to FILE after the
+              run (`musa.trace.v1` by default); the report itself stays
+              bit-identical to an untraced run
+  --trace-format json|chrome
+              trace file format: `json` (musa.trace.v1, round-trips
+              through the musa_core parser) or `chrome` (trace_event,
+              open in Perfetto / chrome://tracing)
+  --profile   print a per-phase wall/count breakdown after the run
+              (stderr when stdout carries the --json document)
+  --progress  coarse progress lines on stderr while the run advances
+              (bench / repetition / lane-group granularity)
   --help      print this text";
 
     /// Parses `--fast`, `--paper`, `--json`, `--seed N`, `--jobs N`
@@ -228,6 +355,7 @@ options (shared by every musa_bench experiment binary):
                 engine: parsed.engine.unwrap_or_default(),
                 fault_reduce: parsed.fault_reduce.unwrap_or(true),
                 screen: parsed.screen.unwrap_or(true),
+                trace: parsed.trace,
             },
             Err(e) => {
                 let message = match e {
@@ -238,6 +366,8 @@ options (shared by every musa_bench experiment binary):
                     }
                     CliError::FaultReduceValue => "--fault-reduce expects `on` or `off`",
                     CliError::ScreenValue => "--screen expects `static` or `off`",
+                    CliError::TraceValue => "--trace expects a file path",
+                    CliError::TraceFormatValue => "--trace-format expects `json` or `chrome`",
                     // Lenient parsing ignores unknown arguments.
                     CliError::UnknownFlag(_) | CliError::TooManyPositionals => {
                         unreachable!("lenient mode ignores unknown arguments")
@@ -291,12 +421,16 @@ pub struct SampleArgs {
     pub fast: bool,
     /// Emit JSON.
     pub json: bool,
+    /// Observability flags (`--trace`, `--trace-format`, `--profile`,
+    /// `--progress`).
+    pub trace: TraceOpts,
 }
 
 /// The `musa sample` usage line.
 pub const SAMPLE_USAGE: &str = "expected <name> [fraction] [--jobs N] [--seed N] \
 [--paper] [--fast] [--json] [--engine scalar|lanes] [--fault-reduce on|off] \
-[--screen static|off]";
+[--screen static|off] [--trace FILE] [--trace-format json|chrome] [--profile] \
+[--progress]";
 
 impl SampleArgs {
     /// Parses `musa sample`'s arguments (everything after the
@@ -313,6 +447,8 @@ impl SampleArgs {
             CliError::EngineMissing => "--engine expects scalar|lanes".to_string(),
             CliError::FaultReduceValue => "--fault-reduce expects on|off".to_string(),
             CliError::ScreenValue => "--screen expects static|off".to_string(),
+            CliError::TraceValue => "--trace expects a file path".to_string(),
+            CliError::TraceFormatValue => "--trace-format expects json|chrome".to_string(),
             CliError::EngineInvalid(detail) => detail,
             CliError::UnknownFlag(flag) => format!("unknown flag `{flag}`; {SAMPLE_USAGE}"),
             CliError::TooManyPositionals => SAMPLE_USAGE.to_string(),
@@ -337,6 +473,7 @@ impl SampleArgs {
             paper: parsed.paper,
             fast: parsed.fast,
             json: parsed.json,
+            trace: parsed.trace,
         })
     }
 
@@ -350,6 +487,7 @@ impl SampleArgs {
             .engine(self.engine)
             .fault_reduce(self.fault_reduce)
             .screen(self.screen)
+            .trace(self.trace.wants_trace())
             .task(Task::Sampling { fraction: self.fraction });
         if self.paper {
             campaign = campaign.paper();
@@ -381,6 +519,12 @@ pub struct TrajectoryArgs {
     pub write: bool,
     /// `--seed N`.
     pub seed: Option<u64>,
+    /// `--history`: render the per-cell median trajectory over the
+    /// committed `BENCH_<n>.json` files instead of measuring.
+    pub history: bool,
+    /// Observability flags (`--trace`, `--trace-format`, `--profile`,
+    /// `--progress`).
+    pub trace: TraceOpts,
 }
 
 /// The `musa bench` usage text (`musa help` points here too).
@@ -388,7 +532,12 @@ pub const BENCH_USAGE: &str = "\
 usage: musa bench <name>                 stats for one bundled benchmark
        musa bench [--quick] [--json] [--filter <bench>]
                   [--baseline <file>] [--write] [--seed N]
+                  [--trace FILE] [--trace-format json|chrome]
+                  [--profile] [--progress]
                                          benchmark trajectory
+       musa bench --history [--json] [--filter <bench>]
+                                         per-cell median trajectory over
+                                         the committed BENCH_<n>.json
 trajectory flags:
   --quick            1 warmup + 3 timed samples per cell instead of
                      3 + 9; same grid and invariants, but the baseline
@@ -401,7 +550,17 @@ trajectory flags:
   --baseline <file>  compare against a committed BENCH_<n>.json and
                      exit 1 on any gated regression
   --write            write the report to the next free BENCH_<n>.json
-  --seed N           master seed (default 0xDA7E2005)";
+  --seed N           master seed (default 0xDA7E2005)
+  --history          no measuring: read BENCH_1.json, BENCH_2.json, …
+                     from the working directory and print each cell's
+                     median wall-time trajectory (text, or
+                     `musa.bench.history.v1` with --json)
+  --trace FILE       write collected spans + counters to FILE
+  --trace-format json|chrome
+                     trace file format (default: musa.trace.v1 JSON)
+  --profile          per-phase breakdown after the run (stderr with
+                     --json)
+  --progress         coarse stderr progress lines while measuring";
 
 /// How a `musa bench` invocation routes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -433,6 +592,26 @@ impl BenchCommand {
                 "--quick" => trajectory.quick = true,
                 "--json" => trajectory.json = true,
                 "--write" => trajectory.write = true,
+                "--history" => trajectory.history = true,
+                "--profile" => trajectory.trace.profile = true,
+                "--progress" => trajectory.trace.progress = true,
+                "--trace" => {
+                    trajectory.trace.trace = Some(
+                        args.get(i + 1)
+                            .filter(|v| !v.starts_with('-'))
+                            .ok_or("--trace expects a file path")?
+                            .clone(),
+                    );
+                    i += 1;
+                }
+                "--trace-format" => {
+                    trajectory.trace.format = match args.get(i + 1).map(String::as_str) {
+                        Some("json") => TraceFormat::Json,
+                        Some("chrome") => TraceFormat::Chrome,
+                        _ => return Err("--trace-format expects json|chrome".to_string()),
+                    };
+                    i += 1;
+                }
                 "--filter" => {
                     trajectory.filter = Some(
                         args.get(i + 1)
@@ -472,6 +651,9 @@ impl BenchCommand {
 /// `2` on a usage-level error (unknown `--filter` benchmark,
 /// unreadable or malformed `--baseline` file).
 pub fn run_trajectory(args: &TrajectoryArgs) -> u8 {
+    if args.history {
+        return run_history(args);
+    }
     let benches: Vec<Benchmark> = match &args.filter {
         Some(name) => match Benchmark::from_name(name) {
             Some(bench) => vec![bench],
@@ -510,9 +692,11 @@ pub fn run_trajectory(args: &TrajectoryArgs) -> u8 {
         }
         None => None,
     };
+    musa_trace::set_progress(args.trace.progress);
     let campaign = Campaign::new(Benchmark::C17)
         .benches(&benches)
         .seed(args.seed.unwrap_or(DEFAULT_SEED))
+        .trace(args.trace.wants_trace())
         .task(Task::Bench { quick: args.quick });
     let report = match campaign.run() {
         Ok(report) => report,
@@ -522,6 +706,10 @@ pub fn run_trajectory(args: &TrajectoryArgs) -> u8 {
         }
     };
     print_report(&report, args.json);
+    if let Err(message) = emit_observability(&report, &args.trace, args.json) {
+        eprintln!("error: {message}");
+        return 1;
+    }
     let ReportData::Bench(current) = &report.data else {
         unreachable!("Task::Bench always yields ReportData::Bench");
     };
@@ -553,6 +741,68 @@ pub fn run_trajectory(args: &TrajectoryArgs) -> u8 {
                 "invariants + engine ratio"
             },
         );
+    }
+    0
+}
+
+/// `musa bench --history`: loads the committed `BENCH_<n>.json`
+/// sequence from the working directory (numbered contiguously from 1,
+/// exactly what `--write` produces) and prints each cell's median
+/// wall-time trajectory — the ROADMAP's `dev/bench`-style history
+/// renderer. Exit `0` on success, `2` when no reports exist or one is
+/// malformed.
+fn run_history(args: &TrajectoryArgs) -> u8 {
+    // Same naming contract as `next_bench_path`: indices may have gaps
+    // (they are never reused), so scan the directory instead of
+    // counting up from 1.
+    let mut indices: Vec<u64> = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(".") {
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(n) = name
+                .strip_prefix("BENCH_")
+                .and_then(|rest| rest.strip_suffix(".json"))
+                .and_then(|digits| digits.parse::<u64>().ok())
+            {
+                indices.push(n);
+            }
+        }
+    }
+    indices.sort_unstable();
+    let mut labels = Vec::new();
+    let mut reports = Vec::new();
+    for n in indices {
+        let path = format!("BENCH_{n}.json");
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                return 2;
+            }
+        };
+        match BenchReport::from_json(&text) {
+            Ok(mut report) => {
+                if let Some(name) = &args.filter {
+                    report.cells.retain(|c| c.bench == *name);
+                }
+                labels.push(format!("BENCH_{n}"));
+                reports.push(report);
+            }
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                return 2;
+            }
+        }
+    }
+    if reports.is_empty() {
+        eprintln!("error: no BENCH_<n>.json reports in the working directory");
+        return 2;
+    }
+    if args.json {
+        println!("{}", bench_history_json(&labels, &reports));
+    } else {
+        print!("{}", render_bench_history(&labels, &reports));
     }
     0
 }
@@ -643,6 +893,7 @@ impl Bin {
             .jobs(opts.jobs)
             .engine(opts.engine)
             .fault_reduce(opts.fault_reduce)
+            .trace(opts.trace.wants_trace())
             .task(self.task(opts.fast));
         if opts.fast {
             campaign = campaign.fast();
@@ -677,8 +928,15 @@ impl Bin {
 /// `main` of every experiment binary.
 pub fn drive(bin: Bin) {
     let opts = CliOptions::from_args();
+    musa_trace::set_progress(opts.trace.progress);
     match bin.campaign(&opts).run() {
-        Ok(report) => print_report(&report, opts.json),
+        Ok(report) => {
+            print_report(&report, opts.json);
+            if let Err(message) = emit_observability(&report, &opts.trace, opts.json) {
+                eprintln!("error: {message}");
+                std::process::exit(1);
+            }
+        }
         Err(e) => {
             eprintln!("{}", bin.error_message(&e));
             std::process::exit(1);
@@ -716,6 +974,7 @@ mod tests {
             engine: Engine::Scalar,
             fault_reduce: true,
             screen: true,
+            trace: TraceOpts::default(),
         };
         let cfg = opts.config();
         assert_eq!(cfg.seed, 42);
@@ -733,6 +992,7 @@ mod tests {
             engine: Engine::Scalar,
             fault_reduce: true,
             screen: true,
+            trace: TraceOpts::default(),
         };
         assert_eq!(opts.config().jobs, 3);
     }
@@ -748,6 +1008,7 @@ mod tests {
             engine: Engine::Lanes,
             fault_reduce: true,
             screen: true,
+            trace: TraceOpts::default(),
         };
         let cfg = opts.config();
         assert_eq!(cfg.engine, Engine::Lanes);
@@ -758,7 +1019,8 @@ mod tests {
     fn usage_documents_every_flag() {
         for flag in [
             "--fast", "--paper", "--seed", "--jobs", "--engine", "--fault-reduce",
-            "--screen", "--json", "--help",
+            "--screen", "--json", "--trace", "--trace-format", "--profile",
+            "--progress", "--help",
         ] {
             assert!(CliOptions::USAGE.contains(flag), "usage lacks {flag}");
         }
@@ -821,6 +1083,7 @@ mod tests {
             engine: Engine::Scalar,
             fault_reduce: false,
             screen: true,
+            trace: TraceOpts::default(),
         };
         assert!(!opts.config().fault_reduce);
         let args =
@@ -857,6 +1120,7 @@ mod tests {
             engine: Engine::Scalar,
             fault_reduce: true,
             screen: false,
+            trace: TraceOpts::default(),
         };
         assert!(!opts.config().screen);
         let args = SampleArgs::parse(&strings(&["c17", "--screen", "off"])).unwrap();
@@ -868,6 +1132,43 @@ mod tests {
         );
         // Default: screening on.
         assert!(SampleArgs::parse(&strings(&["c17"])).unwrap().screen);
+    }
+
+    #[test]
+    fn trace_flags_parse_and_reach_the_campaign() {
+        let parsed = parse_tokens(
+            &strings(&[
+                "--trace", "t.json", "--trace-format", "chrome", "--profile", "--progress",
+            ]),
+            0,
+            true,
+        )
+        .unwrap();
+        assert_eq!(parsed.trace.trace.as_deref(), Some("t.json"));
+        assert_eq!(parsed.trace.format, TraceFormat::Chrome);
+        assert!(parsed.trace.profile && parsed.trace.progress);
+        assert!(parsed.trace.wants_trace());
+        assert_eq!(
+            parse_tokens(&strings(&["--trace"]), 0, true).unwrap_err(),
+            CliError::TraceValue
+        );
+        assert_eq!(
+            parse_tokens(&strings(&["--trace", "--fast"]), 0, true).unwrap_err(),
+            CliError::TraceValue
+        );
+        assert_eq!(
+            parse_tokens(&strings(&["--trace-format", "xml"]), 0, true).unwrap_err(),
+            CliError::TraceFormatValue
+        );
+        // --profile alone is enough to need a live tracer; the default
+        // flag set is not (so untraced runs stay bit-identical).
+        let args = SampleArgs::parse(&strings(&["c17", "--profile"])).unwrap();
+        assert!(args.trace.wants_trace());
+        let args = SampleArgs::parse(&strings(&["c17"])).unwrap();
+        assert!(!args.trace.wants_trace());
+        assert!(SampleArgs::parse(&strings(&["c17", "--trace-format", "xml"]))
+            .unwrap_err()
+            .contains("json|chrome"));
     }
 
     #[test]
@@ -937,7 +1238,8 @@ mod tests {
         );
         let parsed = BenchCommand::parse(&strings(&[
             "--quick", "--json", "--filter", "c17", "--baseline", "BENCH_1.json",
-            "--write", "--seed", "9",
+            "--write", "--seed", "9", "--history", "--trace", "t.json",
+            "--trace-format", "chrome", "--profile", "--progress",
         ]))
         .unwrap();
         assert_eq!(
@@ -949,6 +1251,13 @@ mod tests {
                 baseline: Some("BENCH_1.json".into()),
                 write: true,
                 seed: Some(9),
+                history: true,
+                trace: TraceOpts {
+                    trace: Some("t.json".into()),
+                    format: TraceFormat::Chrome,
+                    profile: true,
+                    progress: true,
+                },
             })
         );
     }
@@ -960,6 +1269,9 @@ mod tests {
             (&["--filter", "--quick"][..], "--filter expects"),
             (&["--baseline"][..], "--baseline expects"),
             (&["--seed", "zz"][..], "--seed expects"),
+            (&["--trace"][..], "--trace expects"),
+            (&["--trace", "--quick"][..], "--trace expects"),
+            (&["--trace-format", "xml"][..], "--trace-format expects"),
             (&["--quick", "extra"][..], "unknown argument `extra`"),
             (&["--frobnicate"][..], "unknown argument `--frobnicate`"),
         ] {
@@ -970,7 +1282,10 @@ mod tests {
 
     #[test]
     fn bench_usage_documents_every_trajectory_flag() {
-        for flag in ["--quick", "--json", "--filter", "--baseline", "--write", "--seed"] {
+        for flag in [
+            "--quick", "--json", "--filter", "--baseline", "--write", "--seed",
+            "--history", "--trace", "--trace-format", "--profile", "--progress",
+        ] {
             assert!(BENCH_USAGE.contains(flag), "usage lacks {flag}");
         }
     }
@@ -1042,6 +1357,7 @@ mod tests {
                 engine: Engine::Scalar,
                 fault_reduce: true,
                 screen: true,
+                trace: TraceOpts::default(),
             };
             bin.campaign(&opts).validate().unwrap_or_else(|e| panic!("{bin:?}: {e}"));
         }

@@ -311,6 +311,7 @@ pub fn run_bench(
     let (warmup, samples) = (opts.warmup(), opts.samples());
     let mut cells = Vec::new();
     for &bench in benches {
+        let _trace = musa_trace::span_detail("bench", || bench.name().to_string());
         let per_bench = |e: TableError| CampaignError::Run {
             bench: bench.name().to_string(),
             source: e,
@@ -369,6 +370,7 @@ pub fn run_bench(
                 })?;
                 cell.wall = wall;
                 cell.invariants = stable(&cell.id(), results);
+                musa_trace::progress(|| format!("bench cell {} done", cell.id()));
                 cells.push(cell);
             }
         }
@@ -409,6 +411,7 @@ pub fn run_bench(
             })?;
             cell.wall = wall;
             cell.invariants = stable(&cell.id(), results);
+            musa_trace::progress(|| format!("bench cell {} done", cell.id()));
             cells.push(cell);
         }
     }
@@ -899,6 +902,136 @@ pub fn next_bench_path(dir: &std::path::Path) -> std::path::PathBuf {
     dir.join(format!("BENCH_{}.json", max + 1))
 }
 
+// ---------------------------------------------------------------------
+// `musa bench --history` — trajectory over committed reports
+// ---------------------------------------------------------------------
+
+/// Schema tag of the `musa bench --history` JSON document.
+pub const BENCH_HISTORY_SCHEMA: &str = "musa.bench.history.v1";
+
+/// One cell's median wall-time trajectory across the committed
+/// `BENCH_<n>.json` sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoryRow {
+    /// The stable cell id ([`BenchCell::id`]).
+    pub id: String,
+    /// Median wall time in milliseconds per report (oldest first);
+    /// `None` where the report has no such cell.
+    pub median_ms: Vec<Option<f64>>,
+}
+
+impl HistoryRow {
+    /// Relative change (%) from the first to the last report that
+    /// carries this cell; `None` with fewer than two data points.
+    pub fn delta_pct(&self) -> Option<f64> {
+        let mut present = self.median_ms.iter().flatten();
+        let first = *present.next()?;
+        let last = *present.last()?;
+        (first > 0.0).then(|| 100.0 * (last - first) / first)
+    }
+}
+
+/// Builds the per-cell median trajectory over `reports` (oldest
+/// first). Rows keep first-appearance order, so the output is the grid
+/// order of the oldest report with later additions appended.
+pub fn bench_history(reports: &[BenchReport]) -> Vec<HistoryRow> {
+    let mut rows: Vec<HistoryRow> = Vec::new();
+    let mut index: std::collections::BTreeMap<String, usize> = std::collections::BTreeMap::new();
+    for (i, report) in reports.iter().enumerate() {
+        for cell in &report.cells {
+            let id = cell.id();
+            let at = *index.entry(id.clone()).or_insert_with(|| {
+                rows.push(HistoryRow { id, median_ms: vec![None; reports.len()] });
+                rows.len() - 1
+            });
+            rows[at].median_ms[i] = Some(cell.wall.median / 1e6);
+        }
+    }
+    rows
+}
+
+/// Renders the `musa bench --history` text table: one row per cell,
+/// one median-wall-ms column per committed report (`-` where a report
+/// lacks the cell), and a trailing first→last Δ% column.
+pub fn render_bench_history(labels: &[String], reports: &[BenchReport]) -> String {
+    use std::fmt::Write as _;
+    assert_eq!(labels.len(), reports.len(), "one label per report");
+    let rows = bench_history(reports);
+    let id_w = rows
+        .iter()
+        .map(|r| r.id.len())
+        .chain(["cell".len()])
+        .max()
+        .unwrap_or(4);
+    let col_ws: Vec<usize> = labels.iter().map(|l| l.len().max(8)).collect();
+    let mut out = String::new();
+    let _ = write!(out, "{:<id_w$}", "cell");
+    for (label, w) in labels.iter().zip(&col_ws) {
+        let _ = write!(out, "  {label:>w$}");
+    }
+    out.push_str("      Δ%\n");
+    for row in &rows {
+        let _ = write!(out, "{:<id_w$}", row.id);
+        for (median, w) in row.median_ms.iter().zip(&col_ws) {
+            match median {
+                Some(ms) => {
+                    let _ = write!(out, "  {ms:>w$.2}");
+                }
+                None => {
+                    let _ = write!(out, "  {:>w$}", "-");
+                }
+            }
+        }
+        match row.delta_pct() {
+            Some(delta) => {
+                let _ = writeln!(out, "  {delta:>+6.1}");
+            }
+            None => {
+                let _ = writeln!(out, "  {:>6}", "-");
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "{} report(s), {} cell(s); medians in ms",
+        reports.len(),
+        rows.len()
+    );
+    out
+}
+
+/// Renders the `musa bench --history` JSON document
+/// (`musa.bench.history.v1`): the report labels plus every
+/// [`HistoryRow`] with its nullable per-report medians and Δ%.
+pub fn bench_history_json(labels: &[String], reports: &[BenchReport]) -> String {
+    assert_eq!(labels.len(), reports.len(), "one label per report");
+    let cells = bench_history(reports)
+        .into_iter()
+        .map(|row| {
+            let delta = row.delta_pct();
+            Json::Obj(vec![
+                ("id", Json::str(row.id)),
+                (
+                    "median_ms",
+                    Json::Arr(
+                        row.median_ms
+                            .iter()
+                            .map(|m| m.map_or(Json::Null, Json::Float))
+                            .collect(),
+                    ),
+                ),
+                ("delta_pct", delta.map_or(Json::Null, Json::Float)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("schema", Json::str(BENCH_HISTORY_SCHEMA)),
+        ("reports", Json::Arr(labels.iter().map(Json::str).collect())),
+        ("cells", Json::Arr(cells)),
+    ])
+    .render()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1220,5 +1353,40 @@ mod tests {
             run_bench(&[Benchmark::C17], &BenchOptions { quick: true, seed: 7 })
                 .unwrap();
         assert_eq!(compare(&report, &again, &ComparePolicy::quick()), vec![]);
+    }
+
+    #[test]
+    fn history_tracks_cell_medians_across_reports() {
+        let r1 = report(vec![exec_cell("c17", Engine::Scalar, 1, 0.50, 100)]);
+        let r2 = report(vec![
+            exec_cell("c17", Engine::Scalar, 1, 0.40, 100),
+            exec_cell("b01", Engine::Lanes, 1, 1.25, 80),
+        ]);
+        let rows = bench_history(&[r1.clone(), r2.clone()]);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].id, "mutant_exec/c17/scalar/jobs=1");
+        assert_eq!(rows[0].median_ms, vec![Some(0.50), Some(0.40)]);
+        let delta = rows[0].delta_pct().unwrap();
+        assert!((delta + 20.0).abs() < 1e-9, "{delta}");
+        // A cell appearing only in the newest report has no trajectory.
+        assert_eq!(rows[1].median_ms, vec![None, Some(1.25)]);
+        assert_eq!(rows[1].delta_pct(), None);
+
+        let labels = vec!["BENCH_1".to_string(), "BENCH_2".to_string()];
+        let text = render_bench_history(&labels, &[r1.clone(), r2.clone()]);
+        assert!(text.contains("BENCH_1"), "{text}");
+        assert!(text.contains("mutant_exec/c17/scalar/jobs=1"), "{text}");
+        assert!(text.contains("2 report(s), 2 cell(s)"), "{text}");
+
+        let doc = json::parse(&bench_history_json(&labels, &[r1, r2])).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(JsonValue::as_str),
+            Some(BENCH_HISTORY_SCHEMA)
+        );
+        let cells = doc.get("cells").and_then(JsonValue::as_arr).unwrap();
+        assert_eq!(cells.len(), 2);
+        let medians = cells[0].get("median_ms").and_then(JsonValue::as_arr).unwrap();
+        assert_eq!(medians.len(), 2);
+        assert_eq!(medians[1].as_f64(), Some(0.40));
     }
 }

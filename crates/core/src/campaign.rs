@@ -237,6 +237,7 @@ pub struct Campaign {
     paper: bool,
     fast: bool,
     task: Option<Task>,
+    trace: bool,
 }
 
 /// The default master seed, shared with the pre-redesign CLIs.
@@ -263,6 +264,7 @@ impl Campaign {
             paper: false,
             fast: false,
             task: None,
+            trace: false,
         }
     }
 
@@ -346,6 +348,18 @@ impl Campaign {
     #[must_use]
     pub fn task(mut self, task: Task) -> Self {
         self.task = Some(task);
+        self
+    }
+
+    /// Collects a structured trace of the run (spans + counters,
+    /// [`Report::trace`]). Off by default; when off, no instrumented
+    /// code path ever reads the clock and every report byte is
+    /// identical to an untraced run. Purely observational either way:
+    /// the trace rides out-of-band on the report and never enters
+    /// [`Report::render_text`] / [`Report::to_json`].
+    #[must_use]
+    pub fn trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
         self
     }
 
@@ -435,9 +449,24 @@ impl Campaign {
     /// Validation errors before any work starts; [`CampaignError::Task`]
     /// / [`CampaignError::Run`] when a measurement fails.
     pub fn run(&self) -> Result<Report, CampaignError> {
-        let resolved = self.resolve()?;
+        // `Tracer::off` keeps every span/counter helper below a no-op
+        // that never reads the clock, so untraced runs stay bit- and
+        // timing-path-identical to the pre-instrumentation code.
+        let tracer = if self.trace {
+            musa_trace::Tracer::new()
+        } else {
+            musa_trace::Tracer::off()
+        };
+        let _install = tracer.install();
+        let resolved = {
+            let _trace = musa_trace::span("validate");
+            self.resolve()?
+        };
         let started = Instant::now();
-        let data = resolved.execute()?;
+        let data = {
+            let _trace = musa_trace::span_detail("campaign", || resolved.task.slug().to_string());
+            resolved.execute()?
+        };
         Ok(Report {
             meta: RunMeta {
                 benches: resolved.benches.iter().map(|b| b.name().to_string()).collect(),
@@ -451,6 +480,7 @@ impl Campaign {
             },
             task: resolved.task,
             data,
+            trace: tracer.finish(),
         })
     }
 }
@@ -473,6 +503,8 @@ impl Resolved {
             Task::Sampling { fraction } => {
                 let mut rows = Vec::with_capacity(self.benches.len());
                 for &bench in &self.benches {
+                    let _trace = musa_trace::span_detail("bench", || bench.name().to_string());
+                    musa_trace::progress(|| format!("sampling {}", bench.name()));
                     let circuit = bench.load().map_err(|e| per_bench(bench, e.into()))?;
                     let outcome = run_sampling_experiment(
                         &circuit,
@@ -487,6 +519,8 @@ impl Resolved {
             Task::OperatorProfile { operators } => {
                 let mut profiles = Vec::with_capacity(self.benches.len());
                 for &bench in &self.benches {
+                    let _trace = musa_trace::span_detail("bench", || bench.name().to_string());
+                    musa_trace::progress(|| format!("profiling {}", bench.name()));
                     let circuit = bench.load().map_err(|e| per_bench(bench, e.into()))?;
                     let profile = OperatorProfile::measure(&circuit, operators, config)
                         .map_err(|e| per_bench(bench, e.into()))?;
@@ -497,6 +531,8 @@ impl Resolved {
             Task::MutationGuided => {
                 let mut rows = Vec::with_capacity(self.benches.len());
                 for &bench in &self.benches {
+                    let _trace = musa_trace::span_detail("bench", || bench.name().to_string());
+                    musa_trace::progress(|| format!("generating for {}", bench.name()));
                     let circuit = bench.load().map_err(|e| per_bench(bench, e.into()))?;
                     let population = generate_mutants(
                         &circuit.checked,
@@ -533,6 +569,8 @@ impl Resolved {
             Task::SweepFraction { fractions } => {
                 let mut rows = Vec::with_capacity(self.benches.len());
                 for &bench in &self.benches {
+                    let _trace = musa_trace::span_detail("bench", || bench.name().to_string());
+                    musa_trace::progress(|| format!("sweeping {}", bench.name()));
                     let points = sweep_fractions(bench, fractions, config)
                         .map_err(|e| per_bench(bench, e))?;
                     rows.push(BenchSweep { bench: bench.name().to_string(), points });
@@ -542,6 +580,8 @@ impl Resolved {
             Task::CoverageCurves { points } => {
                 let mut pairs = Vec::with_capacity(self.benches.len());
                 for &bench in &self.benches {
+                    let _trace = musa_trace::span_detail("bench", || bench.name().to_string());
+                    musa_trace::progress(|| format!("tracing curves for {}", bench.name()));
                     let pair = coverage_curves(bench, *points, config)
                         .map_err(|e| per_bench(bench, e))?;
                     pairs.push(pair);
@@ -564,6 +604,8 @@ impl Resolved {
                 }
                 let mut rows = Vec::with_capacity(circuits.len());
                 for (bench, circuit) in &circuits {
+                    let _trace = musa_trace::span_detail("bench", || bench.name().to_string());
+                    musa_trace::progress(|| format!("topping up {}", bench.name()));
                     let modes = atpg_topup_on(circuit, *backtrack_limit, config)
                         .map_err(|e| per_bench(*bench, e))?;
                     rows.push(BenchTopUp { bench: bench.name().to_string(), modes });
@@ -573,6 +615,8 @@ impl Resolved {
             Task::EquivalenceAblation { budgets } => {
                 let mut rows = Vec::with_capacity(self.benches.len());
                 for &bench in &self.benches {
+                    let _trace = musa_trace::span_detail("bench", || bench.name().to_string());
+                    musa_trace::progress(|| format!("ablating {}", bench.name()));
                     let points = equivalence_ablation(bench, budgets, config)
                         .map_err(|e| per_bench(bench, e))?;
                     rows.push(BenchAblation { bench: bench.name().to_string(), points });
@@ -589,6 +633,8 @@ impl Resolved {
             Task::Lint => {
                 let mut rows = Vec::with_capacity(self.benches.len());
                 for &bench in &self.benches {
+                    let _trace = musa_trace::span_detail("bench", || bench.name().to_string());
+                    musa_trace::progress(|| format!("linting {}", bench.name()));
                     // Load first so a hypothetical parse/check failure
                     // surfaces as the usual per-bench error, not a
                     // panic inside the lint helper.
@@ -715,6 +761,11 @@ pub struct Report {
     pub task: Task,
     /// The task-specific payload.
     pub data: ReportData,
+    /// Collected spans + counters when the campaign ran with
+    /// [`Campaign::trace`] enabled. Out-of-band: never rendered into
+    /// the text or `musa.campaign.v1` JSON outputs (see
+    /// [`crate::trace_report`] for its sinks).
+    pub trace: Option<musa_trace::TraceData>,
 }
 
 impl Report {

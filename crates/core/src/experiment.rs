@@ -112,11 +112,16 @@ pub fn run_sampling_experiment_on(
             .map(|class| class.is_proven())
             .collect()
     });
+    if let Some(mask) = &screened {
+        let proven = mask.iter().filter(|&&s| s).count();
+        musa_trace::count("screened", proven as u64);
+    }
     // Repetitions get the outer share of the thread budget; each
     // repetition's mutant executions split what remains.
     let (outer_jobs, inner_jobs) = split_jobs(config.jobs, repetitions);
-    let outcomes = try_par_map(outer_jobs, &seeds, |_, &[sample, mg, baseline]| {
-        run_sampling_once(
+    let _trace = musa_trace::span_detail("repetitions", || circuit.name.clone());
+    let outcomes = try_par_map(outer_jobs, &seeds, |rep, &[sample, mg, baseline]| {
+        let outcome = run_sampling_once(
             circuit,
             population,
             &strategy,
@@ -128,7 +133,16 @@ pub fn run_sampling_experiment_on(
             mg,
             baseline,
             inner_jobs,
-        )
+        );
+        musa_trace::progress(|| {
+            format!(
+                "{}: repetition {}/{} done",
+                circuit.name,
+                rep + 1,
+                repetitions
+            )
+        });
+        outcome
     })?;
     let mut aggregate = SamplingAggregate::new();
     for (repetition, outcome) in outcomes.into_iter().enumerate() {
@@ -293,7 +307,10 @@ fn run_sampling_once(
     jobs: usize,
 ) -> Result<SamplingOutcome, MutationError> {
     // 1. Sample the population.
-    let selected = sample_mutants(population, strategy, sample_seed);
+    let selected = {
+        let _trace = musa_trace::span("sample");
+        sample_mutants(population, strategy, sample_seed)
+    };
     let subset: Vec<Mutant> = selected.iter().map(|&i| population[i].clone()).collect();
 
     // 2. Validation data from the sampled mutants only.
@@ -301,37 +318,54 @@ fn run_sampling_once(
         seed: mg_seed,
         ..config.mg
     };
-    let generated = mutation_guided_tests(&circuit.checked, &circuit.name, &subset, &mg)?;
+    let generated = {
+        let _trace = musa_trace::span("generate_data");
+        mutation_guided_tests(&circuit.checked, &circuit.name, &subset, &mg)?
+    };
 
     // 3. Mutation Score on the FULL population. Statically screened
     // mutants never enter the simulator: they stay unkilled and are
     // classified directly with the class execution would report.
-    let kills = kills_over_sessions(
-        circuit,
-        population,
-        &generated.sessions,
-        jobs,
-        config.engine,
-        screened,
-    )?;
-    let classes = classify_survivors(circuit, population, &kills, config, screened)?;
+    let kills = {
+        let _trace = musa_trace::span("mutant_exec");
+        kills_over_sessions(
+            circuit,
+            population,
+            &generated.sessions,
+            jobs,
+            config.engine,
+            screened,
+        )?
+    };
+    let classes = {
+        let _trace = musa_trace::span("classify");
+        classify_survivors(circuit, population, &kills, config, screened)?
+    };
     let score = MutationScore::from_results(&kills, &classes);
 
     // 4. Gate-level efficiency of the same data. The mutation-data
     // fault simulation honours the dominance-reduction knob (its final
     // coverage is exact either way); the baseline stays on full
     // simulation because its curve interior feeds dFC/dL directly.
-    let (mutation_curve, fault_sim) = match reduction {
-        Some(reduction) => {
-            coverage_of_sessions_reduced(circuit, reduction, &generated.sessions)
+    let (mutation_curve, fault_sim) = {
+        let _trace = musa_trace::span("fault_sim");
+        match reduction {
+            Some(reduction) => {
+                coverage_of_sessions_reduced(circuit, reduction, &generated.sessions)
+            }
+            None => (
+                coverage_of_sessions(circuit, faults, &generated.sessions),
+                FaultSimStats::full(faults.len()),
+            ),
         }
-        None => (
-            coverage_of_sessions(circuit, faults, &generated.sessions),
-            FaultSimStats::full(faults.len()),
-        ),
     };
+    musa_trace::count("faults_simulated", fault_sim.faults_simulated as u64);
+    musa_trace::count("faults_total", fault_sim.faults_total as u64);
     let baseline_len = config.baseline_len(mutation_curve.len());
-    let random_curve = random_baseline_curve(circuit, faults, baseline_len, baseline_seed);
+    let random_curve = {
+        let _trace = musa_trace::span("baseline");
+        random_baseline_curve(circuit, faults, baseline_len, baseline_seed)
+    };
     let metrics = NlfceInputs {
         mutation: &mutation_curve,
         random: &random_curve,

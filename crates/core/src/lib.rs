@@ -61,10 +61,12 @@ pub mod paper;
 pub mod parallel;
 mod profile;
 mod tables;
+pub mod trace_report;
 
 pub use bench_task::{
-    compare, next_bench_path, run_bench, BenchCell, BenchMeta, BenchOptions, BenchReport,
-    BenchWorkload, CellInvariants, ComparePolicy, Regression, BENCH_SCHEMA, DEFAULT_BENCHES,
+    bench_history, bench_history_json, compare, next_bench_path, render_bench_history, run_bench,
+    BenchCell, BenchMeta, BenchOptions, BenchReport, BenchWorkload, CellInvariants, ComparePolicy,
+    HistoryRow, Regression, BENCH_HISTORY_SCHEMA, BENCH_SCHEMA, DEFAULT_BENCHES,
 };
 pub use campaign::{
     BenchAblation, BenchOutcome, BenchSweep, BenchTopUp, Campaign, CampaignError, MgOutcome,
@@ -89,4 +91,8 @@ pub use extensions::{
     AblationPoint, CurvePair, SweepPoint, TopUpMode, TopUpOutcome,
 };
 pub use profile::{OperatorEfficiency, OperatorProfile};
+pub use trace_report::{
+    chrome_json, render_profile, render_profile_data, trace_json, trace_json_with,
+    validate_trace_document, TRACE_SCHEMA,
+};
 pub use tables::{Table1, Table1Row, Table2, Table2Row, TableError};

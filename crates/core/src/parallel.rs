@@ -94,11 +94,19 @@ where
     F: Fn(usize, &T) -> Result<R, E> + Sync,
 {
     let jobs = resolve_jobs(jobs).min(items.len().max(1));
+    // Trace fork point: captured serially before any worker exists, so
+    // child contexts are identified by *item index*, never by which
+    // worker thread happens to pull the item — the recorded structure
+    // is identical for every job count (and inert when tracing is off).
+    let fork = musa_trace::ForkScope::capture();
     if jobs <= 1 {
         return items
             .iter()
             .enumerate()
-            .map(|(i, item)| f(i, item))
+            .map(|(i, item)| {
+                let _trace = fork.enter(i);
+                f(i, item)
+            })
             .collect();
     }
 
@@ -113,7 +121,10 @@ where
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(item) = items.get(i) else { break };
-                let result = f(i, item);
+                let result = {
+                    let _trace = fork.enter(i);
+                    f(i, item)
+                };
                 *slots[i].lock().expect("no panics while depositing") = Some(result);
             });
         }

@@ -166,8 +166,17 @@ pub(crate) fn try_shard<T: Send>(
     run: impl Fn(usize) -> Result<T, MutationError> + Sync,
 ) -> Result<Vec<T>, MutationError> {
     let jobs = resolve_jobs(jobs).min(count.max(1));
+    // Trace fork point: item-indexed child contexts, captured serially
+    // so the recorded structure is job-count-invariant (see
+    // `musa_core::parallel::try_par_map` — keep the two in sync).
+    let fork = musa_trace::ForkScope::capture();
     if jobs <= 1 {
-        return (0..count).map(run).collect();
+        return (0..count)
+            .map(|i| {
+                let _trace = fork.enter(i);
+                run(i)
+            })
+            .collect();
     }
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<Result<T, MutationError>>>> =
@@ -179,7 +188,11 @@ pub(crate) fn try_shard<T: Send>(
                 if i >= count {
                     break;
                 }
-                *slots[i].lock().expect("worker deposits its own slot") = Some(run(i));
+                let result = {
+                    let _trace = fork.enter(i);
+                    run(i)
+                };
+                *slots[i].lock().expect("worker deposits its own slot") = Some(result);
             });
         }
     });

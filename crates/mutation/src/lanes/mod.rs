@@ -83,6 +83,17 @@ pub struct LaneStats {
     pub steps: usize,
 }
 
+impl LaneStats {
+    /// Publishes the totals into the installed tracer's counter
+    /// registry (`lane_passes` / `lane_steps`); a no-op when tracing is
+    /// off. Called once per execution, after the per-group merge, so
+    /// the counters always equal the returned stats exactly.
+    fn emit(self) {
+        musa_trace::count("lane_passes", self.passes as u64);
+        musa_trace::count("lane_steps", self.steps as u64);
+    }
+}
+
 /// [`crate::execute_mutants`] on the lane engine with default options.
 ///
 /// # Errors
@@ -225,7 +236,12 @@ impl<'a> LanePlan<'a> {
             .map(|start| (start, lanes.min(mutants.len() - start)))
             .collect();
         let nested = try_shard(options.jobs, ranges.len(), |i| {
-            compile_range(checked, entity, mutants, ranges[i], &base)
+            let _trace = musa_trace::span("lane_compile");
+            let compiled = compile_range(checked, entity, mutants, ranges[i], &base);
+            musa_trace::progress(|| {
+                format!("{entity}: lane group {}/{} compiled", i + 1, ranges.len())
+            });
+            compiled
         })?;
         Ok(Self {
             checked,
@@ -264,6 +280,9 @@ impl<'a> LanePlan<'a> {
             stats.passes += group_stats.passes;
             stats.steps += group_stats.steps;
         }
+        // Counter emission happens here, on the calling context, so the
+        // totals land once per execution whatever the job count.
+        stats.emit();
         Ok((KillResult { first_kill }, stats))
     }
 
@@ -288,6 +307,7 @@ impl<'a> LanePlan<'a> {
             stats.passes += group_stats.passes;
             stats.steps += group_stats.steps;
         }
+        stats.emit();
         Ok((rows, stats))
     }
 
@@ -316,6 +336,7 @@ impl<'a> LanePlan<'a> {
     ) -> Result<(Vec<Option<usize>>, LaneStats), MutationError> {
         match group {
             PlanGroup::ScalarOne { slot } => {
+                let _trace = musa_trace::span("scalar_fallback");
                 let reference = reference.expect("scalar groups force a reference");
                 let kill =
                     run_one(self.checked, &self.entity, &self.mutants[*slot], sequence, reference)?;
@@ -331,34 +352,40 @@ impl<'a> LanePlan<'a> {
                 let mut stats = LaneStats { passes: 1, steps: 0 };
                 let mut first_kill = vec![None; *len];
                 let mut alive = sim.used_mask & !fallback_mask;
-                sim.reset();
-                for (t, vector) in sequence.iter().enumerate() {
-                    if alive == 0 {
-                        break; // every mutant in the batch is killed
+                {
+                    let _trace = musa_trace::span("lane_interpret");
+                    sim.reset();
+                    for (t, vector) in sequence.iter().enumerate() {
+                        if alive == 0 {
+                            break; // every mutant in the batch is killed
+                        }
+                        // Killed lanes drop out of the diff scan entirely.
+                        let newly = sim.step(vector, alive);
+                        stats.steps += 1;
+                        let mut bits = newly;
+                        while bits != 0 {
+                            let lane = bits.trailing_zeros() as usize;
+                            first_kill[lane - 1] = Some(t);
+                            bits &= bits - 1;
+                        }
+                        alive &= !newly;
                     }
-                    // Killed lanes drop out of the diff scan entirely.
-                    let newly = sim.step(vector, alive);
-                    stats.steps += 1;
-                    let mut bits = newly;
-                    while bits != 0 {
-                        let lane = bits.trailing_zeros() as usize;
-                        first_kill[lane - 1] = Some(t);
-                        bits &= bits - 1;
-                    }
-                    alive &= !newly;
                 }
-                for &slot in &compiled.fallback {
-                    let reference = reference.expect("fallbacks force a reference");
-                    let kill = run_one(
-                        self.checked,
-                        &self.entity,
-                        &self.mutants[start + slot],
-                        sequence,
-                        reference,
-                    )?;
-                    stats.passes += 1;
-                    stats.steps += kill.map_or(sequence.len(), |t| t + 1);
-                    first_kill[slot] = kill;
+                if !compiled.fallback.is_empty() {
+                    let _trace = musa_trace::span("scalar_fallback");
+                    for &slot in &compiled.fallback {
+                        let reference = reference.expect("fallbacks force a reference");
+                        let kill = run_one(
+                            self.checked,
+                            &self.entity,
+                            &self.mutants[start + slot],
+                            sequence,
+                            reference,
+                        )?;
+                        stats.passes += 1;
+                        stats.steps += kill.map_or(sequence.len(), |t| t + 1);
+                        first_kill[slot] = kill;
+                    }
                 }
                 Ok((first_kill, stats))
             }
@@ -373,6 +400,7 @@ impl<'a> LanePlan<'a> {
     ) -> Result<(Vec<Vec<bool>>, LaneStats), MutationError> {
         match group {
             PlanGroup::ScalarOne { slot } => {
+                let _trace = musa_trace::span("scalar_fallback");
                 let stats = LaneStats { passes: 1, steps: sequence.len() };
                 let reference = reference.expect("scalar groups force a reference");
                 let row =
@@ -383,25 +411,31 @@ impl<'a> LanePlan<'a> {
                 let mut sim = GroupSim::new(compiled, *len);
                 let mut stats = LaneStats { passes: 1, steps: 0 };
                 let mut rows = vec![vec![false; sequence.len()]; *len];
-                sim.reset();
-                for (t, vector) in sequence.iter().enumerate() {
-                    let diff = sim.step(vector, sim.used_mask);
-                    stats.steps += 1;
-                    for (slot, row) in rows.iter_mut().enumerate() {
-                        row[t] = diff & (1u64 << (slot + 1)) != 0;
+                {
+                    let _trace = musa_trace::span("lane_interpret");
+                    sim.reset();
+                    for (t, vector) in sequence.iter().enumerate() {
+                        let diff = sim.step(vector, sim.used_mask);
+                        stats.steps += 1;
+                        for (slot, row) in rows.iter_mut().enumerate() {
+                            row[t] = diff & (1u64 << (slot + 1)) != 0;
+                        }
                     }
                 }
-                for &slot in &compiled.fallback {
-                    let reference = reference.expect("fallbacks force a reference");
-                    rows[slot] = scalar_row(
-                        self.checked,
-                        &self.entity,
-                        &self.mutants[start + slot],
-                        sequence,
-                        reference,
-                    )?;
-                    stats.passes += 1;
-                    stats.steps += sequence.len();
+                if !compiled.fallback.is_empty() {
+                    let _trace = musa_trace::span("scalar_fallback");
+                    for &slot in &compiled.fallback {
+                        let reference = reference.expect("fallbacks force a reference");
+                        rows[slot] = scalar_row(
+                            self.checked,
+                            &self.entity,
+                            &self.mutants[start + slot],
+                            sequence,
+                            reference,
+                        )?;
+                        stats.passes += 1;
+                        stats.steps += sequence.len();
+                    }
                 }
                 Ok((rows, stats))
             }

@@ -156,6 +156,7 @@ impl FaultReduction {
 /// input list) are credited from their first listed class member, which
 /// is time-exact.
 pub fn reduce_faults(nl: &Netlist, faults: &[Fault]) -> FaultReduction {
+    let _trace = musa_trace::span("fault_plan");
     let universe = full_faults(nl);
     let uid: HashMap<Fault, usize> = universe
         .iter()

@@ -141,6 +141,7 @@ pub fn fault_simulate_sessions(
     sessions: &[Vec<Pattern>],
 ) -> FaultSimResult {
     let indices: Vec<usize> = (0..faults.len()).collect();
+    let _trace = musa_trace::span("fault_simulate");
     let (first, total) = simulate_subset_sessions(nl, faults, &indices, sessions);
     let mut first_detected = vec![None; faults.len()];
     for (slot, &fi) in indices.iter().enumerate() {
@@ -239,7 +240,10 @@ pub fn fault_simulate_sessions_reduced(
 ) -> FaultSimResult {
     let faults = reduction.faults();
     let kept = reduction.simulated_indices();
-    let (kept_first, total) = simulate_subset_sessions(nl, faults, &kept, sessions);
+    let (kept_first, total) = {
+        let _trace = musa_trace::span("fault_simulate");
+        simulate_subset_sessions(nl, faults, &kept, sessions)
+    };
     let mut first_detected: Vec<Option<usize>> = vec![None; faults.len()];
     for (slot, &fi) in kept.iter().enumerate() {
         first_detected[fi] = kept_first[slot];
@@ -287,6 +291,7 @@ pub fn fault_simulate_sessions_reduced(
 
     // Residual pass: uncredited drops get real lanes — their verdict
     // (typically "undetected") is never inferred.
+    let _trace = musa_trace::span("fault_residual");
     let (residual_first, residual_total) =
         simulate_subset_sessions(nl, faults, &residual, sessions);
     debug_assert!(residual.is_empty() || residual_total == total);

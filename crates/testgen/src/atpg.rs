@@ -127,6 +127,7 @@ pub fn podem(nl: &Netlist, fault: &Fault, backtrack_limit: u64) -> (PodemResult,
 /// is kept, and the drop set is left to the caller (fault simulation
 /// gives better dropping than PODEM's own implications).
 pub fn atpg_all(nl: &Netlist, faults: &[Fault], backtrack_limit: u64) -> (Vec<PodemResult>, AtpgStats) {
+    let _trace = musa_trace::span("atpg");
     let mut stats = AtpgStats {
         targeted: faults.len(),
         ..AtpgStats::default()
@@ -144,6 +145,8 @@ pub fn atpg_all(nl: &Netlist, faults: &[Fault], backtrack_limit: u64) -> (Vec<Po
             result
         })
         .collect();
+    musa_trace::count("atpg_targeted", stats.targeted as u64);
+    musa_trace::count("atpg_backtracks", stats.backtracks);
     (results, stats)
 }
 

@@ -1,0 +1,612 @@
+//! # musa-trace — structured spans, counters and progress
+//!
+//! A deliberately small observability layer for the campaign stack:
+//!
+//! - a [`Tracer`] collects **spans** (named, nested wall-time intervals,
+//!   opened with [`span`] and closed by RAII guard drop) and monotonic
+//!   **counters** (named `u64` sums, bumped with [`count`]);
+//! - the currently installed tracer is a *thread-local*, so the
+//!   instrumented crates at the bottom of the dependency graph
+//!   (`musa_mutation`, `musa_netlist`, …) need no plumbing through
+//!   their signatures — a caller installs a tracer once and every
+//!   [`span`]/[`count`] below it lands in the same collector;
+//! - worker threads join the trace through explicit **fork tokens**
+//!   ([`ForkScope`]): the parallel layers capture a scope *before*
+//!   spawning and enter child context `i` around work item `i`, so the
+//!   recorded structure depends only on the item index, never on which
+//!   worker ran the item or when. Merging sorts by `(path, seq)`,
+//!   making the span list **bit-identical for every `--jobs` count**;
+//! - with no tracer installed — or with the [`Tracer::off`] sink
+//!   installed — every helper is a no-op that **never reads the
+//!   clock**, so instrumented code paths stay bit-identical to their
+//!   un-instrumented selves when observability is disabled.
+//!
+//! This crate is `std`-only and sits at the bottom of the workspace
+//! dependency graph; rendering the collected data (the `musa.trace.v1`
+//! JSON document, the Chrome `trace_event` export and the `--profile`
+//! table) lives in `musa_core::trace_report`.
+//!
+//! # Identity model
+//!
+//! Every span belongs to a *context*. The context installed by
+//! [`Tracer::install`] is the root (path `[]`); each
+//! [`ForkScope::enter`] derives a child context whose path is the
+//! parent path extended by `[fork_id, item_index]`, where `fork_id` is
+//! drawn serially from the parent context's sequence counter at
+//! [`ForkScope::capture`] time. Within a context, spans are numbered
+//! by a serial `seq` in open order. `(path, seq)` therefore identifies
+//! a span globally and deterministically.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One closed span, as deposited into the tracer when its guard drops.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Static phase name (`"lane_interpret"`, `"fault_simulate"`, …).
+    pub name: &'static str,
+    /// Optional free-form qualifier (e.g. the bench name), built lazily
+    /// and only when tracing is enabled.
+    pub detail: Option<String>,
+    /// Context path: `[]` for the root context, parent path extended by
+    /// `[fork_id, item_index]` for each [`ForkScope::enter`] level.
+    pub path: Vec<u32>,
+    /// Serial number within the context, assigned in open order.
+    pub seq: u32,
+    /// Nesting depth within the context (`0` = context top level).
+    pub depth: u32,
+    /// `seq` of the enclosing span. For `depth > 0` the parent lives in
+    /// the *same* context; for `depth == 0` in a forked context it is
+    /// the span that was open in the **parent** context (path truncated
+    /// by two) when the fork was captured. `None` only at the root.
+    pub parent_seq: Option<u32>,
+    /// Nanoseconds since the tracer's epoch at span open.
+    pub start_ns: u64,
+    /// Span duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// Everything a [`Tracer`] collected, merged deterministically:
+/// spans sorted by `(path, seq)`, counters sorted by name.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceData {
+    /// All closed spans, in `(path, seq)` order.
+    pub spans: Vec<SpanRecord>,
+    /// Counter totals, in name order.
+    pub counters: Vec<(&'static str, u64)>,
+}
+
+/// Shared collector state behind an enabled [`Tracer`].
+struct Shared {
+    epoch: Instant,
+    spans: Mutex<Vec<SpanRecord>>,
+    counters: Mutex<BTreeMap<&'static str, u64>>,
+}
+
+/// A span + counter collector. Cheap to clone (an `Arc` handle); the
+/// [`Tracer::off`] variant carries no state and records nothing.
+#[derive(Clone)]
+pub struct Tracer {
+    shared: Option<Arc<Shared>>,
+}
+
+impl Tracer {
+    /// A live tracer; its epoch (span timestamp zero) is now.
+    #[must_use]
+    pub fn new() -> Self {
+        Tracer {
+            shared: Some(Arc::new(Shared {
+                epoch: Instant::now(),
+                spans: Mutex::new(Vec::new()),
+                counters: Mutex::new(BTreeMap::new()),
+            })),
+        }
+    }
+
+    /// The disabled sink: installing it keeps every [`span`]/[`count`]
+    /// below a no-op that never reads the clock, and masks any tracer
+    /// installed further up the stack.
+    #[must_use]
+    pub fn off() -> Self {
+        Tracer { shared: None }
+    }
+
+    /// Whether this tracer records anything.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    /// Installs this tracer as the current thread's root context until
+    /// the returned guard drops (the previous context is restored).
+    #[must_use]
+    pub fn install(&self) -> InstallGuard {
+        let prev = CURRENT.with(|c| c.borrow_mut().take());
+        if let Some(shared) = &self.shared {
+            CURRENT.with(|c| {
+                *c.borrow_mut() = Some(Context {
+                    shared: Arc::clone(shared),
+                    path: Vec::new(),
+                    parent_seq: None,
+                    next_seq: 0,
+                    open: Vec::new(),
+                });
+            });
+        }
+        InstallGuard {
+            prev,
+            _not_send: PhantomData,
+        }
+    }
+
+    /// The merged collection: spans sorted by `(path, seq)`, counters
+    /// by name. `None` for the [`Tracer::off`] sink.
+    #[must_use]
+    pub fn finish(&self) -> Option<TraceData> {
+        let shared = self.shared.as_ref()?;
+        let mut spans = shared
+            .spans
+            .lock()
+            .expect("no panics while depositing spans")
+            .clone();
+        spans.sort_by(|a, b| a.path.cmp(&b.path).then(a.seq.cmp(&b.seq)));
+        let counters = shared
+            .counters
+            .lock()
+            .expect("no panics while bumping counters")
+            .iter()
+            .map(|(&k, &v)| (k, v))
+            .collect();
+        Some(TraceData { spans, counters })
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::new()
+    }
+}
+
+/// The per-thread tracing context a [`span`]/[`count`] call lands in.
+struct Context {
+    shared: Arc<Shared>,
+    path: Vec<u32>,
+    /// Enclosing span in the parent context (forked contexts only).
+    parent_seq: Option<u32>,
+    next_seq: u32,
+    /// Stack of `seq`s of currently open spans.
+    open: Vec<u32>,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Context>> = const { RefCell::new(None) };
+}
+
+/// Restores the previously installed context when dropped. Returned by
+/// [`Tracer::install`] and [`ForkScope::enter`]; deliberately `!Send` —
+/// a context belongs to the thread it was installed on.
+pub struct InstallGuard {
+    prev: Option<Context>,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        CURRENT.with(|c| *c.borrow_mut() = prev);
+    }
+}
+
+/// Opens a span named `name` in the current context; the span closes
+/// (and is recorded) when the returned guard drops. A no-op that never
+/// reads the clock when no tracer is installed.
+#[must_use]
+pub fn span(name: &'static str) -> SpanGuard {
+    open_span(name, None)
+}
+
+/// [`span`], with a lazily built detail string: `detail()` is only
+/// invoked when a tracer is actually recording.
+#[must_use]
+pub fn span_detail(name: &'static str, detail: impl FnOnce() -> String) -> SpanGuard {
+    if !tracing() {
+        return SpanGuard(None);
+    }
+    open_span(name, Some(detail()))
+}
+
+/// Whether the current thread has a live (recording) context.
+#[must_use]
+pub fn tracing() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+fn open_span(name: &'static str, detail: Option<String>) -> SpanGuard {
+    CURRENT.with(|c| {
+        let mut borrow = c.borrow_mut();
+        let Some(ctx) = borrow.as_mut() else {
+            return SpanGuard(None);
+        };
+        let seq = ctx.next_seq;
+        ctx.next_seq += 1;
+        let depth = u32::try_from(ctx.open.len()).expect("span nesting fits u32");
+        let parent_seq = ctx.open.last().copied().or(ctx.parent_seq);
+        ctx.open.push(seq);
+        let start_ns = elapsed_ns(&ctx.shared.epoch);
+        SpanGuard(Some(OpenSpan {
+            name,
+            detail,
+            seq,
+            depth,
+            parent_seq,
+            start_ns,
+        }))
+    })
+}
+
+fn elapsed_ns(epoch: &Instant) -> u64 {
+    u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// An open span; records itself into the current context on drop.
+pub struct OpenSpan {
+    name: &'static str,
+    detail: Option<String>,
+    seq: u32,
+    depth: u32,
+    parent_seq: Option<u32>,
+    start_ns: u64,
+}
+
+/// RAII guard returned by [`span`]; `None` inside means tracing was
+/// off at open time and drop does nothing (and reads no clock).
+pub struct SpanGuard(Option<OpenSpan>);
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(open) = self.0.take() else { return };
+        CURRENT.with(|c| {
+            let mut borrow = c.borrow_mut();
+            // The context can only be gone if a guard outlived its
+            // InstallGuard — drop the record rather than panic in Drop.
+            let Some(ctx) = borrow.as_mut() else { return };
+            match ctx.open.iter().rposition(|&s| s == open.seq) {
+                Some(pos) => {
+                    ctx.open.truncate(pos);
+                }
+                None => return,
+            }
+            let dur_ns = elapsed_ns(&ctx.shared.epoch).saturating_sub(open.start_ns);
+            let record = SpanRecord {
+                name: open.name,
+                detail: open.detail,
+                path: ctx.path.clone(),
+                seq: open.seq,
+                depth: open.depth,
+                parent_seq: open.parent_seq,
+                start_ns: open.start_ns,
+                dur_ns,
+            };
+            ctx.shared
+                .spans
+                .lock()
+                .expect("no panics while depositing spans")
+                .push(record);
+        });
+    }
+}
+
+/// Adds `n` to the counter named `name` in the current context's
+/// registry. A no-op when no tracer is installed.
+pub fn count(name: &'static str, n: u64) {
+    CURRENT.with(|c| {
+        if let Some(ctx) = c.borrow().as_ref() {
+            *ctx.shared
+                .counters
+                .lock()
+                .expect("no panics while bumping counters")
+                .entry(name)
+                .or_insert(0) += n;
+        }
+    });
+}
+
+/// A fork point captured on the spawning thread, to be entered once per
+/// work item by whichever worker runs it.
+///
+/// Capture draws a fresh `fork_id` from the parent context serially —
+/// *before* any worker starts — so two forks from the same context get
+/// distinct child paths, and [`ForkScope::enter`]`(i)` always produces
+/// the context path `parent ++ [fork_id, i]` no matter which thread
+/// calls it. `ForkScope` is `Sync`: share it by reference across
+/// scoped worker threads.
+pub struct ForkScope {
+    inner: Option<ForkInner>,
+}
+
+struct ForkInner {
+    shared: Arc<Shared>,
+    path: Vec<u32>,
+    parent_seq: Option<u32>,
+}
+
+impl ForkScope {
+    /// Captures the current thread's context (or an inert scope when
+    /// tracing is off). The innermost open span becomes the parent of
+    /// every entered child context.
+    #[must_use]
+    pub fn capture() -> Self {
+        CURRENT.with(|c| {
+            let mut borrow = c.borrow_mut();
+            let Some(ctx) = borrow.as_mut() else {
+                return ForkScope { inner: None };
+            };
+            let fork_id = ctx.next_seq;
+            ctx.next_seq += 1;
+            let mut path = ctx.path.clone();
+            path.push(fork_id);
+            ForkScope {
+                inner: Some(ForkInner {
+                    shared: Arc::clone(&ctx.shared),
+                    path,
+                    parent_seq: ctx.open.last().copied().or(ctx.parent_seq),
+                }),
+            }
+        })
+    }
+
+    /// Installs child context `index` on the **current** thread until
+    /// the guard drops. Call exactly once per work item, around the
+    /// item's execution, on whichever thread runs it.
+    #[must_use]
+    pub fn enter(&self, index: usize) -> InstallGuard {
+        let prev = CURRENT.with(|c| c.borrow_mut().take());
+        if let Some(inner) = &self.inner {
+            let mut path = inner.path.clone();
+            path.push(u32::try_from(index).unwrap_or(u32::MAX));
+            CURRENT.with(|c| {
+                *c.borrow_mut() = Some(Context {
+                    shared: Arc::clone(&inner.shared),
+                    path,
+                    parent_seq: inner.parent_seq,
+                    next_seq: 0,
+                    open: Vec::new(),
+                });
+            });
+        }
+        InstallGuard {
+            prev,
+            _not_send: PhantomData,
+        }
+    }
+}
+
+/// Whether coarse progress lines (stderr) are enabled for this process.
+static PROGRESS: AtomicBool = AtomicBool::new(false);
+
+/// Turns `--progress` stderr reporting on or off process-wide.
+pub fn set_progress(on: bool) {
+    PROGRESS.store(on, Ordering::Relaxed);
+}
+
+/// Whether [`progress`] currently prints anything.
+#[must_use]
+pub fn progress_enabled() -> bool {
+    PROGRESS.load(Ordering::Relaxed)
+}
+
+/// Prints one coarse progress line to **stderr** (never stdout, so all
+/// golden text/JSON outputs stay byte-identical) when enabled; the
+/// message closure is only invoked when it will actually be printed.
+pub fn progress(message: impl FnOnce() -> String) {
+    if progress_enabled() {
+        eprintln!("musa: {}", message());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(data: &TraceData) -> Vec<(&'static str, Vec<u32>, u32, u32)> {
+        data.spans
+            .iter()
+            .map(|s| (s.name, s.path.clone(), s.seq, s.depth))
+            .collect()
+    }
+
+    #[test]
+    fn no_tracer_means_no_records_and_no_cost() {
+        // No install: every helper is inert.
+        assert!(!tracing());
+        {
+            let _s = span("root");
+            count("hits", 3);
+        }
+        let off = Tracer::off();
+        let _g = off.install();
+        assert!(!tracing());
+        let _s = span("still_off");
+        assert!(off.finish().is_none());
+    }
+
+    #[test]
+    fn spans_nest_and_record_in_open_order() {
+        let tracer = Tracer::new();
+        {
+            let _g = tracer.install();
+            let _a = span("outer");
+            {
+                let _b = span("inner");
+                count("hits", 2);
+            }
+            count("hits", 1);
+        }
+        let data = tracer.finish().unwrap();
+        assert_eq!(
+            names(&data),
+            vec![("outer", vec![], 0, 0), ("inner", vec![], 1, 1)]
+        );
+        assert_eq!(data.spans[1].parent_seq, Some(0));
+        assert_eq!(data.spans[0].parent_seq, None);
+        assert!(data.spans[0].dur_ns >= data.spans[1].dur_ns);
+        assert_eq!(data.counters, vec![("hits", 3)]);
+    }
+
+    #[test]
+    fn off_sink_masks_an_outer_tracer() {
+        let tracer = Tracer::new();
+        let _g = tracer.install();
+        {
+            let off = Tracer::off();
+            let _mask = off.install();
+            let _s = span("hidden");
+            count("hidden", 1);
+        }
+        let _s = span("visible");
+        drop(_s);
+        let data = tracer.finish().unwrap();
+        assert_eq!(data.spans.len(), 1);
+        assert_eq!(data.spans[0].name, "visible");
+        assert!(data.counters.is_empty());
+    }
+
+    /// The deterministic-structure contract: same work, any job count,
+    /// identical `(name, path, seq, depth, parent_seq)` stream.
+    #[test]
+    fn fork_structure_is_identical_for_every_job_count() {
+        type Shape = (&'static str, Vec<u32>, u32, u32, Option<u32>);
+        fn run(jobs: usize) -> Vec<Shape> {
+            let tracer = Tracer::new();
+            {
+                let _g = tracer.install();
+                let _root = span("campaign");
+                let fork = ForkScope::capture();
+                let items: Vec<usize> = (0..7).collect();
+                if jobs <= 1 {
+                    for &i in &items {
+                        let _item = fork.enter(i);
+                        let _s = span("work");
+                        count("items", 1);
+                    }
+                } else {
+                    let next = std::sync::atomic::AtomicUsize::new(0);
+                    std::thread::scope(|scope| {
+                        for _ in 0..jobs {
+                            scope.spawn(|| loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                if i >= items.len() {
+                                    break;
+                                }
+                                let _item = fork.enter(i);
+                                let _s = span("work");
+                                count("items", 1);
+                            });
+                        }
+                    });
+                }
+            }
+            tracer
+                .finish()
+                .unwrap()
+                .spans
+                .iter()
+                .map(|s| (s.name, s.path.clone(), s.seq, s.depth, s.parent_seq))
+                .collect()
+        }
+        let serial = run(1);
+        assert_eq!(serial.len(), 8); // campaign + 7 work items
+        // Child paths are [fork_id=1, item]: seq 0 went to "campaign".
+        assert_eq!(serial[1], ("work", vec![1, 0], 0, 0, Some(0)));
+        for jobs in [2, 3, 8] {
+            assert_eq!(run(jobs), serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn two_forks_from_one_context_get_distinct_paths() {
+        let tracer = Tracer::new();
+        {
+            let _g = tracer.install();
+            for _ in 0..2 {
+                let fork = ForkScope::capture();
+                let _item = fork.enter(0);
+                let _s = span("work");
+            }
+        }
+        let data = tracer.finish().unwrap();
+        let paths: Vec<Vec<u32>> = data.spans.iter().map(|s| s.path.clone()).collect();
+        assert_eq!(paths, vec![vec![0, 0], vec![1, 0]]);
+    }
+
+    #[test]
+    fn nested_forks_extend_the_path() {
+        let tracer = Tracer::new();
+        {
+            let _g = tracer.install();
+            let _outer_span = span("outer");
+            let fork = ForkScope::capture();
+            let _outer = fork.enter(3);
+            let _mid = span("mid");
+            let inner = ForkScope::capture();
+            let _leaf = inner.enter(1);
+            let _s = span("leaf");
+        }
+        let data = tracer.finish().unwrap();
+        let leaf = data.spans.iter().find(|s| s.name == "leaf").unwrap();
+        // outer fork id 1 (seq 0 = "outer" span), inner fork id 1
+        // (child context seq 0 = "mid" span).
+        assert_eq!(leaf.path, vec![1, 3, 1, 1]);
+        assert_eq!(leaf.parent_seq, Some(0), "parented on mid");
+        let mid = data.spans.iter().find(|s| s.name == "mid").unwrap();
+        assert_eq!(mid.parent_seq, Some(0), "parented on outer across the fork");
+    }
+
+    #[test]
+    fn counters_sum_across_threads() {
+        let tracer = Tracer::new();
+        {
+            let _g = tracer.install();
+            let fork = ForkScope::capture();
+            std::thread::scope(|scope| {
+                for t in 0..4 {
+                    let fork = &fork;
+                    scope.spawn(move || {
+                        let _ctx = fork.enter(t);
+                        count("per_thread", 10);
+                    });
+                }
+            });
+            count("per_thread", 2);
+        }
+        let data = tracer.finish().unwrap();
+        assert_eq!(data.counters, vec![("per_thread", 42)]);
+    }
+
+    #[test]
+    fn progress_toggle_round_trips() {
+        assert!(!progress_enabled());
+        set_progress(true);
+        assert!(progress_enabled());
+        let mut built = false;
+        progress(|| {
+            built = true;
+            String::from("tick")
+        });
+        assert!(built);
+        set_progress(false);
+        let mut built_off = false;
+        progress(|| {
+            built_off = true;
+            String::new()
+        });
+        assert!(!built_off, "message must not be built when disabled");
+    }
+}

@@ -57,3 +57,4 @@ pub use musa_netlist as netlist;
 pub use musa_prng as prng;
 pub use musa_synth as synth;
 pub use musa_testgen as testgen;
+pub use musa_trace as trace;

@@ -30,7 +30,9 @@
 //! `--json` emits the typed campaign report (`musa.campaign.v1`)
 //! instead of text.
 
-use musa::bench::cli::{print_report, run_trajectory, BenchCommand, SampleArgs, BENCH_USAGE};
+use musa::bench::cli::{
+    emit_observability, print_report, run_trajectory, BenchCommand, SampleArgs, BENCH_USAGE,
+};
 use musa::circuits::{Benchmark, Circuit};
 use musa::core::{
     lint_report_json, lint_source, render_lint_text, total_findings, Campaign, ReportData, Task,
@@ -59,10 +61,13 @@ usage: musa <command> ...
            [--write] [--seed N]      benchmark trajectory: timed workload
                                      grid, musa.bench.v1 report, regression
                                      gate against a committed BENCH_<n>.json
+  bench    --history [--json]        per-cell median wall-time trajectory
+           [--filter <bench>]        over the committed BENCH_<n>.json files
   sample   <name> [FRACTION]         run a sampling experiment
            [--jobs N] [--seed N] [--paper] [--fast] [--json]
            [--engine scalar|lanes] [--fault-reduce on|off]
-           [--screen static|off]
+           [--screen static|off] [--trace FILE]
+           [--trace-format json|chrome] [--profile] [--progress]
   lint     <name>|--all|<file.mhdl>  run the static lint catalog over a
            [--json]                  benchmark (or every bundled one, or
                                      an .mhdl file); compiler-style text
@@ -70,10 +75,56 @@ usage: musa <command> ...
                                      findings exist
   list                               list bundled benchmarks
   help                               print this text
+
+observability (any command): --profile prints a per-phase wall/count
+breakdown after the run and --progress emits coarse stderr progress
+lines; `sample` and `bench` additionally accept --trace FILE
+[--trace-format json|chrome] to save the collected spans + counters
+(musa.trace.v1, or Chrome trace_event for Perfetto)
 ";
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `sample` and `bench` parse the observability flags themselves and
+    // host the tracer inside their campaign (which owns the measured
+    // wall clock). For every other subcommand, main hosts both: strip
+    // `--profile`/`--progress` here, trace the dispatch, and render the
+    // breakdown against the whole command's elapsed time.
+    let campaign_owned = matches!(
+        args.first().map(String::as_str),
+        Some("sample") | Some("bench")
+    );
+    let mut profile = false;
+    if !campaign_owned {
+        args.retain(|arg| match arg.as_str() {
+            "--profile" => {
+                profile = true;
+                false
+            }
+            "--progress" => {
+                musa::trace::set_progress(true);
+                false
+            }
+            _ => true,
+        });
+    }
+    let tracer = if profile {
+        musa::trace::Tracer::new()
+    } else {
+        musa::trace::Tracer::off()
+    };
+    let started = std::time::Instant::now();
+    let code = {
+        let _install = tracer.install();
+        dispatch(&args)
+    };
+    if let Some(data) = tracer.finish() {
+        print!("{}", musa::core::render_profile_data(&data, started.elapsed()));
+    }
+    code
+}
+
+fn dispatch(args: &[String]) -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("info") => cmd_info(&args[1..]),
         Some("synth") => cmd_synth(&args[1..]),
@@ -378,9 +429,10 @@ fn exit_by_findings(findings: usize) -> ExitCode {
 
 fn cmd_sample(args: &[String]) -> Result<(), String> {
     let sample = SampleArgs::parse(args)?;
+    musa::trace::set_progress(sample.trace.progress);
     let report = sample.campaign().run().map_err(|e| e.to_string())?;
     print_report(&report, sample.json);
-    Ok(())
+    emit_observability(&report, &sample.trace, sample.json)
 }
 
 fn cmd_list() -> Result<(), String> {
