@@ -24,10 +24,15 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod service;
 
 pub use cli::{
     drive, run_trajectory, BenchCommand, Bin, CliOptions, SampleArgs, TrajectoryArgs,
     BENCH_USAGE,
+};
+pub use service::{
+    run_campaign, run_client, run_serve, run_worker, CampaignArgs, ClientArgs, ServeArgs,
+    ServiceError, CAMPAIGN_USAGE, CLIENT_USAGE, SERVE_USAGE,
 };
 pub use musa_core::paper;
 

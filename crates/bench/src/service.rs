@@ -1,0 +1,407 @@
+//! The store/serving subcommands — `musa campaign`, `musa serve`,
+//! `musa client` and the hidden `musa __worker`.
+//!
+//! Argument parsing lives here (next to the other shared CLI layers)
+//! so `src/main.rs` stays a dispatcher and the exit-code contract is
+//! testable: **2** for anything decided before computation starts (bad
+//! flags, unreadable or malformed requests, a non-sampling task with
+//! `--workers`), **1** for runtime failures (a failed run, a worker
+//! that died, a connection that broke).
+
+use crate::cli::print_report;
+use musa_store::serve::{client_request, serve};
+use musa_store::shard::{run_sharded, worker_shard_json};
+use musa_store::{meta_from_plan, CampaignKey, RunCached, Store, StoreOutcome};
+use std::io::Read as _;
+use std::net::TcpListener;
+use std::time::Instant;
+
+/// A service-command failure, tagged with the exit-code class.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// A caller mistake, decided before any computation: exit 2.
+    Usage(String),
+    /// A runtime failure: exit 1.
+    Runtime(String),
+}
+
+impl ServiceError {
+    /// The process exit code this failure maps to.
+    pub fn code(&self) -> u8 {
+        match self {
+            ServiceError::Usage(_) => 2,
+            ServiceError::Runtime(_) => 1,
+        }
+    }
+
+    /// The printable message.
+    pub fn message(&self) -> &str {
+        match self {
+            ServiceError::Usage(m) | ServiceError::Runtime(m) => m,
+        }
+    }
+}
+
+/// The `musa campaign` usage line.
+pub const CAMPAIGN_USAGE: &str =
+    "usage: musa campaign <request.json|-> [--workers N] [--store DIR] [--json]";
+
+/// The `musa serve` usage line.
+pub const SERVE_USAGE: &str = "usage: musa serve --addr HOST:PORT [--store DIR] [--once]";
+
+/// The `musa client` usage line.
+pub const CLIENT_USAGE: &str = "usage: musa client --addr HOST:PORT <request.json|->";
+
+/// The hidden worker's usage line (spawned by `--workers`, not typed
+/// by people — but its parse errors still follow the exit-2 contract).
+pub const WORKER_USAGE: &str = "usage: musa __worker --cells bench:rep[,bench:rep...]  (request on stdin)";
+
+/// `musa campaign` arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignArgs {
+    /// Request document path, `-` for stdin.
+    pub request: String,
+    /// Worker processes (`0` = in-process).
+    pub workers: usize,
+    /// Result-store directory, when caching is wanted.
+    pub store: Option<String>,
+    /// Emit the JSON report instead of text.
+    pub json: bool,
+}
+
+impl CampaignArgs {
+    /// Parses everything after `musa campaign`.
+    ///
+    /// # Errors
+    ///
+    /// A usage string (exit 2).
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let mut request = None;
+        let mut workers = 0usize;
+        let mut store = None;
+        let mut json = false;
+        let mut iter = args.iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--workers" => {
+                    workers = iter
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--workers expects a process count")?;
+                }
+                "--store" => {
+                    store = Some(
+                        iter.next().ok_or("--store expects a directory")?.clone(),
+                    );
+                }
+                "--json" => json = true,
+                other if request.is_none() && (other == "-" || !other.starts_with('-')) => {
+                    request = Some(other.to_string());
+                }
+                other => return Err(format!("unexpected argument `{other}`; {CAMPAIGN_USAGE}")),
+            }
+        }
+        Ok(Self {
+            request: request.ok_or(CAMPAIGN_USAGE)?,
+            workers,
+            store,
+            json,
+        })
+    }
+}
+
+/// `musa serve` arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeArgs {
+    /// Listen address, `HOST:PORT` (port 0 picks a free port; the
+    /// server prints the resolved address).
+    pub addr: String,
+    /// Result-store directory (default `.musa-store`).
+    pub store: String,
+    /// Serve exactly one connection, then exit (hermetic-CI mode).
+    pub once: bool,
+}
+
+impl ServeArgs {
+    /// Parses everything after `musa serve`.
+    ///
+    /// # Errors
+    ///
+    /// A usage string (exit 2).
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let mut addr = None;
+        let mut store = ".musa-store".to_string();
+        let mut once = false;
+        let mut iter = args.iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--addr" => addr = Some(iter.next().ok_or("--addr expects HOST:PORT")?.clone()),
+                "--store" => {
+                    store = iter.next().ok_or("--store expects a directory")?.clone();
+                }
+                "--once" => once = true,
+                other => return Err(format!("unexpected argument `{other}`; {SERVE_USAGE}")),
+            }
+        }
+        Ok(Self { addr: addr.ok_or(SERVE_USAGE)?, store, once })
+    }
+}
+
+/// `musa client` arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientArgs {
+    /// Server address, `HOST:PORT`.
+    pub addr: String,
+    /// Request document path, `-` for stdin.
+    pub request: String,
+}
+
+impl ClientArgs {
+    /// Parses everything after `musa client`.
+    ///
+    /// # Errors
+    ///
+    /// A usage string (exit 2).
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let mut addr = None;
+        let mut request = None;
+        let mut iter = args.iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--addr" => addr = Some(iter.next().ok_or("--addr expects HOST:PORT")?.clone()),
+                other if request.is_none() && (other == "-" || !other.starts_with('-')) => {
+                    request = Some(other.to_string());
+                }
+                other => return Err(format!("unexpected argument `{other}`; {CLIENT_USAGE}")),
+            }
+        }
+        Ok(Self {
+            addr: addr.ok_or(CLIENT_USAGE)?,
+            request: request.ok_or(CLIENT_USAGE)?,
+        })
+    }
+}
+
+/// Reads a request document from a path, or stdin for `-`.
+fn read_request(path: &str) -> Result<String, ServiceError> {
+    if path == "-" {
+        let mut text = String::new();
+        std::io::stdin()
+            .read_to_string(&mut text)
+            .map_err(|e| ServiceError::Usage(format!("reading request from stdin: {e}")))?;
+        Ok(text)
+    } else {
+        std::fs::read_to_string(path)
+            .map_err(|e| ServiceError::Usage(format!("{path}: {e}")))
+    }
+}
+
+/// Runs `musa campaign`: request in, report out, optionally through
+/// the store and/or sharded across worker processes.
+///
+/// # Errors
+///
+/// [`ServiceError::Usage`] before any computation, otherwise
+/// [`ServiceError::Runtime`].
+pub fn run_campaign(args: &CampaignArgs) -> Result<(), ServiceError> {
+    let started = Instant::now();
+    let request_text = read_request(&args.request)?;
+    let campaign =
+        musa_store::request::parse_request(&request_text).map_err(ServiceError::Usage)?;
+    let plan = campaign.plan().map_err(|e| ServiceError::Usage(e.to_string()))?;
+    if args.workers > 0 {
+        // The grid check is a pre-computation decision: --workers only
+        // shards the sampling task.
+        musa_store::shard::grid(&plan).map_err(ServiceError::Usage)?;
+    }
+
+    let run_fresh = |text: &str| -> Result<musa_core::Report, ServiceError> {
+        if args.workers > 0 {
+            let exe = std::env::current_exe()
+                .map_err(|e| ServiceError::Runtime(format!("cannot locate own executable: {e}")))?;
+            run_sharded(&exe, text, args.workers).map_err(ServiceError::Runtime)
+        } else {
+            campaign.run().map_err(|e| ServiceError::Runtime(e.to_string()))
+        }
+    };
+
+    let report = match &args.store {
+        None => run_fresh(&request_text)?,
+        Some(dir) => {
+            let store = Store::open(dir)
+                .map_err(|e| ServiceError::Runtime(format!("--store {dir}: {e}")))?;
+            if args.workers == 0 {
+                let run = campaign
+                    .run_cached(&store)
+                    .map_err(|e| ServiceError::Runtime(e.to_string()))?;
+                match (&run.outcome, &run.key) {
+                    (StoreOutcome::Bypass, _) => eprintln!("store: bypass"),
+                    (outcome, Some(key)) => eprintln!("store: {} {key}", outcome.label()),
+                    (outcome, None) => eprintln!("store: {}", outcome.label()),
+                }
+                run.report
+            } else {
+                // Sharded + stored: consult the store in the parent,
+                // shard only on a miss.
+                let key = CampaignKey::of(&plan);
+                let hit = store
+                    .get(&key)
+                    .and_then(|blob| musa_store::decode::decode_report_data(&blob, &plan.task));
+                match hit {
+                    Some(data) => {
+                        eprintln!("store: hit {key}");
+                        musa_core::Report {
+                            meta: meta_from_plan(&plan, started.elapsed()),
+                            task: plan.task.clone(),
+                            data,
+                            trace: None,
+                        }
+                    }
+                    None => {
+                        let report = run_fresh(&request_text)?;
+                        let entry = musa_store::StoreEntry {
+                            key: key.as_hex().to_string(),
+                            task: report.task.slug().to_string(),
+                            benches: report.meta.benches.clone(),
+                            seed: report.meta.seed,
+                        };
+                        let _ = store.put(entry, &report.to_json());
+                        eprintln!("store: miss {key}");
+                        report
+                    }
+                }
+            }
+        }
+    };
+    print_report(&report, args.json);
+    Ok(())
+}
+
+/// Runs the hidden `musa __worker` subcommand: `--cells` from the
+/// arguments, the request on stdin, the `musa.shard.v1` answer on
+/// stdout.
+///
+/// # Errors
+///
+/// [`ServiceError::Usage`] for malformed arguments,
+/// [`ServiceError::Runtime`] for everything after.
+pub fn run_worker(args: &[String]) -> Result<(), ServiceError> {
+    let cells = match args {
+        [flag, spec] if flag == "--cells" => spec.clone(),
+        _ => return Err(ServiceError::Usage(WORKER_USAGE.to_string())),
+    };
+    let mut request_text = String::new();
+    std::io::stdin()
+        .read_to_string(&mut request_text)
+        .map_err(|e| ServiceError::Runtime(format!("reading request from stdin: {e}")))?;
+    let answer = worker_shard_json(&request_text, &cells).map_err(ServiceError::Runtime)?;
+    println!("{answer}");
+    Ok(())
+}
+
+/// Runs `musa serve`: bind, announce the resolved address on stdout
+/// (`listening HOST:PORT` — how CI discovers a port-0 listener), then
+/// serve connections against the store.
+///
+/// # Errors
+///
+/// [`ServiceError::Runtime`] when the bind, the store, or the accept
+/// loop fails.
+pub fn run_serve(args: &ServeArgs) -> Result<(), ServiceError> {
+    let store = Store::open(&args.store)
+        .map_err(|e| ServiceError::Runtime(format!("--store {}: {e}", args.store)))?;
+    let listener = TcpListener::bind(&args.addr)
+        .map_err(|e| ServiceError::Runtime(format!("bind {}: {e}", args.addr)))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| ServiceError::Runtime(e.to_string()))?;
+    println!("listening {addr}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    serve(&listener, &store, args.once).map_err(|e| ServiceError::Runtime(e.to_string()))
+}
+
+/// Runs `musa client`: send one request, print the report body on
+/// stdout (byte-identical to `musa campaign <req> --json`) and the
+/// store status on stderr.
+///
+/// # Errors
+///
+/// [`ServiceError::Runtime`] on connection failures and server-side
+/// `error` responses.
+pub fn run_client(args: &ClientArgs) -> Result<(), ServiceError> {
+    let request_text = read_request(&args.request)?;
+    let (status, body) =
+        client_request(args.addr.as_str(), &request_text).map_err(ServiceError::Runtime)?;
+    if status == "error" {
+        return Err(ServiceError::Runtime(format!("server: {body}")));
+    }
+    eprintln!("status: {status}");
+    println!("{body}");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn campaign_args_parse_and_reject() {
+        assert_eq!(
+            CampaignArgs::parse(&strings(&["req.json", "--workers", "4", "--store", "d", "--json"]))
+                .unwrap(),
+            CampaignArgs {
+                request: "req.json".into(),
+                workers: 4,
+                store: Some("d".into()),
+                json: true
+            }
+        );
+        assert_eq!(
+            CampaignArgs::parse(&strings(&["-"])).unwrap().request,
+            "-",
+            "stdin spelling"
+        );
+        assert!(CampaignArgs::parse(&[]).is_err(), "request is required");
+        assert!(CampaignArgs::parse(&strings(&["req.json", "--workers"])).is_err());
+        assert!(CampaignArgs::parse(&strings(&["req.json", "--workers", "x"])).is_err());
+        assert!(CampaignArgs::parse(&strings(&["a.json", "b.json"])).is_err());
+        assert!(CampaignArgs::parse(&strings(&["req.json", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn serve_args_parse_and_reject() {
+        assert_eq!(
+            ServeArgs::parse(&strings(&["--addr", "127.0.0.1:0", "--once"])).unwrap(),
+            ServeArgs { addr: "127.0.0.1:0".into(), store: ".musa-store".into(), once: true }
+        );
+        assert!(ServeArgs::parse(&[]).is_err(), "--addr is required");
+        assert!(ServeArgs::parse(&strings(&["--addr"])).is_err());
+        assert!(ServeArgs::parse(&strings(&["--addr", "x", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn client_args_parse_and_reject() {
+        assert_eq!(
+            ClientArgs::parse(&strings(&["--addr", "127.0.0.1:7777", "req.json"])).unwrap(),
+            ClientArgs { addr: "127.0.0.1:7777".into(), request: "req.json".into() }
+        );
+        assert!(ClientArgs::parse(&strings(&["req.json"])).is_err(), "--addr is required");
+        assert!(ClientArgs::parse(&strings(&["--addr", "x"])).is_err(), "request is required");
+    }
+
+    #[test]
+    fn worker_arg_contract_is_exit_2() {
+        assert!(matches!(run_worker(&[]), Err(ServiceError::Usage(_))));
+        assert!(matches!(
+            run_worker(&strings(&["--cells"])),
+            Err(ServiceError::Usage(_))
+        ));
+        assert_eq!(ServiceError::Usage(String::new()).code(), 2);
+        assert_eq!(ServiceError::Runtime(String::new()).code(), 1);
+    }
+}

@@ -374,7 +374,7 @@ impl Campaign {
         self.resolve().map(|_| ())
     }
 
-    fn resolve(&self) -> Result<Resolved, CampaignError> {
+    fn resolve(&self) -> Result<CampaignPlan, CampaignError> {
         let task = self.task.clone().ok_or(CampaignError::MissingTask)?;
         if self.benches.is_empty() {
             return Err(CampaignError::NoBenchmarks);
@@ -439,7 +439,22 @@ impl Campaign {
             }
             _ => {}
         }
-        Ok(Resolved { benches, config, preset, task })
+        Ok(CampaignPlan { benches, config, preset, task })
+    }
+
+    /// Validates the builder and returns the fully-resolved plan — the
+    /// benchmark list, effective [`ExperimentConfig`], preset and task
+    /// that [`Campaign::run`] would execute. This is the canonical
+    /// input for anything that must agree with a run without running
+    /// it: the content-addressed result store derives its campaign key
+    /// from the plan, and the multi-process sharding mode re-derives
+    /// the per-repetition seed schedule from `plan().config`.
+    ///
+    /// # Errors
+    ///
+    /// The same validation errors as [`Campaign::validate`].
+    pub fn plan(&self) -> Result<CampaignPlan, CampaignError> {
+        self.resolve()
     }
 
     /// Validates once, runs the task, and returns the typed report.
@@ -485,14 +500,21 @@ impl Campaign {
     }
 }
 
-struct Resolved {
-    benches: Vec<Benchmark>,
-    config: ExperimentConfig,
-    preset: Preset,
-    task: Task,
+/// A validated campaign, fully resolved: what [`Campaign::run`] will
+/// actually execute. Obtained via [`Campaign::plan`].
+#[derive(Debug, Clone)]
+pub struct CampaignPlan {
+    /// Benchmarks, resolved from their names, in run order.
+    pub benches: Vec<Benchmark>,
+    /// The effective configuration (preset + builder overrides applied).
+    pub config: ExperimentConfig,
+    /// Which preset the configuration came from.
+    pub preset: Preset,
+    /// The task to run, with its parameters.
+    pub task: Task,
 }
 
-impl Resolved {
+impl CampaignPlan {
     fn execute(&self) -> Result<ReportData, CampaignError> {
         let config = &self.config;
         let per_bench = |bench: Benchmark, e: TableError| CampaignError::Run {
@@ -1110,7 +1132,11 @@ impl Report {
     }
 }
 
-fn outcome_json(o: &SamplingOutcome) -> Json {
+/// The `musa.campaign.v1` JSON encoding of one [`SamplingOutcome`] —
+/// the exact value [`Report::to_json`] embeds for sampling-family
+/// tasks. Public so out-of-process shards (`musa campaign --workers`)
+/// and the result-store decoder round-trip outcomes byte-identically.
+pub fn outcome_json(o: &SamplingOutcome) -> Json {
     Json::Obj(vec![
         ("strategy", Json::str(o.strategy)),
         ("population", Json::count(o.population)),
@@ -1126,7 +1152,8 @@ fn outcome_json(o: &SamplingOutcome) -> Json {
     ])
 }
 
-fn score_json(s: &MutationScore) -> Json {
+/// The `musa.campaign.v1` JSON encoding of a [`MutationScore`].
+pub fn score_json(s: &MutationScore) -> Json {
     Json::Obj(vec![
         ("generated", Json::count(s.generated)),
         ("killed", Json::count(s.killed)),
@@ -1134,7 +1161,8 @@ fn score_json(s: &MutationScore) -> Json {
     ])
 }
 
-fn metrics_json(m: &Nlfce) -> Json {
+/// The `musa.campaign.v1` JSON encoding of an [`Nlfce`] metrics block.
+pub fn metrics_json(m: &Nlfce) -> Json {
     Json::Obj(vec![
         ("delta_fc_pct", Json::Float(m.delta_fc_pct)),
         ("delta_l_pct", Json::Float(m.delta_l_pct)),
@@ -1144,7 +1172,9 @@ fn metrics_json(m: &Nlfce) -> Json {
     ])
 }
 
-fn curve_json(samples: &[(usize, f64)]) -> Json {
+/// The `musa.campaign.v1` JSON encoding of a coverage curve (an array
+/// of `[length, coverage]` pairs).
+pub fn curve_json(samples: &[(usize, f64)]) -> Json {
     Json::Arr(
         samples
             .iter()
@@ -1599,11 +1629,11 @@ mod tests {
         assert_eq!(report.meta.benches, ["c17"]);
         assert_eq!(report.meta.seed, 7);
         assert_eq!(report.meta.jobs, 2);
-        assert_eq!(report.meta.engine, Engine::Scalar);
+        assert_eq!(report.meta.engine, Engine::Lanes, "lanes is the default engine");
         assert_eq!(report.meta.preset, Preset::Fast);
         let text = report.render_text();
         assert!(
-            text.starts_with("c17: random strategy, 50% sample, 2 jobs, scalar engine, fast preset, seed 0x7\n"),
+            text.starts_with("c17: random strategy, 50% sample, 2 jobs, lanes engine, fast preset, seed 0x7\n"),
             "{text}"
         );
         assert!(text.contains("  population "), "{text}");
@@ -1633,7 +1663,7 @@ mod tests {
             "\"schema\": \"musa.campaign.v1\"",
             "\"task\": \"sampling\"",
             "\"seed\": 7",
-            "\"engine\": \"scalar\"",
+            "\"engine\": \"lanes\"",
             "\"preset\": \"fast\"",
             "\"wall_ms\":",
             "\"fraction\": 0.5",

@@ -72,7 +72,7 @@ impl ExperimentConfig {
                 max_rounds: 2,
                 selection: Selection::FirstCome,
                 seed,
-                engine: Engine::Scalar,
+                engine: Engine::default(),
             },
             equivalence: EquivalencePolicy {
                 budget: 2_000,
@@ -84,7 +84,7 @@ impl ExperimentConfig {
             baseline_floor: 512,
             repetitions: 15,
             jobs: 0,
-            engine: Engine::Scalar,
+            engine: Engine::default(),
             fault_reduce: true,
             screen: true,
         }
@@ -100,7 +100,7 @@ impl ExperimentConfig {
             baseline_floor: 128,
             repetitions: 2,
             jobs: 0,
-            engine: Engine::Scalar,
+            engine: Engine::default(),
             fault_reduce: true,
             screen: true,
         }
@@ -176,11 +176,13 @@ mod tests {
 
     #[test]
     fn engine_propagates_to_generation() {
+        // Lanes is the workspace default (promoted after soaking behind
+        // `--engine lanes`); `scalar` remains selectable.
         let c = ExperimentConfig::fast(1);
-        assert_eq!(c.engine, Engine::Scalar);
-        assert_eq!(c.mg.engine, Engine::Scalar);
-        let c = c.with_engine(Engine::Lanes);
         assert_eq!(c.engine, Engine::Lanes);
-        assert_eq!(c.mg.engine, Engine::Lanes, "MG generation must follow the knob");
+        assert_eq!(c.mg.engine, Engine::Lanes);
+        let c = c.with_engine(Engine::Scalar);
+        assert_eq!(c.engine, Engine::Scalar);
+        assert_eq!(c.mg.engine, Engine::Scalar, "MG generation must follow the knob");
     }
 }

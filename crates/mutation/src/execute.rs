@@ -22,10 +22,12 @@ use std::sync::Mutex;
 pub enum Engine {
     /// One full `Simulator` pass per mutant, early-exiting at its first
     /// kill. The reference baseline.
-    #[default]
     Scalar,
     /// The bit-parallel lane engine ([`crate::lanes`]): up to 63 mutants
-    /// plus the reference machine per simulation pass.
+    /// plus the reference machine per simulation pass. The default —
+    /// promoted after soaking behind `--engine lanes` with the
+    /// differential suites pinning bit-identity against scalar.
+    #[default]
     Lanes,
 }
 
@@ -386,7 +388,7 @@ mod tests {
         assert_eq!("scalar".parse::<Engine>().unwrap(), Engine::Scalar);
         assert_eq!("lanes".parse::<Engine>().unwrap(), Engine::Lanes);
         assert!("turbo".parse::<Engine>().is_err());
-        assert_eq!(Engine::default(), Engine::Scalar);
+        assert_eq!(Engine::default(), Engine::Lanes);
         assert_eq!(Engine::Lanes.to_string(), "lanes");
 
         let d = checked(GATE);

@@ -1,0 +1,59 @@
+//! An in-tree FNV-1a digest for content addressing.
+//!
+//! The store needs a stable, dependency-free fingerprint of the
+//! canonical key material — not cryptographic integrity (blobs are
+//! re-validated by schema and task on read, and a corrupt blob is just
+//! a miss). Two independent 64-bit FNV-1a passes with different offset
+//! bases give a 128-bit address, which makes accidental collisions
+//! across a store of any realistic size a non-concern.
+
+/// The standard FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// The FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+/// Offset basis for the second, independent pass (the standard basis
+/// with its halves swapped — any constant different from
+/// [`FNV_OFFSET`] decorrelates the two streams).
+const FNV_OFFSET_ALT: u64 = 0x8422_2325_cbf2_9ce4;
+
+/// One FNV-1a 64-bit pass over `bytes`, starting from `offset`.
+pub fn fnv1a64(bytes: &[u8], offset: u64) -> u64 {
+    let mut hash = offset;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// A 128-bit hex fingerprint of `bytes`: two independent FNV-1a
+/// passes, concatenated as 32 lowercase hex digits.
+pub fn digest128_hex(bytes: &[u8]) -> String {
+    format!(
+        "{:016x}{:016x}",
+        fnv1a64(bytes, FNV_OFFSET),
+        fnv1a64(bytes, FNV_OFFSET_ALT)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_the_published_test_vectors() {
+        // From the reference FNV-1a 64 tables.
+        assert_eq!(fnv1a64(b"", FNV_OFFSET), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a", FNV_OFFSET), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar", FNV_OFFSET), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn digest_is_stable_and_input_sensitive() {
+        let a = digest128_hex(b"task=sampling");
+        assert_eq!(a.len(), 32);
+        assert_eq!(a, digest128_hex(b"task=sampling"), "digest must be deterministic");
+        assert_ne!(a, digest128_hex(b"task=sampling "), "any byte change must move the digest");
+        assert!(a.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+}

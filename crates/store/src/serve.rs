@@ -1,0 +1,282 @@
+//! The TCP campaign service — `musa serve` / `musa client`.
+//!
+//! A deliberately tiny, std-only wire protocol: one length-prefixed
+//! frame per direction, then the connection closes. A frame is one
+//! ASCII header line followed by exactly `len` body bytes:
+//!
+//! ```text
+//! MUSA/1 <kind> <len>\n
+//! <len body bytes>
+//! ```
+//!
+//! The client sends one `campaign` frame whose body is a
+//! `musa.request.v1` document. The server consults the store
+//! ([`RunCached`]), computes on a miss, and answers
+//! with one frame whose kind doubles as the status:
+//!
+//! | status | body |
+//! |---|---|
+//! | `ok-hit` | the report JSON, rebuilt from the store |
+//! | `ok-miss` | the report JSON, freshly computed (and now stored) |
+//! | `ok` | the report JSON for store-bypassing tasks (bench, lint) |
+//! | `error` | a printable message (bad request or failed run) |
+//!
+//! Everything a peer sends is untrusted: headers are validated
+//! token-by-token, bodies are capped at [`MAX_BODY`], and a malformed
+//! connection only ever poisons itself — the accept loop keeps
+//! serving.
+
+use crate::run_cached::{RunCached, StoreOutcome};
+use crate::store::Store;
+use crate::request::parse_request;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+
+/// Protocol magic, first token of every frame header.
+pub const PROTOCOL: &str = "MUSA/1";
+
+/// Upper bound on a frame body (64 MiB) — far above any report, small
+/// enough that a hostile header cannot make the peer allocate wildly.
+pub const MAX_BODY: usize = 64 << 20;
+
+/// Writes one frame.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_frame(w: &mut impl Write, kind: &str, body: &[u8]) -> io::Result<()> {
+    debug_assert!(kind.split_whitespace().count() == 1, "frame kind is one token");
+    writeln!(w, "{PROTOCOL} {kind} {}", body.len())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Reads one frame, returning `(kind, body)`.
+///
+/// # Errors
+///
+/// [`io::ErrorKind::InvalidData`] on any malformed header (wrong magic,
+/// missing tokens, oversized or unparsable length), plus underlying
+/// I/O errors.
+pub fn read_frame(r: &mut impl BufRead) -> io::Result<(String, Vec<u8>)> {
+    let mut header = String::new();
+    r.read_line(&mut header)?;
+    let mut tokens = header.split_whitespace();
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    if tokens.next() != Some(PROTOCOL) {
+        return Err(bad("frame does not start with MUSA/1"));
+    }
+    let kind = tokens.next().ok_or_else(|| bad("frame header has no kind"))?.to_string();
+    let len: usize = tokens
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| bad("frame header has no length"))?;
+    if tokens.next().is_some() {
+        return Err(bad("frame header has trailing tokens"));
+    }
+    if len > MAX_BODY {
+        return Err(bad("frame body exceeds the 64 MiB cap"));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok((kind, body))
+}
+
+/// Serves one request frame on an established connection: the entire
+/// per-connection protocol, factored out so tests can drive it over
+/// any `Read + Write` transport.
+///
+/// Protocol-level problems (bad frame, bad request, failed run) are
+/// answered with an `error` frame and reported as `Ok` — only
+/// transport failures are returned as errors.
+///
+/// # Errors
+///
+/// Propagates transport I/O errors.
+pub fn handle_connection(
+    reader: &mut impl BufRead,
+    writer: &mut impl Write,
+    store: &Store,
+) -> io::Result<()> {
+    let (kind, body) = match read_frame(reader) {
+        Ok(frame) => frame,
+        Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+            return write_frame(writer, "error", e.to_string().as_bytes());
+        }
+        Err(e) => return Err(e),
+    };
+    if kind != "campaign" {
+        return write_frame(writer, "error", format!("unknown frame kind `{kind}`").as_bytes());
+    }
+    let Ok(request_text) = String::from_utf8(body) else {
+        return write_frame(writer, "error", b"request body is not UTF-8");
+    };
+    let campaign = match parse_request(&request_text) {
+        Ok(campaign) => campaign,
+        Err(e) => return write_frame(writer, "error", e.as_bytes()),
+    };
+    match campaign.run_cached(store) {
+        Ok(run) => {
+            let status = match run.outcome {
+                StoreOutcome::Hit => "ok-hit",
+                StoreOutcome::Miss => "ok-miss",
+                StoreOutcome::Bypass => "ok",
+            };
+            write_frame(writer, status, run.report.to_json().as_bytes())
+        }
+        Err(e) => write_frame(writer, "error", e.to_string().as_bytes()),
+    }
+}
+
+/// The accept loop behind `musa serve`. Serves connections forever —
+/// or exactly one when `once` is set (the hermetic-CI mode) — against
+/// the given store. Per-connection failures are answered/logged and
+/// never stop the loop.
+///
+/// # Errors
+///
+/// Only a failure of `accept` itself.
+pub fn serve(listener: &TcpListener, store: &Store, once: bool) -> io::Result<()> {
+    for stream in listener.incoming() {
+        let stream = stream?;
+        if let Err(e) = serve_stream(stream, store) {
+            eprintln!("serve: connection failed: {e}");
+        }
+        if once {
+            return Ok(());
+        }
+    }
+    Ok(())
+}
+
+fn serve_stream(stream: TcpStream, store: &Store) -> io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    handle_connection(&mut reader, &mut writer, store)
+}
+
+/// Sends one campaign request to a server and returns
+/// `(status, body)`.
+///
+/// # Errors
+///
+/// Printable connection/protocol failures (the `musa client` CLI
+/// surfaces them on stderr, exit 1).
+pub fn client_request(addr: impl ToSocketAddrs, request_text: &str) -> Result<(String, String), String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect failed: {e}"))?;
+    let mut writer = stream.try_clone().map_err(|e| format!("connect failed: {e}"))?;
+    write_frame(&mut writer, "campaign", request_text.as_bytes())
+        .map_err(|e| format!("send failed: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    let (status, body) = read_frame(&mut reader).map_err(|e| format!("receive failed: {e}"))?;
+    let body = String::from_utf8(body).map_err(|_| "server sent non-UTF-8".to_string())?;
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+    fn scratch_store(tag: &str) -> (PathBuf, Store) {
+        let dir = std::env::temp_dir().join(format!(
+            "musa-serve-test-{}-{tag}-{}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::Relaxed),
+        ));
+        (dir.clone(), Store::open(dir).unwrap())
+    }
+
+    const REQUEST: &str = r#"{
+        "schema": "musa.request.v1",
+        "task": "sampling",
+        "params": { "fraction": 0.5 },
+        "benches": ["c17"],
+        "seed": 7,
+        "preset": "fast",
+        "jobs": 1
+    }"#;
+
+    fn roundtrip_over_buffers(store: &Store, request: &str) -> (String, String) {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, "campaign", request.as_bytes()).unwrap();
+        let mut reader = Cursor::new(wire);
+        let mut response = Vec::new();
+        handle_connection(&mut reader, &mut response, store).unwrap();
+        let (status, body) = read_frame(&mut Cursor::new(response)).unwrap();
+        (status, String::from_utf8(body).unwrap())
+    }
+
+    #[test]
+    fn frames_round_trip_and_reject_garbage() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, "campaign", b"hello").unwrap();
+        assert_eq!(wire, b"MUSA/1 campaign 5\nhello");
+        let (kind, body) = read_frame(&mut Cursor::new(wire)).unwrap();
+        assert_eq!((kind.as_str(), body.as_slice()), ("campaign", &b"hello"[..]));
+
+        for garbage in [
+            &b"HTTP/1.1 200 OK\n"[..],
+            b"MUSA/1 campaign\n",
+            b"MUSA/1 campaign five\n",
+            b"MUSA/1 campaign 5 extra\n",
+            b"MUSA/1 campaign 99999999999999\n",
+        ] {
+            let err = read_frame(&mut Cursor::new(garbage.to_vec())).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{garbage:?}");
+        }
+        // Truncated body: header promises more than the wire holds.
+        assert!(read_frame(&mut Cursor::new(b"MUSA/1 campaign 10\nhi".to_vec())).is_err());
+    }
+
+    #[test]
+    fn connection_serves_miss_then_hit_with_identical_bodies() {
+        let (dir, store) = scratch_store("hit");
+        let (status1, body1) = roundtrip_over_buffers(&store, REQUEST);
+        assert_eq!(status1, "ok-miss");
+        let (status2, body2) = roundtrip_over_buffers(&store, REQUEST);
+        assert_eq!(status2, "ok-hit");
+        let norm = |s: &str| {
+            s.lines()
+                .filter(|l| !l.contains("\"wall_ms\""))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(norm(&body1), norm(&body2), "hit body must match the miss body");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bad_requests_get_error_frames_not_hangups() {
+        let (dir, store) = scratch_store("errors");
+        let (status, body) = roundtrip_over_buffers(&store, "{ nope");
+        assert_eq!(status, "error");
+        assert!(body.contains("not valid JSON"), "{body}");
+
+        // Unknown frame kind.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, "telemetry", b"{}").unwrap();
+        let mut response = Vec::new();
+        handle_connection(&mut Cursor::new(wire), &mut response, &store).unwrap();
+        let (status, _) = read_frame(&mut Cursor::new(response)).unwrap();
+        assert_eq!(status, "error");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tcp_end_to_end_once_mode() {
+        let (dir, store) = scratch_store("tcp");
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || serve(&listener, &store, true).unwrap());
+        let (status, body) = client_request(addr, REQUEST).unwrap();
+        server.join().unwrap();
+        assert_eq!(status, "ok-miss");
+        assert!(body.contains("\"schema\": \"musa.campaign.v1\""));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

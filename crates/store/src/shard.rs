@@ -1,0 +1,415 @@
+//! Multi-process sharding — `musa campaign --workers N`.
+//!
+//! The sampling task's unit of work is one **cell** of the
+//! bench × repetition grid. Seeds are position-based (drawn before any
+//! worker exists) and the merge is the order-independent, repetition-
+//! indexed [`SamplingAggregate`], so *any* partition of the grid over
+//! any number of OS processes reproduces the in-process report bit for
+//! bit. The protocol:
+//!
+//! 1. the parent derives the grid from the validated plan and deals
+//!    cells round-robin across `N` workers;
+//! 2. each worker is the current executable re-invoked as
+//!    `musa __worker --cells b01:0,c17:1`, with the original
+//!    `musa.request.v1` text on stdin (workers re-validate the request
+//!    themselves — the parent forwards bytes, not trust);
+//! 3. a worker answers with a `musa.shard.v1` document on stdout — one
+//!    `outcome_json` record per cell;
+//! 4. the parent folds all shards through one aggregate per bench (in
+//!    plan order) and stamps the report exactly like an in-process run.
+
+use crate::decode;
+use crate::request::parse_request;
+use crate::run_cached::meta_from_plan;
+use musa_core::json::{self, Json, JsonValue};
+use musa_core::{
+    outcome_json, BenchOutcome, CampaignPlan, Report, ReportData, SamplingAggregate,
+    SamplingOutcome, SamplingRun, Task,
+};
+use musa_mutation::{generate_mutants, GenerateOptions};
+use musa_testgen::SamplingStrategy;
+use std::io::Write as _;
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+use std::time::Instant;
+
+/// The worker-result schema tag.
+pub const SHARD_SCHEMA: &str = "musa.shard.v1";
+
+/// One unit of sampling work: one repetition of one benchmark.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cell {
+    /// Benchmark name.
+    pub bench: String,
+    /// Repetition index, `0..config.repetitions`.
+    pub repetition: usize,
+}
+
+/// The full bench × repetition grid of a sampling plan, bench-major in
+/// plan order.
+///
+/// # Errors
+///
+/// Only [`Task::Sampling`] shards; any other task is refused with a
+/// usage-style message.
+pub fn grid(plan: &CampaignPlan) -> Result<Vec<Cell>, String> {
+    if !matches!(plan.task, Task::Sampling { .. }) {
+        return Err(format!(
+            "--workers shards the sampling task only (got `{}`)",
+            plan.task.slug()
+        ));
+    }
+    let repetitions = plan.config.repetitions.max(1);
+    let mut cells = Vec::with_capacity(plan.benches.len() * repetitions);
+    for bench in &plan.benches {
+        for repetition in 0..repetitions {
+            cells.push(Cell { bench: bench.name().to_string(), repetition });
+        }
+    }
+    Ok(cells)
+}
+
+/// Deals cells round-robin across `workers` shards; shards that would
+/// be empty (more workers than cells) are dropped.
+pub fn assign(cells: &[Cell], workers: usize) -> Vec<Vec<Cell>> {
+    let workers = workers.max(1);
+    let shard_count = workers.min(cells.len().max(1));
+    let mut shards: Vec<Vec<Cell>> = vec![Vec::new(); shard_count];
+    for (i, cell) in cells.iter().enumerate() {
+        shards[i % shard_count].push(cell.clone());
+    }
+    shards.retain(|s| !s.is_empty());
+    shards
+}
+
+/// Renders a shard as the `--cells` argument (`b01:0,c17:1`).
+pub fn cells_spec(cells: &[Cell]) -> String {
+    cells
+        .iter()
+        .map(|c| format!("{}:{}", c.bench, c.repetition))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Parses a `--cells` argument back into cells.
+///
+/// # Errors
+///
+/// Describes the first malformed entry.
+pub fn parse_cells_spec(spec: &str) -> Result<Vec<Cell>, String> {
+    let mut cells = Vec::new();
+    for part in spec.split(',') {
+        let (bench, repetition) = part
+            .split_once(':')
+            .ok_or_else(|| format!("malformed cell `{part}` (expected bench:repetition)"))?;
+        let repetition = repetition
+            .parse::<usize>()
+            .map_err(|_| format!("malformed repetition in cell `{part}`"))?;
+        if bench.is_empty() {
+            return Err(format!("malformed cell `{part}` (empty bench name)"));
+        }
+        cells.push(Cell { bench: bench.to_string(), repetition });
+    }
+    if cells.is_empty() {
+        return Err("--cells is empty".to_string());
+    }
+    Ok(cells)
+}
+
+/// Runs a worker's share of the grid and renders the `musa.shard.v1`
+/// answer. This is the entire body of the hidden `musa __worker`
+/// subcommand.
+///
+/// # Errors
+///
+/// A malformed request or cell spec, a cell outside the plan, or a
+/// mutation-execution failure — all as printable strings (the worker
+/// exits non-zero and the parent surfaces the message).
+pub fn worker_shard_json(request_text: &str, cells_arg: &str) -> Result<String, String> {
+    let campaign = parse_request(request_text)?;
+    let plan = campaign.plan().map_err(|e| e.to_string())?;
+    let Task::Sampling { fraction } = plan.task else {
+        return Err(format!("worker shards sampling only (got `{}`)", plan.task.slug()));
+    };
+    let cells = parse_cells_spec(cells_arg)?;
+    let repetitions = plan.config.repetitions.max(1);
+
+    let mut results = Vec::with_capacity(cells.len());
+    // Load each bench once, in the order cells first mention it.
+    let mut loaded: Vec<String> = Vec::new();
+    for bench_name in cells.iter().map(|c| c.bench.clone()) {
+        if loaded.contains(&bench_name) {
+            continue;
+        }
+        loaded.push(bench_name.clone());
+        let bench = plan
+            .benches
+            .iter()
+            .copied()
+            .find(|b| b.name() == bench_name)
+            .ok_or_else(|| format!("cell bench `{bench_name}` is not in the campaign"))?;
+        let circuit = bench.load().map_err(|e| e.to_string())?;
+        let population =
+            generate_mutants(&circuit.checked, &circuit.name, &GenerateOptions::default());
+        let run = SamplingRun::new(
+            &circuit,
+            &population,
+            SamplingStrategy::random(fraction),
+            &plan.config,
+        );
+        for cell in cells.iter().filter(|c| c.bench == bench_name) {
+            if cell.repetition >= repetitions {
+                return Err(format!(
+                    "cell {}:{} is outside the plan's {repetitions} repetitions",
+                    cell.bench, cell.repetition
+                ));
+            }
+            let outcome = run.run_repetition(cell.repetition).map_err(|e| e.to_string())?;
+            results.push((cell.clone(), outcome));
+        }
+    }
+
+    Ok(Json::Obj(vec![
+        ("schema", Json::str(SHARD_SCHEMA)),
+        (
+            "results",
+            Json::Arr(
+                results
+                    .iter()
+                    .map(|(cell, outcome)| {
+                        Json::Obj(vec![
+                            ("bench", Json::str(&cell.bench)),
+                            ("repetition", Json::count(cell.repetition)),
+                            ("outcome", outcome_json(outcome)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+    .render())
+}
+
+/// Parses a worker's `musa.shard.v1` answer.
+///
+/// # Errors
+///
+/// A printable description of the first malformed record.
+pub fn parse_shard(text: &str) -> Result<Vec<(Cell, SamplingOutcome)>, String> {
+    let doc = json::parse(text).map_err(|e| format!("worker output is not JSON: {e}"))?;
+    if doc.get("schema").and_then(JsonValue::as_str) != Some(SHARD_SCHEMA) {
+        return Err(format!("worker output is not a {SHARD_SCHEMA} document"));
+    }
+    let mut results = Vec::new();
+    for record in doc
+        .get("results")
+        .and_then(JsonValue::as_arr)
+        .ok_or("worker output has no \"results\" array")?
+    {
+        let cell = Cell {
+            bench: record
+                .get("bench")
+                .and_then(JsonValue::as_str)
+                .ok_or("shard record has no bench")?
+                .to_string(),
+            repetition: record
+                .get("repetition")
+                .and_then(JsonValue::as_usize)
+                .ok_or("shard record has no repetition")?,
+        };
+        let outcome = record
+            .get("outcome")
+            .and_then(decode::outcome)
+            .ok_or_else(|| format!("shard record {}:{} has a malformed outcome", cell.bench, cell.repetition))?;
+        results.push((cell, outcome));
+    }
+    Ok(results)
+}
+
+/// Runs a sampling campaign by sharding its grid across `workers`
+/// freshly spawned OS processes (re-invocations of `exe`, normally the
+/// current `musa` binary) and merging their shards — bit-identical to
+/// the in-process run at every worker count.
+///
+/// # Errors
+///
+/// A malformed request, a non-sampling task, a worker that exits
+/// non-zero or answers with a malformed/incomplete shard.
+pub fn run_sharded(exe: &Path, request_text: &str, workers: usize) -> Result<Report, String> {
+    let started = Instant::now();
+    let campaign = parse_request(request_text)?;
+    let plan = campaign.plan().map_err(|e| e.to_string())?;
+    let cells = grid(&plan)?;
+    let shards = assign(&cells, workers);
+
+    // Spawn every worker before collecting any: the shards run
+    // concurrently, scheduled by the OS.
+    let mut children: Vec<(String, Child)> = Vec::with_capacity(shards.len());
+    for shard in &shards {
+        let spec = cells_spec(shard);
+        let mut child = Command::new(exe)
+            .arg("__worker")
+            .arg("--cells")
+            .arg(&spec)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .map_err(|e| format!("failed to spawn worker: {e}"))?;
+        // The request is a few hundred bytes — far below the pipe
+        // buffer — so a blocking write before the child consumes it
+        // cannot deadlock.
+        child
+            .stdin
+            .take()
+            .expect("stdin was piped")
+            .write_all(request_text.as_bytes())
+            .map_err(|e| format!("failed to send request to worker: {e}"))?;
+        children.push((spec, child));
+    }
+
+    let mut merged: Vec<(Cell, SamplingOutcome)> = Vec::with_capacity(cells.len());
+    for (spec, child) in children {
+        let output = child
+            .wait_with_output()
+            .map_err(|e| format!("failed to collect worker [{spec}]: {e}"))?;
+        if !output.status.success() {
+            return Err(format!("worker [{spec}] failed ({})", output.status));
+        }
+        let text = String::from_utf8(output.stdout)
+            .map_err(|_| format!("worker [{spec}] wrote non-UTF-8 output"))?;
+        merged.extend(parse_shard(&text).map_err(|e| format!("worker [{spec}]: {e}"))?);
+    }
+
+    merge_report(&plan, merged, started)
+}
+
+/// Folds per-cell outcomes into the final report, in plan order.
+fn merge_report(
+    plan: &CampaignPlan,
+    results: Vec<(Cell, SamplingOutcome)>,
+    started: Instant,
+) -> Result<Report, String> {
+    let repetitions = plan.config.repetitions.max(1);
+    let mut rows = Vec::with_capacity(plan.benches.len());
+    for bench in &plan.benches {
+        let mut aggregate = SamplingAggregate::new();
+        for (cell, outcome) in results.iter().filter(|(c, _)| c.bench == bench.name()) {
+            aggregate.push(cell.repetition, outcome.clone());
+        }
+        if aggregate.len() != repetitions {
+            return Err(format!(
+                "bench `{}`: {}/{repetitions} repetitions returned by workers",
+                bench.name(),
+                aggregate.len()
+            ));
+        }
+        rows.push(BenchOutcome { bench: bench.name().to_string(), outcome: aggregate.finish() });
+    }
+    Ok(Report {
+        meta: meta_from_plan(plan, started.elapsed()),
+        task: plan.task.clone(),
+        data: ReportData::Sampling(rows),
+        trace: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use musa_core::Campaign;
+
+    const REQUEST: &str = r#"{
+        "schema": "musa.request.v1",
+        "task": "sampling",
+        "params": { "fraction": 0.5 },
+        "benches": ["b01", "c17"],
+        "seed": 7,
+        "preset": "fast",
+        "jobs": 1
+    }"#;
+
+    fn plan() -> CampaignPlan {
+        parse_request(REQUEST).unwrap().plan().unwrap()
+    }
+
+    #[test]
+    fn grid_is_bench_major_and_sampling_only() {
+        let cells = grid(&plan()).unwrap();
+        // fast preset: 2 repetitions × 2 benches.
+        assert_eq!(
+            cells,
+            vec![
+                Cell { bench: "b01".into(), repetition: 0 },
+                Cell { bench: "b01".into(), repetition: 1 },
+                Cell { bench: "c17".into(), repetition: 0 },
+                Cell { bench: "c17".into(), repetition: 1 },
+            ]
+        );
+        let lint = Campaign::named("c17").fast().task(Task::Lint).plan().unwrap();
+        assert!(grid(&lint).is_err());
+    }
+
+    #[test]
+    fn assignment_is_round_robin_and_total() {
+        let cells = grid(&plan()).unwrap();
+        for workers in [1, 2, 3, 4, 7] {
+            let shards = assign(&cells, workers);
+            assert!(shards.len() <= workers.max(1));
+            assert!(shards.iter().all(|s| !s.is_empty()));
+            let mut flattened: Vec<Cell> = shards.into_iter().flatten().collect();
+            flattened.sort_by(|a, b| (&a.bench, a.repetition).cmp(&(&b.bench, b.repetition)));
+            assert_eq!(flattened, cells, "every cell exactly once at {workers} workers");
+        }
+    }
+
+    #[test]
+    fn cells_spec_round_trips() {
+        let cells = grid(&plan()).unwrap();
+        let spec = cells_spec(&cells);
+        assert_eq!(spec, "b01:0,b01:1,c17:0,c17:1");
+        assert_eq!(parse_cells_spec(&spec).unwrap(), cells);
+        assert!(parse_cells_spec("").is_err());
+        assert!(parse_cells_spec("b01").is_err());
+        assert!(parse_cells_spec("b01:x").is_err());
+    }
+
+    /// The worker entry point, driven in-process: the full grid run
+    /// through `worker_shard_json` + `parse_shard` + the merge must be
+    /// bit-identical to `Campaign::run`.
+    #[test]
+    fn worker_plus_merge_reproduces_the_in_process_report() {
+        let started = Instant::now();
+        // Two workers' worth of shards, deliberately interleaved.
+        let cells = grid(&plan()).unwrap();
+        let shards = assign(&cells, 2);
+        let mut results = Vec::new();
+        for shard in &shards {
+            let text = worker_shard_json(REQUEST, &cells_spec(shard)).unwrap();
+            results.extend(parse_shard(&text).unwrap());
+        }
+        let sharded = merge_report(&plan(), results, started).unwrap();
+
+        let direct = parse_request(REQUEST).unwrap().run().unwrap();
+        let norm = |mut r: Report| {
+            r.meta.wall = std::time::Duration::ZERO;
+            (r.to_json(), r.render_text())
+        };
+        assert_eq!(norm(sharded), norm(direct));
+    }
+
+    #[test]
+    fn worker_refuses_cells_outside_the_plan() {
+        assert!(worker_shard_json(REQUEST, "c432:0").is_err(), "bench not in campaign");
+        assert!(worker_shard_json(REQUEST, "c17:9").is_err(), "repetition out of range");
+        assert!(worker_shard_json("{ nope", "c17:0").is_err(), "malformed request");
+    }
+
+    #[test]
+    fn missing_cells_fail_the_merge() {
+        let text = worker_shard_json(REQUEST, "c17:0,c17:1,b01:0").unwrap();
+        let partial = parse_shard(&text).unwrap();
+        let err = merge_report(&plan(), partial, Instant::now()).unwrap_err();
+        assert!(err.contains("b01"), "error must name the starved bench: {err}");
+    }
+}

@@ -72,7 +72,7 @@ impl Default for MgConfig {
             max_rounds: 12,
             selection: Selection::FirstCome,
             seed: 0x6D67,
-            engine: Engine::Scalar,
+            engine: Engine::default(),
         }
     }
 }
@@ -86,7 +86,7 @@ impl MgConfig {
             max_rounds: 6,
             selection: Selection::FirstCome,
             seed,
-            engine: Engine::Scalar,
+            engine: Engine::default(),
         }
     }
 

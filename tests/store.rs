@@ -1,0 +1,190 @@
+//! End-to-end contract tests for the campaign result store and the
+//! serving layer, driven through the `musa` binary exactly as CI and
+//! users drive it: `campaign` (store hits byte-identical to fresh
+//! runs, corruption tolerated, worker sharding bit-identical) and the
+//! `serve`/`client` pair (one TCP round trip matches the direct CLI).
+
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output, Stdio};
+
+/// A fixed two-bench sampling request (the store keys on the resolved
+/// plan, so `jobs` may vary freely without splitting the cache).
+const REQUEST: &str = "{\"schema\": \"musa.request.v1\", \"task\": \"sampling\", \
+\"params\": {\"fraction\": 0.1}, \"benches\": [\"b01\", \"c17\"], \
+\"seed\": 7, \"preset\": \"fast\", \"jobs\": 1}";
+
+/// The content address of [`REQUEST`]'s resolved plan. Pinned: the
+/// key material (`musa.key.v1`) is a published contract, so a drift
+/// here is a cache-invalidation event that must be deliberate.
+const REQUEST_KEY: &str = "0f30c6305ab662510355d31054e8bd00";
+
+fn musa(args: &[&str], dir: &Path) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_musa"))
+        .args(args)
+        .current_dir(dir)
+        .output()
+        .expect("musa binary runs")
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("musa-store-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("req.json"), REQUEST).unwrap();
+    dir
+}
+
+fn stdout_str(out: &Output) -> String {
+    String::from_utf8(out.stdout.clone()).expect("utf-8 stdout")
+}
+
+fn stderr_str(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// Zeroes the only legitimately nondeterministic report field.
+fn norm_wall(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for line in text.lines() {
+        if let Some(idx) = line.find("\"wall_ms\":") {
+            let comma = if line.trim_end().ends_with(',') { "," } else { "" };
+            out.push_str(&line[..idx]);
+            out.push_str("\"wall_ms\": 0");
+            out.push_str(comma);
+        } else {
+            out.push_str(line);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn store_miss_then_hit_is_byte_identical_and_key_is_pinned() {
+    let dir = scratch("hit");
+    let args = ["campaign", "req.json", "--store", ".s"];
+    let miss = musa(&args, &dir);
+    assert_eq!(miss.status.code(), Some(0), "{}", stderr_str(&miss));
+    assert!(
+        stderr_str(&miss).contains(&format!("store: miss {REQUEST_KEY}")),
+        "stderr: {}",
+        stderr_str(&miss)
+    );
+
+    let hit = musa(&args, &dir);
+    assert_eq!(hit.status.code(), Some(0), "{}", stderr_str(&hit));
+    assert!(
+        stderr_str(&hit).contains(&format!("store: hit {REQUEST_KEY}")),
+        "stderr: {}",
+        stderr_str(&hit)
+    );
+    assert_eq!(
+        stdout_str(&miss),
+        stdout_str(&hit),
+        "a hit must replay the fresh text byte-for-byte"
+    );
+
+    // JSON mode too — same cache entry, wall normalized.
+    let miss_json = stdout_str(&musa(&["campaign", "req.json", "--json"], &dir));
+    let hit_json = musa(&["campaign", "req.json", "--store", ".s", "--json"], &dir);
+    assert!(stderr_str(&hit_json).contains("store: hit"));
+    assert_eq!(norm_wall(&miss_json), norm_wall(&stdout_str(&hit_json)));
+
+    // The blob on disk is addressed by the pinned key.
+    assert!(dir.join(".s").join(format!("{REQUEST_KEY}.json")).is_file());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_blob_recomputes_and_heals() {
+    let dir = scratch("corrupt");
+    let args = ["campaign", "req.json", "--store", ".s"];
+    let first = musa(&args, &dir);
+    assert_eq!(first.status.code(), Some(0), "{}", stderr_str(&first));
+
+    let blob = dir.join(".s").join(format!("{REQUEST_KEY}.json"));
+    std::fs::write(&blob, "{ truncated garbage").unwrap();
+
+    let recomputed = musa(&args, &dir);
+    assert_eq!(recomputed.status.code(), Some(0), "{}", stderr_str(&recomputed));
+    assert!(
+        stderr_str(&recomputed).contains("store: miss"),
+        "a corrupt blob must degrade to a miss, not an error: {}",
+        stderr_str(&recomputed)
+    );
+    assert_eq!(stdout_str(&first), stdout_str(&recomputed));
+
+    // ...and the recompute healed the blob: next run hits again.
+    let healed = musa(&args, &dir);
+    assert!(stderr_str(&healed).contains("store: hit"), "{}", stderr_str(&healed));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn worker_counts_are_bit_identical_to_in_process() {
+    let dir = scratch("workers");
+    let direct = musa(&["campaign", "req.json", "--json"], &dir);
+    assert_eq!(direct.status.code(), Some(0), "{}", stderr_str(&direct));
+    let baseline = norm_wall(&stdout_str(&direct));
+    for workers in ["1", "2", "4"] {
+        let sharded = musa(&["campaign", "req.json", "--workers", workers, "--json"], &dir);
+        assert_eq!(sharded.status.code(), Some(0), "{}", stderr_str(&sharded));
+        assert_eq!(
+            baseline,
+            norm_wall(&stdout_str(&sharded)),
+            "--workers {workers} drifted from the in-process report"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sample_store_flag_hits_on_the_second_run() {
+    let dir = scratch("sample");
+    let args = ["sample", "b01", "--store", ".s"];
+    let miss = musa(&args, &dir);
+    assert_eq!(miss.status.code(), Some(0), "{}", stderr_str(&miss));
+    assert!(stderr_str(&miss).contains("store: miss"), "{}", stderr_str(&miss));
+    let hit = musa(&args, &dir);
+    assert!(stderr_str(&hit).contains("store: hit"), "{}", stderr_str(&hit));
+    assert_eq!(stdout_str(&miss), stdout_str(&hit));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_once_round_trip_matches_the_direct_cli() {
+    let dir = scratch("serve");
+    let mut server = Command::new(env!("CARGO_BIN_EXE_musa"))
+        .args(["serve", "--addr", "127.0.0.1:0", "--store", ".srv", "--once"])
+        .current_dir(&dir)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("serve spawns");
+
+    // The server announces the resolved port-0 address first.
+    let mut announce = String::new();
+    BufReader::new(server.stdout.take().expect("piped stdout"))
+        .read_line(&mut announce)
+        .expect("server announces its address");
+    let addr = announce
+        .trim()
+        .strip_prefix("listening ")
+        .unwrap_or_else(|| panic!("bad announcement: {announce:?}"))
+        .to_string();
+
+    let reply = musa(&["client", "--addr", &addr, "req.json"], &dir);
+    assert_eq!(reply.status.code(), Some(0), "{}", stderr_str(&reply));
+    assert!(stderr_str(&reply).contains("status: ok-miss"), "{}", stderr_str(&reply));
+    let status = server.wait().expect("serve exits after --once");
+    assert!(status.success(), "serve --once must exit 0: {status:?}");
+
+    let direct = musa(&["campaign", "req.json", "--json"], &dir);
+    assert_eq!(
+        norm_wall(&stdout_str(&direct)),
+        norm_wall(&stdout_str(&reply)),
+        "the served report must match the direct CLI"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
