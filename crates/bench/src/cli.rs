@@ -16,7 +16,7 @@ use musa_core::{
     render_profile, trace_json, BenchReport, Campaign, CampaignError, ComparePolicy,
     ExperimentConfig, Report, ReportData, Task, DEFAULT_BENCHES, DEFAULT_SEED,
 };
-use musa_mutation::{Engine, MutationOperator};
+use musa_mutation::{Engine, MutationOperator, OptLevel};
 
 /// Soft parse failures; each front end maps them to its legacy
 /// wording and exit path.
@@ -37,6 +37,9 @@ pub enum CliError {
     /// `--screen` had a missing or unrecognized value (expected
     /// `static` or `off`).
     ScreenValue,
+    /// `--opt` had a missing or unrecognized value (expected `full`
+    /// or `off`).
+    OptValue,
     /// `--trace` had a missing value (a file path).
     TraceValue,
     /// `--trace-format` had a missing or unrecognized value (expected
@@ -137,6 +140,8 @@ pub struct Parsed {
     pub fault_reduce: Option<bool>,
     /// `--screen static|off`.
     pub screen: Option<bool>,
+    /// `--opt full|off`.
+    pub opt: Option<OptLevel>,
     /// `--trace`, `--trace-format`, `--profile`, `--progress`.
     pub trace: TraceOpts,
     /// Non-flag arguments, in order.
@@ -200,6 +205,14 @@ pub fn parse_tokens(
                     Some("static") => true,
                     Some("off") => false,
                     _ => return Err(CliError::ScreenValue),
+                });
+                i += 1;
+            }
+            "--opt" => {
+                parsed.opt = Some(match args.get(i + 1).map(String::as_str) {
+                    Some("full") => OptLevel::Full,
+                    Some("off") => OptLevel::Off,
+                    _ => return Err(CliError::OptValue),
                 });
                 i += 1;
             }
@@ -269,6 +282,10 @@ pub struct CliOptions {
     /// default on). Reported numbers are identical either way; only
     /// the `screened` count in the JSON report changes.
     pub screen: bool,
+    /// Lane-tape optimizer level (`--opt full|off`, default full).
+    /// Both levels are bit-identical in every reported number; `off`
+    /// exists as the benchmark/debug baseline.
+    pub opt: OptLevel,
     /// Observability flags (`--trace`, `--trace-format`, `--profile`,
     /// `--progress`). All off by default; every report output stays
     /// bit-identical when they are.
@@ -286,6 +303,7 @@ impl Default for CliOptions {
             engine: Engine::default(),
             fault_reduce: true,
             screen: true,
+            opt: OptLevel::default(),
             trace: TraceOpts::default(),
         }
     }
@@ -317,6 +335,12 @@ options (shared by every musa_bench experiment binary):
               statically proven-equivalent mutants skip simulation and
               fold into the E term directly — reported numbers are
               bit-identical either way
+  --opt full|off
+              lane-tape optimizer level (default full): `full` runs the
+              compile → optimize → execute pipeline (const folding,
+              copy/select propagation, CSE, DCE, superinstruction
+              fusion); `off` interprets the raw tapes — outcomes are
+              bit-identical, only wall time changes
   --json      emit the typed campaign report as JSON (stable
               `musa.campaign.v1` schema) instead of text
   --trace FILE
@@ -355,6 +379,7 @@ options (shared by every musa_bench experiment binary):
                 engine: parsed.engine.unwrap_or_default(),
                 fault_reduce: parsed.fault_reduce.unwrap_or(true),
                 screen: parsed.screen.unwrap_or(true),
+                opt: parsed.opt.unwrap_or_default(),
                 trace: parsed.trace,
             },
             Err(e) => {
@@ -366,6 +391,7 @@ options (shared by every musa_bench experiment binary):
                     }
                     CliError::FaultReduceValue => "--fault-reduce expects `on` or `off`",
                     CliError::ScreenValue => "--screen expects `static` or `off`",
+                    CliError::OptValue => "--opt expects `full` or `off`",
                     CliError::TraceValue => "--trace expects a file path",
                     CliError::TraceFormatValue => "--trace-format expects `json` or `chrome`",
                     // Lenient parsing ignores unknown arguments.
@@ -394,6 +420,7 @@ options (shared by every musa_bench experiment binary):
             .with_engine(self.engine)
             .with_fault_reduce(self.fault_reduce)
             .with_screen(self.screen)
+            .with_opt(self.opt)
     }
 }
 
@@ -415,6 +442,8 @@ pub struct SampleArgs {
     pub fault_reduce: bool,
     /// Static equivalent-mutant pre-screening (default on).
     pub screen: bool,
+    /// Lane-tape optimizer level (default full).
+    pub opt: OptLevel,
     /// `--paper` preset requested (default: fast).
     pub paper: bool,
     /// `--fast` passed explicitly.
@@ -431,8 +460,8 @@ pub struct SampleArgs {
 /// The `musa sample` usage line.
 pub const SAMPLE_USAGE: &str = "expected <name> [fraction] [--jobs N] [--seed N] \
 [--paper] [--fast] [--json] [--engine scalar|lanes] [--fault-reduce on|off] \
-[--screen static|off] [--store DIR] [--trace FILE] [--trace-format json|chrome] \
-[--profile] [--progress]";
+[--screen static|off] [--opt full|off] [--store DIR] [--trace FILE] \
+[--trace-format json|chrome] [--profile] [--progress]";
 
 impl SampleArgs {
     /// Parses `musa sample`'s arguments (everything after the
@@ -464,6 +493,7 @@ impl SampleArgs {
             CliError::EngineMissing => "--engine expects scalar|lanes".to_string(),
             CliError::FaultReduceValue => "--fault-reduce expects on|off".to_string(),
             CliError::ScreenValue => "--screen expects static|off".to_string(),
+            CliError::OptValue => "--opt expects full|off".to_string(),
             CliError::TraceValue => "--trace expects a file path".to_string(),
             CliError::TraceFormatValue => "--trace-format expects json|chrome".to_string(),
             CliError::EngineInvalid(detail) => detail,
@@ -494,6 +524,7 @@ replays a cached result and records no trace)"
             engine: parsed.engine.unwrap_or_default(),
             fault_reduce: parsed.fault_reduce.unwrap_or(true),
             screen: parsed.screen.unwrap_or(true),
+            opt: parsed.opt.unwrap_or_default(),
             paper: parsed.paper,
             fast: parsed.fast,
             json: parsed.json,
@@ -512,6 +543,7 @@ replays a cached result and records no trace)"
             .engine(self.engine)
             .fault_reduce(self.fault_reduce)
             .screen(self.screen)
+            .opt(self.opt)
             .trace(self.trace.wants_trace())
             .task(Task::Sampling { fraction: self.fraction });
         if self.paper {
@@ -918,6 +950,7 @@ impl Bin {
             .jobs(opts.jobs)
             .engine(opts.engine)
             .fault_reduce(opts.fault_reduce)
+            .opt(opts.opt)
             .trace(opts.trace.wants_trace())
             .task(self.task(opts.fast));
         if opts.fast {
@@ -999,6 +1032,7 @@ mod tests {
             engine: Engine::Scalar,
             fault_reduce: true,
             screen: true,
+            opt: OptLevel::Full,
             trace: TraceOpts::default(),
         };
         let cfg = opts.config();
@@ -1017,6 +1051,7 @@ mod tests {
             engine: Engine::Scalar,
             fault_reduce: true,
             screen: true,
+            opt: OptLevel::Full,
             trace: TraceOpts::default(),
         };
         assert_eq!(opts.config().jobs, 3);
@@ -1033,6 +1068,7 @@ mod tests {
             engine: Engine::Lanes,
             fault_reduce: true,
             screen: true,
+            opt: OptLevel::Full,
             trace: TraceOpts::default(),
         };
         let cfg = opts.config();
@@ -1044,7 +1080,7 @@ mod tests {
     fn usage_documents_every_flag() {
         for flag in [
             "--fast", "--paper", "--seed", "--jobs", "--engine", "--fault-reduce",
-            "--screen", "--json", "--trace", "--trace-format", "--profile",
+            "--screen", "--opt", "--json", "--trace", "--trace-format", "--profile",
             "--progress", "--help",
         ] {
             assert!(CliOptions::USAGE.contains(flag), "usage lacks {flag}");
@@ -1108,6 +1144,7 @@ mod tests {
             engine: Engine::Scalar,
             fault_reduce: false,
             screen: true,
+            opt: OptLevel::Full,
             trace: TraceOpts::default(),
         };
         assert!(!opts.config().fault_reduce);
@@ -1145,6 +1182,7 @@ mod tests {
             engine: Engine::Scalar,
             fault_reduce: true,
             screen: false,
+            opt: OptLevel::Full,
             trace: TraceOpts::default(),
         };
         assert!(!opts.config().screen);
@@ -1157,6 +1195,32 @@ mod tests {
         );
         // Default: screening on.
         assert!(SampleArgs::parse(&strings(&["c17"])).unwrap().screen);
+    }
+
+    #[test]
+    fn opt_flag_parses_and_reaches_the_config() {
+        let parsed = parse_tokens(&strings(&["--opt", "off"]), 0, true).unwrap();
+        assert_eq!(parsed.opt, Some(OptLevel::Off));
+        let parsed = parse_tokens(&strings(&["--opt", "full"]), 0, true).unwrap();
+        assert_eq!(parsed.opt, Some(OptLevel::Full));
+        for bad in [&["--opt"][..], &["--opt", "fast"][..]] {
+            assert_eq!(
+                parse_tokens(&strings(bad), 0, true).unwrap_err(),
+                CliError::OptValue,
+                "{bad:?}"
+            );
+        }
+        let opts = CliOptions { opt: OptLevel::Off, ..CliOptions::default() };
+        let cfg = opts.config();
+        assert_eq!(cfg.opt, OptLevel::Off);
+        assert_eq!(cfg.mg.opt, OptLevel::Off, "--opt must reach generation too");
+        let args = SampleArgs::parse(&strings(&["c17", "--opt", "off"])).unwrap();
+        assert_eq!(args.opt, OptLevel::Off);
+        assert!(SampleArgs::parse(&strings(&["c17", "--opt", "fast"]))
+            .unwrap_err()
+            .contains("full|off"));
+        // Default: the optimizer is on.
+        assert_eq!(SampleArgs::parse(&strings(&["c17"])).unwrap().opt, OptLevel::Full);
     }
 
     #[test]
@@ -1399,6 +1463,7 @@ mod tests {
                 engine: Engine::Scalar,
                 fault_reduce: true,
                 screen: true,
+                opt: OptLevel::Full,
                 trace: TraceOpts::default(),
             };
             bin.campaign(&opts).validate().unwrap_or_else(|e| panic!("{bin:?}: {e}"));

@@ -35,8 +35,8 @@ use crate::tables::TableError;
 use musa_circuits::Benchmark;
 use musa_metrics::RobustStats;
 use musa_mutation::{
-    execute_mutants_jobs, execute_mutants_lanes_opts, generate_mutants, Engine,
-    GenerateOptions, LaneOptions,
+    execute_mutants_jobs, generate_mutants, Engine, GenerateOptions, LaneOptions,
+    LanePlan, OptLevel,
 };
 use musa_netlist::{
     collapsed_faults, fault_simulate_sessions, fault_simulate_sessions_reduced,
@@ -151,6 +151,10 @@ pub struct BenchCell {
     pub bench: String,
     /// Mutant-execution engine (`mutant_exec` only).
     pub engine: Option<Engine>,
+    /// Lane-tape optimizer level (`mutant_exec` on `lanes` only; the
+    /// scalar engine has no tapes to optimize). `None` also covers
+    /// reports committed before the optimizer existed.
+    pub opt: Option<OptLevel>,
     /// Worker threads, `0` = auto (`mutant_exec` only).
     pub jobs: Option<usize>,
     /// Dominance reduction on/off (`fault_sim` only).
@@ -163,13 +167,20 @@ pub struct BenchCell {
 
 impl BenchCell {
     /// The stable cell identifier baselines are matched on, e.g.
-    /// `mutant_exec/c432/lanes/jobs=1` or `fault_sim/b01/reduce=on`.
+    /// `mutant_exec/c432/lanes-opt/jobs=1` or `fault_sim/b01/reduce=on`.
+    /// Lane cells carry their optimizer level (`lanes-opt` /
+    /// `lanes-noopt`); a plain `lanes` id only arises from reports
+    /// committed before the optimizer existed.
     pub fn id(&self) -> String {
         match self.workload {
             BenchWorkload::MutantExec => format!(
                 "mutant_exec/{}/{}/jobs={}",
                 self.bench,
-                self.engine.unwrap_or_default().name(),
+                match (self.engine.unwrap_or_default(), self.opt) {
+                    (Engine::Lanes, Some(OptLevel::Full)) => "lanes-opt",
+                    (Engine::Lanes, Some(OptLevel::Off)) => "lanes-noopt",
+                    (engine, _) => engine.name(),
+                },
                 match self.jobs.unwrap_or(1) {
                     0 => "auto".to_string(),
                     n => n.to_string(),
@@ -324,21 +335,46 @@ pub fn run_bench(
         );
         let sequence = random_sequence(circuit.info(), MUTANT_VECTORS, opts.seed);
 
-        // -- mutant_exec: engine × jobs -------------------------------
-        for engine in [Engine::Scalar, Engine::Lanes] {
+        // -- mutant_exec: engine (× opt on lanes) × jobs --------------
+        let configs = [
+            (Engine::Scalar, None),
+            (Engine::Lanes, Some(OptLevel::Full)),
+            (Engine::Lanes, Some(OptLevel::Off)),
+        ];
+        for (engine, opt) in configs {
             for jobs in [1usize, 0] {
                 let mut cell = BenchCell {
                     workload: BenchWorkload::MutantExec,
                     bench: circuit.name.clone(),
                     engine: Some(engine),
+                    opt,
                     jobs: Some(jobs),
                     fault_reduce: None,
                     wall: RobustStats::of(&[0.0]),
                     invariants: CellInvariants::default(),
                 };
+                // Compile + optimize happen once, outside the timed
+                // region: the cell measures execution throughput, so an
+                // optimizer that trades compile time for run time shows
+                // its run-time side here (compile cost is bounded by the
+                // plan step and amortized over the whole campaign).
+                let plan = match engine {
+                    Engine::Scalar => None,
+                    Engine::Lanes => Some(
+                        LanePlan::new(
+                            &circuit.checked,
+                            &circuit.name,
+                            &mutants,
+                            &LaneOptions::default()
+                                .with_jobs(jobs)
+                                .with_opt(opt.unwrap_or_default()),
+                        )
+                        .map_err(|e| per_bench(e.into()))?,
+                    ),
+                };
                 let (wall, results) = measure(warmup, samples, || {
-                    let (kills, lane_passes) = match engine {
-                        Engine::Scalar => (
+                    let (kills, lane_passes) = match &plan {
+                        None => (
                             execute_mutants_jobs(
                                 &circuit.checked,
                                 &circuit.name,
@@ -349,15 +385,10 @@ pub fn run_bench(
                             .map_err(|e| per_bench(e.into()))?,
                             None,
                         ),
-                        Engine::Lanes => {
-                            let (kills, stats) = execute_mutants_lanes_opts(
-                                &circuit.checked,
-                                &circuit.name,
-                                &mutants,
-                                &sequence,
-                                &LaneOptions::default().with_jobs(jobs),
-                            )
-                            .map_err(|e| per_bench(e.into()))?;
+                        Some(plan) => {
+                            let (kills, stats) = plan
+                                .first_kills(&sequence)
+                                .map_err(|e| per_bench(e.into()))?;
                             (kills, Some(stats.passes))
                         }
                     };
@@ -384,6 +415,7 @@ pub fn run_bench(
                 workload: BenchWorkload::FaultSim,
                 bench: circuit.name.clone(),
                 engine: None,
+                opt: None,
                 jobs: None,
                 fault_reduce: Some(reduce),
                 wall: RobustStats::of(&[0.0]),
@@ -413,6 +445,28 @@ pub fn run_bench(
             cell.invariants = stable(&cell.id(), results);
             musa_trace::progress(|| format!("bench cell {} done", cell.id()));
             cells.push(cell);
+        }
+    }
+
+    // The lane-tape optimizer must not change any outcome — pin the
+    // opt/noopt invariant identity right in the report run.
+    for bench in benches {
+        let by_opt: Vec<&BenchCell> = cells
+            .iter()
+            .filter(|c| {
+                c.workload == BenchWorkload::MutantExec
+                    && c.bench == bench.name()
+                    && c.engine == Some(Engine::Lanes)
+            })
+            .collect();
+        for pair in by_opt.windows(2) {
+            assert_eq!(
+                pair[0].invariants, pair[1].invariants,
+                "{}: lane invariants differ across opt/jobs settings ({} vs {})",
+                bench.name(),
+                pair[0].id(),
+                pair[1].id(),
+            );
         }
     }
 
@@ -566,6 +620,7 @@ fn cell_json(cell: &BenchCell) -> Json {
             "engine",
             cell.engine.map_or(Json::Null, |e| Json::str(e.name())),
         ),
+        ("opt", cell.opt.map_or(Json::Null, |o| Json::str(o.name()))),
         ("jobs", opt_usize(cell.jobs)),
         (
             "fault_reduce",
@@ -613,6 +668,14 @@ fn cell_from_json(value: &JsonValue) -> Result<BenchCell, String> {
         Some(name) => Some(name.parse::<Engine>()?),
         None => None,
     };
+    let opt = match value.get("opt").and_then(JsonValue::as_str) {
+        Some("full") => Some(OptLevel::Full),
+        Some("off") => Some(OptLevel::Off),
+        Some(other) => return Err(format!("bad opt `{other}`")),
+        // Reports committed before the optimizer existed have no
+        // `opt` key; their lane cells keep the legacy `lanes` id.
+        None => None,
+    };
     let fault_reduce = match value.get("fault_reduce").and_then(JsonValue::as_str) {
         Some("on") => Some(true),
         Some("off") => Some(false),
@@ -639,6 +702,7 @@ fn cell_from_json(value: &JsonValue) -> Result<BenchCell, String> {
         workload,
         bench,
         engine,
+        opt,
         jobs: match value.get("jobs") {
             None | Some(JsonValue::Null) => None,
             Some(v) => Some(v.as_usize().ok_or("non-integer `jobs`")?),
@@ -752,6 +816,16 @@ pub enum Regression {
         /// Current scalar÷lanes median ratio.
         current: f64,
     },
+    /// The lane-tape optimizer's noopt÷opt speedup ratio dropped
+    /// beyond threshold — the optimizer stopped paying for itself.
+    OptRatio {
+        /// `(workload, bench, jobs)` key, e.g. `mutant_exec/c432/jobs=1`.
+        key: String,
+        /// Baseline noopt÷opt median ratio.
+        baseline: f64,
+        /// Current noopt÷opt median ratio.
+        current: f64,
+    },
 }
 
 impl fmt::Display for Regression {
@@ -774,6 +848,10 @@ impl fmt::Display for Regression {
                 f,
                 "{key}: scalar/lanes speedup ratio fell {baseline:.2}x -> {current:.2}x"
             ),
+            Regression::OptRatio { key, baseline, current } => write!(
+                f,
+                "{key}: lane-opt noopt/opt speedup ratio fell {baseline:.2}x -> {current:.2}x"
+            ),
         }
     }
 }
@@ -786,11 +864,50 @@ fn engine_ratios(report: &BenchReport, min_gate_ns: f64) -> Vec<(String, f64)> {
         if cell.engine != Some(Engine::Scalar) {
             continue;
         }
+        // The lanes partner is the production configuration: optimizer
+        // on, or a pre-optimizer report with no recorded level.
         let Some(partner) = report.cells.iter().find(|c| {
             c.workload == cell.workload
                 && c.bench == cell.bench
                 && c.jobs == cell.jobs
                 && c.engine == Some(Engine::Lanes)
+                && c.opt != Some(OptLevel::Off)
+        }) else {
+            continue;
+        };
+        if partner.wall.median < min_gate_ns || cell.wall.median < min_gate_ns {
+            continue;
+        }
+        let key = format!(
+            "{}/{}/jobs={}",
+            cell.workload.slug(),
+            cell.bench,
+            match cell.jobs.unwrap_or(1) {
+                0 => "auto".to_string(),
+                n => n.to_string(),
+            },
+        );
+        out.push((key, cell.wall.median / partner.wall.median));
+    }
+    out
+}
+
+/// Noopt÷opt median ratios per `(workload, bench, jobs)` key — the
+/// lane-tape optimizer's machine-independent speedup, for cell pairs
+/// whose optimized median clears the gate floor. Empty for reports
+/// committed before the optimizer existed (no `lanes-noopt` cells).
+fn opt_ratios(report: &BenchReport, min_gate_ns: f64) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for cell in &report.cells {
+        if cell.engine != Some(Engine::Lanes) || cell.opt != Some(OptLevel::Off) {
+            continue;
+        }
+        let Some(partner) = report.cells.iter().find(|c| {
+            c.workload == cell.workload
+                && c.bench == cell.bench
+                && c.jobs == cell.jobs
+                && c.engine == Some(Engine::Lanes)
+                && c.opt == Some(OptLevel::Full)
         }) else {
             continue;
         };
@@ -873,6 +990,23 @@ pub fn compare(
         };
         if *cur_ratio < base_ratio * (1.0 - policy.max_ratio_regression) {
             findings.push(Regression::EngineRatio {
+                key,
+                baseline: base_ratio,
+                current: *cur_ratio,
+            });
+        }
+    }
+    // Optimizer-ratio gate: same machine-independence argument as the
+    // engine ratio — noopt and opt run the same work on the same box,
+    // so their quotient transfers across machines.
+    let current_opt = opt_ratios(current, policy.min_gate_ns);
+    for (key, base_ratio) in opt_ratios(baseline, policy.min_gate_ns) {
+        let Some((_, cur_ratio)) = current_opt.iter().find(|(k, _)| *k == key)
+        else {
+            continue;
+        };
+        if *cur_ratio < base_ratio * (1.0 - policy.max_ratio_regression) {
+            findings.push(Regression::OptRatio {
                 key,
                 baseline: base_ratio,
                 current: *cur_ratio,
@@ -1047,6 +1181,7 @@ mod tests {
             workload: BenchWorkload::MutantExec,
             bench: bench.to_string(),
             engine: Some(engine),
+            opt: (engine == Engine::Lanes).then_some(OptLevel::Full),
             jobs: Some(jobs),
             fault_reduce: None,
             wall: RobustStats {
@@ -1069,6 +1204,7 @@ mod tests {
             workload: BenchWorkload::FaultSim,
             bench: bench.to_string(),
             engine: None,
+            opt: None,
             jobs: None,
             fault_reduce: Some(reduce),
             wall: RobustStats {
@@ -1117,8 +1253,15 @@ mod tests {
     fn cell_ids_are_stable() {
         assert_eq!(
             exec_cell("c432", Engine::Lanes, 0, 1.0, 5).id(),
-            "mutant_exec/c432/lanes/jobs=auto"
+            "mutant_exec/c432/lanes-opt/jobs=auto"
         );
+        let mut noopt = exec_cell("c432", Engine::Lanes, 1, 1.0, 5);
+        noopt.opt = Some(OptLevel::Off);
+        assert_eq!(noopt.id(), "mutant_exec/c432/lanes-noopt/jobs=1");
+        // Pre-optimizer reports (no recorded level) keep the legacy id.
+        let mut legacy = exec_cell("c432", Engine::Lanes, 1, 1.0, 5);
+        legacy.opt = None;
+        assert_eq!(legacy.id(), "mutant_exec/c432/lanes/jobs=1");
         assert_eq!(
             exec_cell("b01", Engine::Scalar, 1, 1.0, 5).id(),
             "mutant_exec/b01/scalar/jobs=1"
@@ -1189,7 +1332,7 @@ mod tests {
         assert!(
             findings
                 .iter()
-                .any(|f| matches!(f, Regression::MissingCell { id } if id == "mutant_exec/c432/lanes/jobs=1")),
+                .any(|f| matches!(f, Regression::MissingCell { id } if id == "mutant_exec/c432/lanes-opt/jobs=1")),
             "{findings:?}"
         );
         // Extra cells in the current run are fine (grid growth).
@@ -1228,6 +1371,36 @@ mod tests {
         assert_eq!(key, "mutant_exec/c432/jobs=1");
         assert!((b - 9.2).abs() < 1e-9);
         assert!((c - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn opt_ratio_regression_gates_in_quick_mode() {
+        let noopt_cell = |median_ms: f64| {
+            let mut cell = exec_cell("c432", Engine::Lanes, 1, median_ms, 301);
+            cell.opt = Some(OptLevel::Off);
+            cell
+        };
+        // opt 10 ms vs noopt 20 ms: the optimizer earns 2.0x.
+        let mut baseline = report(grid());
+        baseline.cells.push(noopt_cell(20.0));
+        // The optimizer decays to 1.1x: ratio falls past the 30 % gate.
+        let mut current = report(grid());
+        current.cells.push(noopt_cell(11.0));
+        let findings = compare(&baseline, &current, &ComparePolicy::quick());
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        let Regression::OptRatio { key, baseline: b, current: c } = &findings[0]
+        else {
+            panic!("{findings:?}");
+        };
+        assert_eq!(key, "mutant_exec/c432/jobs=1");
+        assert!((b - 2.0).abs() < 1e-9);
+        assert!((c - 1.1).abs() < 1e-9);
+        // A noopt cell that speeds up alongside opt passes (ratio held),
+        // and pre-optimizer baselines (no noopt cells) never gate.
+        let mut faster = report(grid());
+        faster.cells.push(noopt_cell(19.0));
+        assert_eq!(compare(&baseline, &faster, &ComparePolicy::quick()), vec![]);
+        assert_eq!(compare(&report(grid()), &current, &ComparePolicy::quick()), vec![]);
     }
 
     #[test]
@@ -1314,22 +1487,24 @@ mod tests {
         let report =
             run_bench(&[Benchmark::C17], &BenchOptions { quick: true, seed: 7 })
                 .unwrap();
-        // 2 engines x 2 jobs + 2 reduce settings.
-        assert_eq!(report.cells.len(), 6);
+        // (scalar + lanes-opt + lanes-noopt) x 2 jobs + 2 reduce settings.
+        assert_eq!(report.cells.len(), 8);
         let ids: Vec<String> = report.cells.iter().map(BenchCell::id).collect();
         assert_eq!(
             ids,
             [
                 "mutant_exec/c17/scalar/jobs=1",
                 "mutant_exec/c17/scalar/jobs=auto",
-                "mutant_exec/c17/lanes/jobs=1",
-                "mutant_exec/c17/lanes/jobs=auto",
+                "mutant_exec/c17/lanes-opt/jobs=1",
+                "mutant_exec/c17/lanes-opt/jobs=auto",
+                "mutant_exec/c17/lanes-noopt/jobs=1",
+                "mutant_exec/c17/lanes-noopt/jobs=auto",
                 "fault_sim/c17/reduce=off",
                 "fault_sim/c17/reduce=on",
             ]
         );
-        // Invariants are engine- and jobs-independent...
-        let killed: Vec<Option<usize>> = report.cells[..4]
+        // Invariants are engine-, opt- and jobs-independent...
+        let killed: Vec<Option<usize>> = report.cells[..6]
             .iter()
             .map(|c| c.invariants.killed)
             .collect();
@@ -1338,10 +1513,15 @@ mod tests {
         // ...lane cells report their pass count, scalar cells don't...
         assert_eq!(report.cells[0].invariants.lane_passes, None);
         assert!(report.cells[2].invariants.lane_passes.unwrap() > 0);
+        assert_eq!(
+            report.cells[2].invariants.lane_passes,
+            report.cells[4].invariants.lane_passes,
+            "optimization must not change the pass structure"
+        );
         // ...and the fsim pair detects identically while reduction
         // frees lanes.
-        let off = &report.cells[4].invariants;
-        let on = &report.cells[5].invariants;
+        let off = &report.cells[6].invariants;
+        let on = &report.cells[7].invariants;
         assert_eq!(off.detected, on.detected);
         assert_eq!(off.faults_simulated, off.faults_total);
         assert!(on.faults_simulated.unwrap() <= on.faults_total.unwrap());

@@ -43,7 +43,7 @@ use crate::tables::{Table1, Table2, TableError};
 use musa_circuits::Benchmark;
 use musa_metrics::{f2, pct, signed0, Align, Nlfce, Table};
 use musa_mutation::{
-    generate_mutants, Engine, GenerateOptions, MutationOperator, MutationScore,
+    generate_mutants, Engine, GenerateOptions, MutationOperator, MutationScore, OptLevel,
 };
 use musa_testgen::{mutation_guided_tests, SamplingStrategy};
 use std::collections::BTreeSet;
@@ -234,6 +234,7 @@ pub struct Campaign {
     engine: Option<Engine>,
     fault_reduce: Option<bool>,
     screen: Option<bool>,
+    opt: Option<OptLevel>,
     paper: bool,
     fast: bool,
     task: Option<Task>,
@@ -261,6 +262,7 @@ impl Campaign {
             engine: None,
             fault_reduce: None,
             screen: None,
+            opt: None,
             paper: false,
             fast: false,
             task: None,
@@ -327,6 +329,14 @@ impl Campaign {
     #[must_use]
     pub fn screen(mut self, screen: bool) -> Self {
         self.screen = Some(screen);
+        self
+    }
+
+    /// Lane-tape optimizer level (default `full`). Purely a wall-clock
+    /// knob: outcomes are bit-identical at every level.
+    #[must_use]
+    pub fn opt(mut self, opt: OptLevel) -> Self {
+        self.opt = Some(opt);
         self
     }
 
@@ -422,6 +432,9 @@ impl Campaign {
         if let Some(screen) = self.screen {
             config = config.with_screen(screen);
         }
+        if let Some(opt) = self.opt {
+            config = config.with_opt(opt);
+        }
         if config.repetitions == 0 {
             return Err(CampaignError::ZeroRepetitions);
         }
@@ -490,6 +503,7 @@ impl Campaign {
                 engine: resolved.config.engine,
                 fault_reduce: resolved.config.fault_reduce,
                 screen: resolved.config.screen,
+                opt: resolved.config.opt,
                 preset: resolved.preset,
                 wall: started.elapsed(),
             },
@@ -688,6 +702,8 @@ pub struct RunMeta {
     pub fault_reduce: bool,
     /// Whether static equivalent-mutant pre-screening was on.
     pub screen: bool,
+    /// Lane-tape optimizer level.
+    pub opt: OptLevel,
     /// Configuration preset.
     pub preset: Preset,
     /// Wall-clock time of the run.
@@ -833,6 +849,7 @@ impl Report {
                 "screen",
                 Json::str(if self.meta.screen { "static" } else { "off" }),
             ),
+            ("opt", Json::str(self.meta.opt.name())),
             ("preset", Json::str(self.meta.preset.to_string())),
             ("wall_ms", Json::count(self.meta.wall.as_millis() as usize)),
         ])
@@ -1710,7 +1727,7 @@ mod tests {
         assert!(parsed.meta.quick);
         let text = report.render_text();
         assert!(text.starts_with("Benchmark trajectory (quick mode, seed 0x7"), "{text}");
-        assert!(text.contains("mutant_exec/c17/lanes/jobs=auto"), "{text}");
+        assert!(text.contains("mutant_exec/c17/lanes-opt/jobs=auto"), "{text}");
         assert!(text.contains("fault_sim/c17/reduce=on"), "{text}");
     }
 

@@ -1,6 +1,6 @@
 //! Experiment configuration shared by every pipeline stage.
 
-use musa_mutation::{Engine, EquivalencePolicy};
+use musa_mutation::{Engine, EquivalencePolicy, OptLevel};
 use musa_testgen::{MgConfig, Selection};
 
 /// Knobs of the end-to-end experiments.
@@ -54,6 +54,12 @@ pub struct ExperimentConfig {
     /// Every reported number is bit-identical with the knob on or off;
     /// on is the default.
     pub screen: bool,
+    /// Lane-tape optimizer level for every lane-engine stage: `full`
+    /// (the default) runs the compile → optimize → execute pipeline
+    /// (pass framework, constant pooling, superinstruction fusion);
+    /// `off` executes the raw compiler tapes. Outcomes are bit-identical
+    /// either way — like `jobs` and `engine`, purely a wall-clock knob.
+    pub opt: OptLevel,
 }
 
 impl ExperimentConfig {
@@ -73,6 +79,7 @@ impl ExperimentConfig {
                 selection: Selection::FirstCome,
                 seed,
                 engine: Engine::default(),
+                opt: OptLevel::default(),
             },
             equivalence: EquivalencePolicy {
                 budget: 2_000,
@@ -87,6 +94,7 @@ impl ExperimentConfig {
             engine: Engine::default(),
             fault_reduce: true,
             screen: true,
+            opt: OptLevel::default(),
         }
     }
 
@@ -103,6 +111,7 @@ impl ExperimentConfig {
             engine: Engine::default(),
             fault_reduce: true,
             screen: true,
+            opt: OptLevel::default(),
         }
     }
 
@@ -119,6 +128,15 @@ impl ExperimentConfig {
     pub fn with_engine(mut self, engine: Engine) -> Self {
         self.engine = engine;
         self.mg.engine = engine;
+        self
+    }
+
+    /// Returns a copy with the given lane-tape optimizer level, for
+    /// population grading *and* mutation-guided generation.
+    #[must_use]
+    pub fn with_opt(mut self, opt: OptLevel) -> Self {
+        self.opt = opt;
+        self.mg.opt = opt;
         self
     }
 
@@ -184,5 +202,15 @@ mod tests {
         let c = c.with_engine(Engine::Scalar);
         assert_eq!(c.engine, Engine::Scalar);
         assert_eq!(c.mg.engine, Engine::Scalar, "MG generation must follow the knob");
+    }
+
+    #[test]
+    fn opt_propagates_to_generation() {
+        let c = ExperimentConfig::fast(1);
+        assert_eq!(c.opt, OptLevel::Full);
+        assert_eq!(c.mg.opt, OptLevel::Full);
+        let c = c.with_opt(OptLevel::Off);
+        assert_eq!(c.opt, OptLevel::Off);
+        assert_eq!(c.mg.opt, OptLevel::Off, "MG generation must follow the knob");
     }
 }

@@ -16,8 +16,9 @@ use musa_circuits::Circuit;
 use musa_metrics::{Nlfce, NlfceInputs};
 use musa_analysis::screen_population;
 use musa_mutation::{
-    classify_mutants, execute_mutants_engine, generate_mutants, survivor_class, Engine,
+    classify_mutants, execute_mutants_engine_opt, generate_mutants, survivor_class, Engine,
     EquivalenceClass, GenerateOptions, KillResult, Mutant, MutationError, MutationScore,
+    OptLevel,
 };
 use musa_prng::{Prng, SplitMix64};
 use musa_testgen::{mutation_guided_tests, sample_mutants, MgConfig, SamplingStrategy};
@@ -422,6 +423,7 @@ fn run_sampling_once(
             &generated.sessions,
             jobs,
             config.engine,
+            config.opt,
             screened,
         )?
     };
@@ -480,12 +482,14 @@ fn run_sampling_once(
 /// Mutants flagged in `screened` are statically proven unkillable and
 /// never occupy a simulation slot (their `first_kill` stays `None`,
 /// exactly as exhaustive execution would leave it).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn kills_over_sessions(
     circuit: &Circuit,
     population: &[Mutant],
     sessions: &[Vec<Vec<musa_hdl::Bits>>],
     jobs: usize,
     engine: Engine,
+    opt: OptLevel,
     screened: Option<&[bool]>,
 ) -> Result<KillResult, MutationError> {
     let mut first_kill: Vec<Option<usize>> = vec![None; population.len()];
@@ -499,13 +503,14 @@ pub(crate) fn kills_over_sessions(
             continue;
         }
         let subset: Vec<Mutant> = live.iter().map(|&i| population[i].clone()).collect();
-        let result = execute_mutants_engine(
+        let result = execute_mutants_engine_opt(
             &circuit.checked,
             &circuit.name,
             &subset,
             session,
             jobs,
             engine,
+            opt,
         )?;
         for (slot, &mi) in live.iter().enumerate() {
             if let Some(t) = result.first_kill[slot] {

@@ -379,6 +379,7 @@ pub fn equivalence_ablation(
         &generated.sessions,
         config.jobs,
         config.engine,
+        config.opt,
         None,
     )?;
 

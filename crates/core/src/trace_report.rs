@@ -400,6 +400,7 @@ mod tests {
                 engine: Engine::Lanes,
                 fault_reduce: true,
                 screen: true,
+                opt: musa_mutation::OptLevel::Full,
                 preset: Preset::Fast,
                 wall: Duration::from_millis(100),
             },

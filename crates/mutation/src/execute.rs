@@ -59,6 +59,56 @@ impl FromStr for Engine {
     }
 }
 
+/// Lane-tape optimization level.
+///
+/// `Full` (the default) runs the tape-to-tape pass pipeline
+/// ([`crate::lanes`]' `opt` module: constant folding, copy/select
+/// propagation, select-chain flattening, CSE, dead-store + dead-code
+/// elimination with register compaction) and lowers the result through
+/// superinstruction fusion; `Off` executes the raw compiler output
+/// one-op-at-a-time, exactly like the pre-optimizer engine. The two
+/// settings are **bit-identical** for every population, sequence and
+/// job count — every pass is semantics-preserving per lane — so the
+/// knob exists for differential testing and benchmarking, and `opt`
+/// stays *out* of the `musa.key.v1` cache key. The scalar engine
+/// ignores it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub enum OptLevel {
+    /// Optimize tapes and fuse hot instruction pairs. The default.
+    #[default]
+    Full,
+    /// Interpret the raw compiler output (the benchmarking baseline).
+    Off,
+}
+
+impl OptLevel {
+    /// The CLI spelling (`full` / `off`).
+    pub fn name(self) -> &'static str {
+        match self {
+            OptLevel::Full => "full",
+            OptLevel::Off => "off",
+        }
+    }
+}
+
+impl fmt::Display for OptLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for OptLevel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "full" => Ok(OptLevel::Full),
+            "off" => Ok(OptLevel::Off),
+            other => Err(format!("unknown opt level `{other}` (expected full|off)")),
+        }
+    }
+}
+
 /// A test sequence: one `Vec<Bits>` (data inputs, declaration order) per
 /// clock cycle. Combinational circuits treat each vector independently.
 pub type TestSequence = Vec<Vec<Bits>>;
@@ -225,6 +275,26 @@ pub fn execute_mutants_engine(
     jobs: usize,
     engine: Engine,
 ) -> Result<KillResult, MutationError> {
+    execute_mutants_engine_opt(checked, entity, mutants, sequence, jobs, engine, OptLevel::Full)
+}
+
+/// [`execute_mutants_engine`] with an explicit lane-tape [`OptLevel`].
+/// Bit-identical across opt levels (and engines — the scalar engine has
+/// no tapes to optimize and ignores the knob).
+///
+/// # Errors
+///
+/// Propagates [`MutationError`] from mutant application (a mutant that
+/// does not belong to this design), lowest mutant index first.
+pub fn execute_mutants_engine_opt(
+    checked: &CheckedDesign,
+    entity: &str,
+    mutants: &[Mutant],
+    sequence: &[Vec<Bits>],
+    jobs: usize,
+    engine: Engine,
+    opt: OptLevel,
+) -> Result<KillResult, MutationError> {
     match engine {
         Engine::Scalar => execute_mutants_jobs(checked, entity, mutants, sequence, jobs),
         Engine::Lanes => crate::lanes::execute_mutants_lanes_opts(
@@ -232,7 +302,7 @@ pub fn execute_mutants_engine(
             entity,
             mutants,
             sequence,
-            &crate::lanes::LaneOptions::default().with_jobs(jobs),
+            &crate::lanes::LaneOptions::default().with_jobs(jobs).with_opt(opt),
         )
         .map(|(kills, _)| kills),
     }
@@ -403,6 +473,30 @@ mod tests {
                 execute_mutants_engine(&d, "g", &mutants, &sequence, jobs, Engine::Lanes)
                     .unwrap();
             assert_eq!(lanes.first_kill, scalar.first_kill, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn opt_knob_parses_and_dispatches_identically() {
+        assert_eq!("full".parse::<OptLevel>().unwrap(), OptLevel::Full);
+        assert_eq!("off".parse::<OptLevel>().unwrap(), OptLevel::Off);
+        assert!("fast".parse::<OptLevel>().is_err());
+        assert_eq!(OptLevel::default(), OptLevel::Full);
+        assert_eq!(OptLevel::Off.to_string(), "off");
+
+        let d = checked(GATE);
+        let mutants = generate_mutants(&d, "g", &GenerateOptions::default());
+        let sequence: TestSequence = (0..4u64)
+            .map(|p| vec![bit(p & 1), bit((p >> 1) & 1)])
+            .collect();
+        let scalar =
+            execute_mutants_engine(&d, "g", &mutants, &sequence, 1, Engine::Scalar).unwrap();
+        for opt in [OptLevel::Full, OptLevel::Off] {
+            let lanes = execute_mutants_engine_opt(
+                &d, "g", &mutants, &sequence, 1, Engine::Lanes, opt,
+            )
+            .unwrap();
+            assert_eq!(lanes.first_kill, scalar.first_kill, "opt={opt}");
         }
     }
 

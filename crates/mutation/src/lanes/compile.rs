@@ -17,19 +17,48 @@
 //! through the scalar engine so observable behaviour — including
 //! errors — matches the scalar path exactly.
 
+use super::exec::{lower_unit, ExecUnit};
 use super::tape::{Instr, LaneWord, Reg, Tape, LANES};
+use crate::execute::OptLevel;
 use crate::mutant::{Mutant, Rewrite};
 use musa_hdl::ast::*;
 use musa_hdl::{Bits, CheckedDesign, EntityInfo, SymbolId, SymbolKind};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
-/// A group compiled for lane execution.
+/// The executable payload of a [`Compiled`] group — which engine runs
+/// the sweeps is the [`OptLevel`] decision.
+#[derive(Debug)]
+pub(crate) enum Executable {
+    /// `--opt off`: the compiler's raw SSA tapes, run on the
+    /// [`super::tape::LaneVm::run`] reference interpreter — the
+    /// pre-pipeline engine, kept live as the baseline the
+    /// `lanes-noopt` bench cells and the differential suites measure
+    /// the optimizer against.
+    Raw {
+        /// The combinational settle (runs on reset, after inputs, after edge).
+        comb: Tape,
+        /// The clock edge: next-state computation plus register commit.
+        edge: Tape,
+    },
+    /// `--opt full`: pass-pipeline output lowered to fused executor
+    /// tapes with a shared constant pool.
+    Lowered {
+        /// The combinational settle (runs on reset, after inputs, after edge).
+        comb: ExecUnit,
+        /// The clock edge: next-state computation plus register commit.
+        edge: ExecUnit,
+        /// Constant pool shared by both tapes, seeded once per simulation.
+        consts: Vec<u64>,
+    },
+}
+
+/// A group compiled for lane execution — the output of the
+/// compile → optimize → execute-lowering pipeline (the last two stages
+/// are skipped at [`OptLevel::Off`]).
 #[derive(Debug)]
 pub(crate) struct Compiled {
-    /// The combinational settle (runs on reset, after inputs, after edge).
-    pub comb: Tape,
-    /// The clock edge: next-state computation plus register commit.
-    pub edge: Tape,
+    /// The executable tapes, shaped by the [`OptLevel`].
+    pub exec: Executable,
     /// Power-on lanes per symbol (constants carry per-lane CR values).
     pub init: Vec<LaneWord>,
     /// Data-input symbols in declaration order, with their widths (the
@@ -39,8 +68,17 @@ pub(crate) struct Compiled {
     pub outputs: Vec<SymbolId>,
     /// `true` when the entity has no clocked process.
     pub combinational: bool,
-    /// Scratch registers needed (max tape length).
+    /// Scratch registers needed (constant pool plus the widest lowered
+    /// lane stream at `Full`; the longest raw tape at `Off`).
     pub scratch: usize,
+    /// Scalar scratch registers (pool plus the widest scalar prefix at
+    /// `Full`; zero at `Off` — the interpreter has no scalar file).
+    pub scratch_scalar: usize,
+    /// SSA instructions out of the compiler, both tapes.
+    pub instrs_before: usize,
+    /// Executor ops after the pass pipeline, pooling and fusion
+    /// (`instrs_before` again at [`OptLevel::Off`]).
+    pub instrs_after: usize,
     /// Group-local indices of mutants the tape cannot represent; the
     /// runner executes these through the scalar engine. Ascending.
     pub fallback: Vec<usize>,
@@ -184,16 +222,16 @@ pub(crate) fn compile_group(
     entity_name: &str,
     group: &[&Mutant],
     base: &BaseCompile,
+    opt: OptLevel,
 ) -> Result<Compiled, CompileError> {
     let (entity, info) = checked.entity(entity_name).ok_or(CompileError::EntityNotFound)?;
     debug_assert!(group.len() < LANES, "at most {} mutants per group", LANES - 1);
     let order = comb_order_union(entity, info, group, base)?;
     let mut compiler = Compiler::new(entity, info, Sites::build(checked, entity, group));
     let init = compiler.build_init(&base.init);
-    let comb = compiler.compile_comb(&order);
-    let edge = compiler.compile_edge();
-    let scratch = comb.instrs.len().max(edge.instrs.len());
-    let fallback = (0..group.len())
+    let mut comb = compiler.compile_comb(&order);
+    let mut edge = compiler.compile_edge();
+    let fallback: Vec<usize> = (0..group.len())
         .filter(|slot| compiler.applied & (1u64 << (slot + 1)) == 0)
         .collect();
     #[cfg(debug_assertions)]
@@ -201,9 +239,43 @@ pub(crate) fn compile_group(
         super::verify::verify_tape(&comb, init.len());
         super::verify::verify_tape(&edge, init.len());
     }
+    let instrs_before = comb.instrs.len() + edge.instrs.len();
+    let (exec, scratch, scratch_scalar, instrs_after) = match opt {
+        OptLevel::Off => {
+            let scratch = comb.instrs.len().max(edge.instrs.len());
+            (Executable::Raw { comb, edge }, scratch, 0, instrs_before)
+        }
+        OptLevel::Full => {
+            super::opt::PassPipeline::standard().optimize(&mut comb, &mut edge, &info.outputs);
+            // Re-check the rewritten tapes: every pass must leave the
+            // same structural invariants the compiler established.
+            #[cfg(debug_assertions)]
+            {
+                super::verify::verify_tape(&comb, init.len());
+                super::verify::verify_tape(&edge, init.len());
+            }
+            let lowered = lower_unit(&comb, &edge, &init);
+            #[cfg(debug_assertions)]
+            {
+                for unit in [&lowered.comb, &lowered.edge] {
+                    super::verify::verify_unit(
+                        unit,
+                        init.len(),
+                        lowered.consts.len(),
+                        lowered.scratch_scalar,
+                    );
+                }
+            }
+            let exec = Executable::Lowered {
+                comb: lowered.comb,
+                edge: lowered.edge,
+                consts: lowered.consts,
+            };
+            (exec, lowered.scratch, lowered.scratch_scalar, lowered.ops_total)
+        }
+    };
     Ok(Compiled {
-        comb,
-        edge,
+        exec,
         init,
         data_inputs: info
             .data_inputs
@@ -213,6 +285,9 @@ pub(crate) fn compile_group(
         outputs: info.outputs.clone(),
         combinational: info.is_combinational(),
         scratch,
+        scratch_scalar,
+        instrs_before,
+        instrs_after,
         fallback,
     })
 }

@@ -1,0 +1,1005 @@
+//! The lane executor: SSA tapes lowered to an explicit-destination op
+//! stream with superinstruction fusion.
+//!
+//! Final stage of the compile → optimize → execute pipeline (run at
+//! `--opt full`; `--opt off` skips it and interprets the raw tapes).
+//! Lowering turns a [`Tape`] into an [`ExecTape`] whose ops carry their
+//! destination register and precomputed width masks; it additionally:
+//!
+//! * **pools constants** — `Const` broadcasts are materialized once per
+//!   group simulation (they are loop-invariant across every sweep), so
+//!   the per-step loop never touches them again;
+//! * **fuses hot pairs** — profile data over the bundled benches shows
+//!   the dominant adjacent pairs are `Bin`→`MaskSel` (every expression
+//!   mutation folds its rewritten operator through a lane select),
+//!   `Load`→`Bin` (fan-out-1 signal reads), `Not`→`Bin` (inverters
+//!   feeding a single gate), `Bin`→`Bin` (fan-out-1 gate chains — the
+//!   bulk of a gate-level netlist) and `Not`→`Reduce` (reduction of a
+//!   complemented operand); each becomes one superinstruction when the
+//!   producer has exactly one consumer and is not stored, saving a
+//!   512-byte lane-word round trip per step.
+
+use super::tape::{Instr, LaneVm, Reg, Tape, LANES};
+use musa_hdl::ast::{BinOp, ReduceOp, ShiftOp};
+use musa_hdl::Bits;
+use std::collections::BTreeMap;
+
+/// One lowered instruction. `m` fields are precomputed width masks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum ExecOp {
+    /// Read a symbol's lanes from persistent state.
+    Load { dst: Reg, sym: u32 },
+    /// Broadcast a constant. Never emitted by [`lower_unit`] (pooling
+    /// absorbs every `Const`); kept so lowering stays total over
+    /// [`Instr`].
+    Const { dst: Reg, value: u64 },
+    /// Compile-time lane select (the mutation-site primitive).
+    MaskSel { dst: Reg, mask: u64, a: Reg, b: Reg },
+    /// Runtime per-lane select on a width-1 predicate.
+    Sel { dst: Reg, cond: Reg, a: Reg, b: Reg },
+    /// Bitwise complement under mask `m`.
+    Not { dst: Reg, a: Reg, m: u64 },
+    /// A binary operator, exactly as [`Bits`] computes it per lane.
+    Bin { dst: Reg, op: BinOp, a: Reg, b: Reg, m: u64 },
+    /// OR/AND/XOR reduction of an operand masked by `m`.
+    Reduce { dst: Reg, op: ReduceOp, a: Reg, m: u64 },
+    /// Constant-amount shift; `live == false` means the amount exceeds
+    /// the width and the result is all-zero.
+    Shift { dst: Reg, op: ShiftOp, a: Reg, amount: u32, live: bool, m: u64 },
+    /// Constant slice: `(x >> lo) & m`.
+    Slice { dst: Reg, a: Reg, lo: u32, m: u64 },
+    /// Concatenation: `a` high, `b` the `rhs_width`-bit low part.
+    Concat { dst: Reg, a: Reg, b: Reg, rhs_width: u32 },
+    /// Dynamic single-bit read (out of range reads 0).
+    DynGet { dst: Reg, base: Reg, index: Reg, width: u32 },
+    /// Dynamic single-bit write (out of range writes are dropped).
+    DynSet { dst: Reg, cur: Reg, index: Reg, bit: Reg, width: u32 },
+    /// Constant-slice write: `field` is the positioned slice mask.
+    WithSlice { dst: Reg, cur: Reg, v: Reg, lo: u32, field: u64 },
+    /// Fused `Bin`+`MaskSel`: masked lanes take `op(a, b)`, the rest
+    /// read `other`.
+    BinMaskSel { dst: Reg, op: BinOp, a: Reg, b: Reg, m: u64, mask: u64, other: Reg },
+    /// Fused `Bin`+`MaskSel` with the computed value on the
+    /// fall-through arm: masked lanes read `other`.
+    BinMaskSelLo { dst: Reg, op: BinOp, a: Reg, b: Reg, m: u64, mask: u64, other: Reg },
+    /// Fused `Load`+`Bin`: `op(state[sym], b)`.
+    LoadBin { dst: Reg, op: BinOp, sym: u32, b: Reg, m: u64 },
+    /// Fused `Bin`+`Load`: `op(a, state[sym])`.
+    BinLoad { dst: Reg, op: BinOp, a: Reg, sym: u32, m: u64 },
+    /// Fused `Not`+`Reduce` (one masked complement, no intermediate).
+    NotReduce { dst: Reg, op: ReduceOp, a: Reg, m: u64 },
+    /// Fused `Not`+`Bin`: `op(!a & nm, b)` — an inverter feeding its
+    /// only consumer's left operand.
+    NotBin { dst: Reg, op: BinOp, a: Reg, nm: u64, b: Reg, m: u64 },
+    /// Fused `Bin`+`Not`: `op(a, !b & nm)`.
+    BinNot { dst: Reg, op: BinOp, a: Reg, b: Reg, nm: u64, m: u64 },
+    /// Fused `Bin`+`Bin` with the inner pair on the left:
+    /// `op(op1(a, b), c)` — a fan-out-1 gate feeding the next gate.
+    BinBinL { dst: Reg, op1: BinOp, a: Reg, b: Reg, m1: u64, op: BinOp, c: Reg, m: u64 },
+    /// Fused `Bin`+`Bin` with the inner pair on the right:
+    /// `op(c, op1(a, b))`.
+    BinBinR { dst: Reg, op1: BinOp, a: Reg, b: Reg, m1: u64, op: BinOp, c: Reg, m: u64 },
+    /// Broadcast scalar register `src` into a lane word: the bridge
+    /// from the scalar prefix into the lane stream. Emitted at the head
+    /// of a lane tape, once per uniform value divergent ops consume.
+    Splat { dst: Reg, src: Reg },
+}
+
+impl ExecOp {
+    /// The destination register.
+    pub(crate) fn dst(&self) -> Reg {
+        match *self {
+            ExecOp::Load { dst, .. }
+            | ExecOp::Const { dst, .. }
+            | ExecOp::MaskSel { dst, .. }
+            | ExecOp::Sel { dst, .. }
+            | ExecOp::Not { dst, .. }
+            | ExecOp::Bin { dst, .. }
+            | ExecOp::Reduce { dst, .. }
+            | ExecOp::Shift { dst, .. }
+            | ExecOp::Slice { dst, .. }
+            | ExecOp::Concat { dst, .. }
+            | ExecOp::DynGet { dst, .. }
+            | ExecOp::DynSet { dst, .. }
+            | ExecOp::WithSlice { dst, .. }
+            | ExecOp::BinMaskSel { dst, .. }
+            | ExecOp::BinMaskSelLo { dst, .. }
+            | ExecOp::LoadBin { dst, .. }
+            | ExecOp::BinLoad { dst, .. }
+            | ExecOp::NotReduce { dst, .. }
+            | ExecOp::NotBin { dst, .. }
+            | ExecOp::BinNot { dst, .. }
+            | ExecOp::BinBinL { dst, .. }
+            | ExecOp::BinBinR { dst, .. }
+            | ExecOp::Splat { dst, .. } => dst,
+        }
+    }
+}
+
+/// A lowered, executable tape.
+#[derive(Debug, Default)]
+pub(crate) struct ExecTape {
+    /// Ops in evaluation order; destinations are strictly increasing.
+    pub ops: Vec<ExecOp>,
+    /// `(symbol, reg)` write-backs committed after the sweep.
+    pub stores: Vec<(u32, Reg)>,
+}
+
+/// One sweep's executable form: the uniform scalar prefix plus the
+/// lane-divergent stream.
+///
+/// Values no mutation site can influence — everything upstream of every
+/// `MaskSel` in the group — are lane-identical by construction, so they
+/// evaluate **once** on scalar `u64`s instead of 64-lane words. Only
+/// the divergent remainder pays for lane words; `Splat` ops at the head
+/// of `main` broadcast the scalar values the lane ops consume.
+#[derive(Debug, Default)]
+pub(crate) struct ExecUnit {
+    /// Uniform ops, evaluated on the scalar register file.
+    pub pre: ExecTape,
+    /// Lane-divergent ops (and boundary `Splat`s).
+    pub main: ExecTape,
+}
+
+/// The lowered unit: both tapes plus the shared constant pool.
+#[derive(Debug)]
+pub(crate) struct Lowered {
+    pub comb: ExecUnit,
+    pub edge: ExecUnit,
+    /// Constant pool: register `j` holds `consts[j]`, seeded once per VM
+    /// into both the lane and the scalar register files.
+    pub consts: Vec<u64>,
+    /// Lane scratch registers the VM needs (pool + widest lane stream).
+    pub scratch: usize,
+    /// Scalar scratch registers (pool + widest scalar prefix).
+    pub scratch_scalar: usize,
+    /// Total ops across all four streams (the post-pipeline instruction
+    /// count [`super::LaneStats`] reports as `instrs_after`).
+    pub ops_total: usize,
+}
+
+/// Per-instruction lane-divergence flags for a tape pair.
+///
+/// An instruction is *divergent* when its value can differ across
+/// lanes: every `MaskSel` (the mutation site itself), anything reading
+/// a divergent register, and any `Load` of a symbol that ever holds
+/// divergent state. Symbol divergence is a fixpoint across both tapes
+/// (a comb store feeding an edge load and back), seeded by initial
+/// state whose lanes already differ. Everything else is *uniform* —
+/// lane-identical on every sweep — and lowers to the scalar prefix.
+fn divergence(comb: &Tape, edge: &Tape, init: &[super::tape::LaneWord]) -> (Vec<bool>, Vec<bool>) {
+    let mut div_sym: Vec<bool> = init
+        .iter()
+        .map(|w| w.iter().any(|&v| v != w[0]))
+        .collect();
+    let mut dc = vec![false; comb.instrs.len()];
+    let mut de = vec![false; edge.instrs.len()];
+    loop {
+        let mut changed = false;
+        for (tape, flags) in [(comb, &mut dc), (edge, &mut de)] {
+            for (i, instr) in tape.instrs.iter().enumerate() {
+                if flags[i] {
+                    continue;
+                }
+                let d = match *instr {
+                    Instr::MaskSel { .. } => true,
+                    Instr::Load { sym } => div_sym[sym as usize],
+                    _ => {
+                        let mut any = false;
+                        let mut c = instr.clone();
+                        super::opt::for_each_operand(&mut c, |r| any |= flags[*r as usize]);
+                        any
+                    }
+                };
+                if d {
+                    flags[i] = true;
+                    changed = true;
+                }
+            }
+            for &(sym, reg) in &tape.stores {
+                if flags[reg as usize] && !div_sym[sym as usize] {
+                    div_sym[sym as usize] = true;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    (dc, de)
+}
+
+/// Lowers an optimized tape pair for execution. `init` seeds the
+/// divergence analysis: symbols whose initial lanes already differ
+/// (mutated power-on state) taint their loads.
+pub(crate) fn lower_unit(comb: &Tape, edge: &Tape, init: &[super::tape::LaneWord]) -> Lowered {
+    // Shared pool over both tapes, ordered by first appearance.
+    let mut pool: BTreeMap<u64, Reg> = BTreeMap::new();
+    let mut consts = Vec::new();
+    for tape in [comb, edge] {
+        for instr in &tape.instrs {
+            if let Instr::Const { value } = *instr {
+                pool.entry(value).or_insert_with(|| {
+                    consts.push(value);
+                    (consts.len() - 1) as Reg
+                });
+            }
+        }
+    }
+    let first = consts.len() as Reg;
+    let (dc, de) = divergence(comb, edge, init);
+    let (comb, fused_c) = lower_fused(comb, &pool, first, &dc);
+    let (edge, fused_e) = lower_fused(edge, &pool, first, &de);
+    let fused = fused_c + fused_e;
+    if fused > 0 {
+        musa_trace::count("lane_fused_ops", fused as u64);
+    }
+    let scalar = comb.pre.ops.len() + edge.pre.ops.len();
+    if scalar > 0 {
+        musa_trace::count("lane_scalar_ops", scalar as u64);
+    }
+    let widest = |t: &ExecTape| t.ops.last().map(|op| op.dst() + 1);
+    let lane_w = widest(&comb.main).max(widest(&edge.main)).unwrap_or(first);
+    let scalar_w = widest(&comb.pre).max(widest(&edge.pre)).unwrap_or(first);
+    let ops_total =
+        comb.pre.ops.len() + comb.main.ops.len() + edge.pre.ops.len() + edge.main.ops.len();
+    Lowered {
+        comb,
+        edge,
+        consts,
+        scratch: lane_w.max(first) as usize,
+        scratch_scalar: scalar_w.max(first) as usize,
+        ops_total,
+    }
+}
+
+/// Lowers one instruction without fusion, mapping operands through `res`.
+fn plain_op(instr: &Instr, dst: Reg, res: impl Fn(Reg) -> Reg) -> ExecOp {
+    match *instr {
+        Instr::Load { sym } => ExecOp::Load { dst, sym },
+        Instr::Const { value } => ExecOp::Const { dst, value },
+        Instr::MaskSel { mask, a, b } => ExecOp::MaskSel { dst, mask, a: res(a), b: res(b) },
+        Instr::Sel { cond, a, b } => {
+            ExecOp::Sel { dst, cond: res(cond), a: res(a), b: res(b) }
+        }
+        Instr::Not { a, width } => ExecOp::Not { dst, a: res(a), m: Bits::mask_of(width) },
+        Instr::Bin { op, a, b, width } => {
+            ExecOp::Bin { dst, op, a: res(a), b: res(b), m: Bits::mask_of(width) }
+        }
+        Instr::Reduce { op, a, width } => {
+            ExecOp::Reduce { dst, op, a: res(a), m: Bits::mask_of(width) }
+        }
+        Instr::Shift { op, a, amount, width } => ExecOp::Shift {
+            dst,
+            op,
+            a: res(a),
+            amount,
+            live: amount < width,
+            m: Bits::mask_of(width),
+        },
+        Instr::Slice { a, hi, lo } => {
+            ExecOp::Slice { dst, a: res(a), lo, m: Bits::mask_of(hi - lo + 1) }
+        }
+        Instr::Concat { a, b, rhs_width } => {
+            ExecOp::Concat { dst, a: res(a), b: res(b), rhs_width }
+        }
+        Instr::DynGet { base, index, width } => {
+            ExecOp::DynGet { dst, base: res(base), index: res(index), width }
+        }
+        Instr::DynSet { cur, index, bit, width } => ExecOp::DynSet {
+            dst,
+            cur: res(cur),
+            index: res(index),
+            bit: res(bit),
+            width,
+        },
+        Instr::WithSlice { cur, v, hi, lo } => ExecOp::WithSlice {
+            dst,
+            cur: res(cur),
+            v: res(v),
+            lo,
+            field: Bits::mask_of(hi - lo + 1) << lo,
+        },
+    }
+}
+
+/// Full lowering: constants resolve into the pool, uniform ops drop to
+/// the scalar prefix, fusible producer → consumer pairs in the lane
+/// stream collapse into superinstructions, and surviving ops get dense
+/// destinations starting at `first` in their respective register file.
+/// Returns the fused-pair count.
+fn lower_fused(tape: &Tape, pool: &BTreeMap<u64, Reg>, first: Reg, div: &[bool]) -> (ExecUnit, usize) {
+    let n = tape.instrs.len();
+    // Use counts decide fusibility: a producer folds into its consumer
+    // only when that consumer is its *only* reader and it is not stored.
+    let mut uses = vec![0u32; n];
+    for instr in &tape.instrs {
+        let mut counted = instr.clone();
+        super::opt::for_each_operand(&mut counted, |r| uses[*r as usize] += 1);
+    }
+    let mut stored = vec![false; n];
+    for &(_, reg) in &tape.stores {
+        stored[reg as usize] = true;
+    }
+    // Fusion concerns the lane stream only: a uniform producer stays a
+    // scalar op and reaches its lane consumers through one Splat.
+    let fusible = |r: Reg| uses[r as usize] == 1 && !stored[r as usize] && div[r as usize];
+
+    // Plan fusions. `taken[p]` marks producer `p` as embedded in its
+    // consumer. Select/reduce fusions are planned first: a Bin claimed
+    // by a MaskSel cannot also claim its own Load operand (it is not
+    // emitted), while an unclaimed Bin may.
+    let mut taken = vec![false; n];
+    let mut plan: Vec<Option<Reg>> = vec![None; n];
+    for (i, instr) in tape.instrs.iter().enumerate() {
+        match *instr {
+            Instr::MaskSel { a, b, .. } => {
+                if fusible(a) && matches!(tape.instrs[a as usize], Instr::Bin { .. }) {
+                    taken[a as usize] = true;
+                    plan[i] = Some(a);
+                } else if fusible(b) && matches!(tape.instrs[b as usize], Instr::Bin { .. }) {
+                    taken[b as usize] = true;
+                    plan[i] = Some(b);
+                }
+            }
+            // The width guard: masks must agree for the fused complement.
+            Instr::Reduce { a, width, .. }
+                if fusible(a)
+                    && matches!(tape.instrs[a as usize],
+                        Instr::Not { width: w2, .. } if w2 == width) =>
+            {
+                taken[a as usize] = true;
+                plan[i] = Some(a);
+            }
+            _ => {}
+        }
+    }
+    // Second wave: a Bin that claimed nothing yet embeds a fan-out-1
+    // `Bin` operand — the gate-chain shape of a netlist. The producer
+    // must not have embedded a producer of its own: a fused op lowers
+    // exactly one level, so nested plans are excluded. `Bin` embedding
+    // stays fan-out-1 only: a fused inner pair reads one extra operand,
+    // so duplicating it into several consumers would add traffic.
+    for i in 0..tape.instrs.len() {
+        if taken[i] || plan[i].is_some() {
+            continue;
+        }
+        let Instr::Bin { a, b, .. } = tape.instrs[i] else { continue };
+        let inner_ok = |r: Reg| {
+            fusible(r)
+                && !taken[r as usize]
+                && plan[r as usize].is_none()
+                && matches!(tape.instrs[r as usize], Instr::Bin { .. })
+        };
+        if inner_ok(a) {
+            taken[a as usize] = true;
+            plan[i] = Some(a);
+        } else if b != a && inner_ok(b) {
+            taken[b as usize] = true;
+            plan[i] = Some(b);
+        }
+    }
+    // Third wave: fold `Load` and `Not` producers into every remaining
+    // Bin consumer — *any* fan-out, not just 1. Re-reading state or
+    // recomputing a masked complement inside the consumer costs the
+    // same lane-word traffic as reading the producer's register, so a
+    // fold is never a loss, and the producer op disappears entirely
+    // once every one of its readers folds it.
+    let mut folded = vec![0u32; n];
+    let mut fold_side: Vec<Option<Reg>> = vec![None; n];
+    for i in 0..tape.instrs.len() {
+        if taken[i] || plan[i].is_some() || !div[i] {
+            continue;
+        }
+        let Instr::Bin { a, b, .. } = tape.instrs[i] else { continue };
+        let can_fold = |r: Reg| {
+            div[r as usize]
+                && !stored[r as usize]
+                && !taken[r as usize]
+                && plan[r as usize].is_none()
+                && matches!(
+                    tape.instrs[r as usize],
+                    Instr::Load { .. } | Instr::Not { .. }
+                )
+        };
+        let (fa, fb) = (can_fold(a), b != a && can_fold(b));
+        let pick = match (fa, fb) {
+            // Prefer the side whose producer can vanish (its only use).
+            (true, true) if uses[b as usize] == 1 && uses[a as usize] != 1 => b,
+            (true, _) => a,
+            (false, true) => b,
+            (false, false) => continue,
+        };
+        folded[pick as usize] += 1;
+        fold_side[i] = Some(pick);
+    }
+
+    // Emit, in three passes. `map_s[i]`/`map_l[i]` are instruction i's
+    // scalar / lane register; pooled constants keep their pool slot in
+    // both files, embedded producers never need one.
+    let mut map_s: Vec<Option<Reg>> = vec![None; n];
+    let mut map_l: Vec<Option<Reg>> = vec![None; n];
+    for (i, instr) in tape.instrs.iter().enumerate() {
+        if let Instr::Const { value } = *instr {
+            let r = pool[&value];
+            map_s[i] = Some(r);
+            map_l[i] = Some(r);
+        }
+    }
+
+    // Pass 1: the scalar prefix — every uniform op, lowered plainly
+    // (scalar ops are cheap enough that fusion would buy nothing).
+    let mut pre_ops = Vec::new();
+    let mut next_s = first;
+    for (i, instr) in tape.instrs.iter().enumerate() {
+        if div[i] || matches!(instr, Instr::Const { .. }) {
+            continue;
+        }
+        let res = |r: Reg| map_s[r as usize].expect("uniform operand lowered before use");
+        pre_ops.push(plain_op(instr, next_s, res));
+        map_s[i] = Some(next_s);
+        next_s += 1;
+    }
+
+    // Pass 2: find the uniform values the lane stream actually reads —
+    // each needs one Splat at the head of the lane stream. The reads of
+    // an emitted lane op are its own operands, with a planned/folded
+    // producer expanded to *that* producer's operands (the fused op
+    // re-derives the producer inline).
+    let mut needs_splat = vec![false; n];
+    for (i, instr) in tape.instrs.iter().enumerate() {
+        if !div[i] || taken[i] {
+            continue;
+        }
+        let p = plan[i].or(fold_side[i]);
+        let mut c = instr.clone();
+        super::opt::for_each_operand(&mut c, |r| {
+            let mut mark = |r: Reg| {
+                if !div[r as usize] && map_l[r as usize].is_none() {
+                    needs_splat[r as usize] = true;
+                }
+            };
+            if Some(*r) == p {
+                let mut pc = tape.instrs[*r as usize].clone();
+                super::opt::for_each_operand(&mut pc, |pr| mark(*pr));
+            } else {
+                mark(*r);
+            }
+        });
+    }
+    let mut ops = Vec::with_capacity(n);
+    let mut next = first;
+    for (i, splat) in needs_splat.iter().enumerate() {
+        if *splat {
+            let src = map_s[i].expect("splat source is a lowered uniform op");
+            ops.push(ExecOp::Splat { dst: next, src });
+            map_l[i] = Some(next);
+            next += 1;
+        }
+    }
+
+    // Pass 3: the divergent lane stream.
+    let mut fused = 0;
+    for (i, instr) in tape.instrs.iter().enumerate() {
+        if !div[i] || taken[i] {
+            continue;
+        }
+        // A Load/Not every reader folded has no consumers left: the
+        // fused ops re-derive its value, so it never materializes.
+        if matches!(instr, Instr::Load { .. } | Instr::Not { .. })
+            && !stored[i]
+            && uses[i] > 0
+            && folded[i] == uses[i]
+        {
+            continue;
+        }
+        let res = |r: Reg| map_l[r as usize].expect("SSA operand lowered before use");
+        let dst = next;
+        let op = match (instr, plan[i].or(fold_side[i])) {
+            (&Instr::MaskSel { mask, a, b }, Some(p)) => {
+                fused += 1;
+                let Instr::Bin { op, a: ba, b: bb, width } = tape.instrs[p as usize] else {
+                    unreachable!("planned MaskSel producer is a Bin");
+                };
+                let (ba, bb, m) = (res(ba), res(bb), Bits::mask_of(width));
+                if p == a {
+                    ExecOp::BinMaskSel { dst, op, a: ba, b: bb, m, mask, other: res(b) }
+                } else {
+                    ExecOp::BinMaskSelLo { dst, op, a: ba, b: bb, m, mask, other: res(a) }
+                }
+            }
+            (&Instr::Reduce { op, width, .. }, Some(p)) => {
+                fused += 1;
+                let Instr::Not { a: inner, .. } = tape.instrs[p as usize] else {
+                    unreachable!("planned Reduce producer is a Not");
+                };
+                ExecOp::NotReduce { dst, op, a: res(inner), m: Bits::mask_of(width) }
+            }
+            (&Instr::Bin { op, a, b, width }, Some(p)) => {
+                fused += 1;
+                let m = Bits::mask_of(width);
+                match tape.instrs[p as usize] {
+                    Instr::Load { sym } => {
+                        if p == a {
+                            ExecOp::LoadBin { dst, op, sym, b: res(b), m }
+                        } else {
+                            ExecOp::BinLoad { dst, op, a: res(a), sym, m }
+                        }
+                    }
+                    Instr::Not { a: na, width: nw } => {
+                        let nm = Bits::mask_of(nw);
+                        if p == a {
+                            ExecOp::NotBin { dst, op, a: res(na), nm, b: res(b), m }
+                        } else {
+                            ExecOp::BinNot { dst, op, a: res(a), b: res(na), nm, m }
+                        }
+                    }
+                    Instr::Bin { op: op1, a: ia, b: ib, width: w1 } => {
+                        let (ia, ib, m1) = (res(ia), res(ib), Bits::mask_of(w1));
+                        if p == a {
+                            ExecOp::BinBinL { dst, op1, a: ia, b: ib, m1, op, c: res(b), m }
+                        } else {
+                            ExecOp::BinBinR { dst, op1, a: ia, b: ib, m1, op, c: res(a), m }
+                        }
+                    }
+                    _ => unreachable!("planned Bin producer is a Load, Not or Bin"),
+                }
+            }
+            (instr, _) => plain_op(instr, dst, res),
+        };
+        ops.push(op);
+        map_l[i] = Some(dst);
+        next += 1;
+    }
+
+    // Stores split by the divergence of their source: uniform stores
+    // commit from the scalar file (as a broadcast), divergent ones from
+    // the lane file.
+    let mut pre_stores = Vec::new();
+    let mut stores = Vec::new();
+    for &(sym, reg) in &tape.stores {
+        if div[reg as usize] {
+            stores.push((sym, map_l[reg as usize].expect("stored reg survives lowering")));
+        } else {
+            pre_stores.push((sym, map_s[reg as usize].expect("stored reg survives lowering")));
+        }
+    }
+    (
+        ExecUnit {
+            pre: ExecTape { ops: pre_ops, stores: pre_stores },
+            main: ExecTape { ops, stores },
+        },
+        fused,
+    )
+}
+
+/// Per-lane binary-operator evaluation, identical to the scalar
+/// [`Bits`] semantics (and to `LaneVm::run`).
+#[inline(always)]
+fn bin(op: BinOp, a: u64, b: u64, m: u64) -> u64 {
+    match op {
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Nand => !(a & b) & m,
+        BinOp::Nor => !(a | b) & m,
+        BinOp::Xnor => !(a ^ b) & m,
+        BinOp::Add => a.wrapping_add(b) & m,
+        BinOp::Sub => a.wrapping_sub(b) & m,
+        BinOp::Mul => a.wrapping_mul(b) & m,
+        BinOp::Eq => u64::from(a == b),
+        BinOp::Ne => u64::from(a != b),
+        BinOp::Lt => u64::from(a < b),
+        BinOp::Le => u64::from(a <= b),
+        BinOp::Gt => u64::from(a > b),
+        BinOp::Ge => u64::from(a >= b),
+    }
+}
+
+#[inline(always)]
+fn reduce(op: ReduceOp, x: u64, m: u64) -> u64 {
+    match op {
+        ReduceOp::Or => u64::from(x != 0),
+        ReduceOp::And => u64::from(x == m),
+        ReduceOp::Xor => u64::from(x.count_ones() % 2 == 1),
+    }
+}
+
+/// Lanes evaluated per executor sweep column. A full 64-lane register
+/// file for a realistic tape overflows L1 (~150 live registers × 512 B
+/// ≈ 75 KB), so the executor sweeps the tape once per 16-lane column:
+/// the touched cache lines shrink 4× and stay resident across ops.
+/// Columns are disjoint lanes, so per-column store commits cannot be
+/// observed across columns and results are bit-identical.
+const TILE: usize = 32;
+
+/// A `TILE`-lane view into a lane word, starting at lane `lo`.
+#[inline(always)]
+fn tile(w: &[u64; LANES], lo: usize) -> &[u64; TILE] {
+    w[lo..lo + TILE].try_into().expect("tile within lane word")
+}
+
+impl LaneVm {
+    /// Seeds the constant-pool registers in both files (once per group
+    /// simulation — sweeps never overwrite them, their destinations
+    /// start above the pool).
+    pub(crate) fn seed_consts(&mut self, consts: &[u64]) {
+        for (j, &value) in consts.iter().enumerate() {
+            self.regs[j] = [value; LANES];
+            self.sregs[j] = value;
+        }
+    }
+
+    /// Evaluates the uniform scalar prefix: plain `u64` sweeps over the
+    /// scalar register file (lane 0 of state is every lane of state for
+    /// the symbols this stream touches), then broadcast write-backs.
+    pub(crate) fn run_scalar(&mut self, tape: &ExecTape) {
+        for op in &tape.ops {
+            let s = &self.sregs;
+            let v = match *op {
+                ExecOp::Load { sym, .. } => self.state[sym as usize][0],
+                ExecOp::Const { value, .. } => value,
+                ExecOp::Sel { cond, a, b, .. } => {
+                    if s[cond as usize] != 0 { s[a as usize] } else { s[b as usize] }
+                }
+                ExecOp::Not { a, m, .. } => !s[a as usize] & m,
+                ExecOp::Bin { op, a, b, m, .. } => bin(op, s[a as usize], s[b as usize], m),
+                ExecOp::Reduce { op, a, m, .. } => reduce(op, s[a as usize], m),
+                ExecOp::Shift { op, a, amount, live, m, .. } => {
+                    if !live {
+                        0
+                    } else {
+                        match op {
+                            ShiftOp::Left => (s[a as usize] << amount) & m,
+                            ShiftOp::Right => s[a as usize] >> amount,
+                        }
+                    }
+                }
+                ExecOp::Slice { a, lo, m, .. } => (s[a as usize] >> lo) & m,
+                ExecOp::Concat { a, b, rhs_width, .. } => {
+                    (s[a as usize] << rhs_width) | s[b as usize]
+                }
+                ExecOp::DynGet { base, index, width, .. } => {
+                    let ix = s[index as usize];
+                    if ix < u64::from(width) { (s[base as usize] >> ix) & 1 } else { 0 }
+                }
+                ExecOp::DynSet { cur, index, bit, width, .. } => {
+                    let (c, ix) = (s[cur as usize], s[index as usize]);
+                    if ix < u64::from(width) {
+                        (c & !(1 << ix)) | ((s[bit as usize] & 1) << ix)
+                    } else {
+                        c
+                    }
+                }
+                ExecOp::WithSlice { cur, v, lo, field, .. } => {
+                    (s[cur as usize] & !field) | (s[v as usize] << lo)
+                }
+                // MaskSel is divergent by definition and fused /
+                // Splat ops are lane-stream-only: none reach here.
+                _ => unreachable!("op never emitted in the scalar prefix"),
+            };
+            self.sregs[op.dst() as usize] = v;
+        }
+        for &(sym, reg) in &tape.stores {
+            self.state[sym as usize] = [self.sregs[reg as usize]; LANES];
+        }
+    }
+
+    /// Evaluates a lowered tape: one forward sweep per 16-lane column,
+    /// writing each op's destination in place (no lane-word copy), then
+    /// that column's write-backs.
+    pub(crate) fn run_exec(&mut self, tape: &ExecTape) {
+        for t in 0..LANES / TILE {
+            self.run_exec_tile(tape, t * TILE);
+        }
+    }
+
+    /// One column sweep over lanes `lo..lo + TILE`.
+    fn run_exec_tile(&mut self, tape: &ExecTape, lo: usize) {
+        for op in &tape.ops {
+            // Destinations are strictly increasing and operands strictly
+            // lower, so splitting the register file at `dst` gives the
+            // output slot and the readable prefix without aliasing.
+            let (regs, rest) = self.regs.split_at_mut(op.dst() as usize);
+            let out: &mut [u64; TILE] =
+                (&mut rest[0][lo..lo + TILE]).try_into().expect("tile within lane word");
+            match *op {
+                ExecOp::Load { sym, .. } => *out = *tile(&self.state[sym as usize], lo),
+                ExecOp::Const { value, .. } => *out = [value; TILE],
+                ExecOp::Splat { src, .. } => *out = [self.sregs[src as usize]; TILE],
+                ExecOp::MaskSel { mask, a, b, .. } => {
+                    let (x, y) = (tile(&regs[a as usize], lo), tile(&regs[b as usize], lo));
+                    // Branchless per-lane blend: the select vectorizes
+                    // instead of branching on mask bits.
+                    let mask = mask >> lo;
+                    for l in 0..TILE {
+                        let sel = 0u64.wrapping_sub((mask >> l) & 1);
+                        out[l] = y[l] ^ ((x[l] ^ y[l]) & sel);
+                    }
+                }
+                ExecOp::Sel { cond, a, b, .. } => {
+                    let c = tile(&regs[cond as usize], lo);
+                    let (x, y) = (tile(&regs[a as usize], lo), tile(&regs[b as usize], lo));
+                    for l in 0..TILE {
+                        let sel = 0u64.wrapping_sub(u64::from(c[l] != 0));
+                        out[l] = y[l] ^ ((x[l] ^ y[l]) & sel);
+                    }
+                }
+                ExecOp::Not { a, m, .. } => {
+                    let x = tile(&regs[a as usize], lo);
+                    for l in 0..TILE {
+                        out[l] = !x[l] & m;
+                    }
+                }
+                ExecOp::Bin { op, a, b, m, .. } => {
+                    let (x, y) = (tile(&regs[a as usize], lo), tile(&regs[b as usize], lo));
+                    for l in 0..TILE {
+                        out[l] = bin(op, x[l], y[l], m);
+                    }
+                }
+                ExecOp::Reduce { op, a, m, .. } => {
+                    let x = tile(&regs[a as usize], lo);
+                    for l in 0..TILE {
+                        out[l] = reduce(op, x[l], m);
+                    }
+                }
+                ExecOp::Shift { op, a, amount, live, m, .. } => {
+                    let x = tile(&regs[a as usize], lo);
+                    if !live {
+                        *out = [0u64; TILE];
+                    } else {
+                        for l in 0..TILE {
+                            out[l] = match op {
+                                ShiftOp::Left => (x[l] << amount) & m,
+                                ShiftOp::Right => x[l] >> amount,
+                            };
+                        }
+                    }
+                }
+                ExecOp::Slice { a: src, lo: shift, m, .. } => {
+                    let x = tile(&regs[src as usize], lo);
+                    for l in 0..TILE {
+                        out[l] = (x[l] >> shift) & m;
+                    }
+                }
+                ExecOp::Concat { a, b, rhs_width, .. } => {
+                    let (x, y) = (tile(&regs[a as usize], lo), tile(&regs[b as usize], lo));
+                    for l in 0..TILE {
+                        out[l] = (x[l] << rhs_width) | y[l];
+                    }
+                }
+                ExecOp::DynGet { base, index, width, .. } => {
+                    let (x, ix) = (tile(&regs[base as usize], lo), tile(&regs[index as usize], lo));
+                    for l in 0..TILE {
+                        out[l] = if ix[l] < u64::from(width) { (x[l] >> ix[l]) & 1 } else { 0 };
+                    }
+                }
+                ExecOp::DynSet { cur, index, bit, width, .. } => {
+                    let c = tile(&regs[cur as usize], lo);
+                    let ix = tile(&regs[index as usize], lo);
+                    let v = tile(&regs[bit as usize], lo);
+                    for l in 0..TILE {
+                        out[l] = if ix[l] < u64::from(width) {
+                            (c[l] & !(1 << ix[l])) | ((v[l] & 1) << ix[l])
+                        } else {
+                            c[l]
+                        };
+                    }
+                }
+                ExecOp::WithSlice { cur, v, lo: shift, field, .. } => {
+                    let (c, x) = (tile(&regs[cur as usize], lo), tile(&regs[v as usize], lo));
+                    for l in 0..TILE {
+                        out[l] = (c[l] & !field) | (x[l] << shift);
+                    }
+                }
+                ExecOp::BinMaskSel { op, a, b, m, mask, other, .. } => {
+                    let (x, y) = (tile(&regs[a as usize], lo), tile(&regs[b as usize], lo));
+                    let o = tile(&regs[other as usize], lo);
+                    let mask = mask >> lo;
+                    for l in 0..TILE {
+                        let sel = 0u64.wrapping_sub((mask >> l) & 1);
+                        let v = bin(op, x[l], y[l], m);
+                        out[l] = o[l] ^ ((v ^ o[l]) & sel);
+                    }
+                }
+                ExecOp::BinMaskSelLo { op, a, b, m, mask, other, .. } => {
+                    let (x, y) = (tile(&regs[a as usize], lo), tile(&regs[b as usize], lo));
+                    let o = tile(&regs[other as usize], lo);
+                    let mask = mask >> lo;
+                    for l in 0..TILE {
+                        let sel = 0u64.wrapping_sub((mask >> l) & 1);
+                        let v = bin(op, x[l], y[l], m);
+                        out[l] = v ^ ((o[l] ^ v) & sel);
+                    }
+                }
+                ExecOp::LoadBin { op, sym, b, m, .. } => {
+                    let x = tile(&self.state[sym as usize], lo);
+                    let y = tile(&regs[b as usize], lo);
+                    for l in 0..TILE {
+                        out[l] = bin(op, x[l], y[l], m);
+                    }
+                }
+                ExecOp::BinLoad { op, a, sym, m, .. } => {
+                    let x = tile(&regs[a as usize], lo);
+                    let y = tile(&self.state[sym as usize], lo);
+                    for l in 0..TILE {
+                        out[l] = bin(op, x[l], y[l], m);
+                    }
+                }
+                ExecOp::NotReduce { op, a, m, .. } => {
+                    let x = tile(&regs[a as usize], lo);
+                    for l in 0..TILE {
+                        out[l] = reduce(op, !x[l] & m, m);
+                    }
+                }
+                ExecOp::NotBin { op, a, nm, b, m, .. } => {
+                    let (x, y) = (tile(&regs[a as usize], lo), tile(&regs[b as usize], lo));
+                    for l in 0..TILE {
+                        out[l] = bin(op, !x[l] & nm, y[l], m);
+                    }
+                }
+                ExecOp::BinNot { op, a, b, nm, m, .. } => {
+                    let (x, y) = (tile(&regs[a as usize], lo), tile(&regs[b as usize], lo));
+                    for l in 0..TILE {
+                        out[l] = bin(op, x[l], !y[l] & nm, m);
+                    }
+                }
+                ExecOp::BinBinL { op1, a, b, m1, op, c, m, .. } => {
+                    let x = tile(&regs[a as usize], lo);
+                    let y = tile(&regs[b as usize], lo);
+                    let z = tile(&regs[c as usize], lo);
+                    for l in 0..TILE {
+                        out[l] = bin(op, bin(op1, x[l], y[l], m1), z[l], m);
+                    }
+                }
+                ExecOp::BinBinR { op1, a, b, m1, op, c, m, .. } => {
+                    let x = tile(&regs[a as usize], lo);
+                    let y = tile(&regs[b as usize], lo);
+                    let z = tile(&regs[c as usize], lo);
+                    for l in 0..TILE {
+                        out[l] = bin(op, z[l], bin(op1, x[l], y[l], m1), m);
+                    }
+                }
+            }
+        }
+        // Commit this column's write-backs. Columns are disjoint lanes,
+        // so the next column's Loads still read their own pre-sweep
+        // lanes — semantics match the whole-word interpreter exactly.
+        for &(sym, reg) in &tape.stores {
+            self.state[sym as usize][lo..lo + TILE]
+                .copy_from_slice(&self.regs[reg as usize][lo..lo + TILE]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lanes::tape::LaneWord;
+
+    /// Differential harness: the lowered tape must match the reference
+    /// `Tape::run` interpreter on the same state.
+    fn assert_lowering_matches(comb: Tape, init: &[LaneWord]) {
+        let mut reference = LaneVm::new(init, comb.instrs.len(), 0);
+        reference.run(&comb);
+        let lowered = lower_unit(&comb, &Tape::default(), init);
+        let mut vm = LaneVm::new(init, lowered.scratch, lowered.scratch_scalar);
+        vm.seed_consts(&lowered.consts);
+        vm.run_scalar(&lowered.comb.pre);
+        vm.run_exec(&lowered.comb.main);
+        assert_eq!(vm.state, reference.state);
+    }
+
+    fn ramp(seed: u64) -> LaneWord {
+        let mut w = [0u64; LANES];
+        let mut x = seed | 1;
+        for lane in &mut w {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *lane = (x >> 16) & 0xff;
+        }
+        w
+    }
+
+    #[test]
+    fn bin_masksel_pairs_fuse_and_match_the_interpreter() {
+        // The expression-mutation shape: original Bin, mutated Bin,
+        // MaskSel routing the mutant lane.
+        let comb = Tape {
+            instrs: vec![
+                Instr::Load { sym: 0 },
+                Instr::Load { sym: 1 },
+                Instr::Bin { op: BinOp::And, a: 0, b: 1, width: 8 },
+                Instr::Bin { op: BinOp::Or, a: 0, b: 1, width: 8 },
+                Instr::MaskSel { mask: 0b100, a: 3, b: 2 },
+            ],
+            stores: vec![(2, 4)],
+        };
+        let init = [ramp(1), ramp(2), [0; LANES]];
+        let lowered = lower_unit(&comb, &Tape::default(), &init);
+        // The mutated Bin fuses into the MaskSel; the original Bin is
+        // claimed by the fall-through arm... it has one use too, so the
+        // planner takes the `a` side first (the mutated op).
+        assert!(
+            lowered
+                .comb
+                .main
+                .ops
+                .iter()
+                .any(|op| matches!(op, ExecOp::BinMaskSel { .. })),
+            "{:?}",
+            lowered.comb.main.ops
+        );
+        assert_lowering_matches(comb, &init);
+    }
+
+    #[test]
+    fn load_bin_and_not_reduce_fuse() {
+        let comb = Tape {
+            instrs: vec![
+                Instr::Load { sym: 0 },
+                Instr::Load { sym: 1 },
+                Instr::Bin { op: BinOp::Xor, a: 0, b: 1, width: 8 },
+                Instr::Not { a: 2, width: 8 },
+                Instr::Reduce { op: ReduceOp::And, a: 3, width: 8 },
+            ],
+            stores: vec![(2, 4)],
+        };
+        let init = [ramp(3), ramp(4), [0; LANES]];
+        let lowered = lower_unit(&comb, &Tape::default(), &init);
+        assert!(lowered.comb.main.ops.iter().any(|op| matches!(op, ExecOp::LoadBin { .. })));
+        assert!(lowered.comb.main.ops.iter().any(|op| matches!(op, ExecOp::NotReduce { .. })));
+        assert_lowering_matches(comb, &init);
+    }
+
+    #[test]
+    fn multi_use_and_stored_producers_do_not_fuse() {
+        // The Bin feeds the MaskSel *and* is stored: it must stay.
+        let comb = Tape {
+            instrs: vec![
+                Instr::Load { sym: 0 },
+                Instr::Load { sym: 1 },
+                Instr::Bin { op: BinOp::Add, a: 0, b: 1, width: 8 },
+                Instr::MaskSel { mask: 0b10, a: 2, b: 0 },
+            ],
+            stores: vec![(0, 2), (1, 3)],
+        };
+        let init = [ramp(5), ramp(6)];
+        let lowered = lower_unit(&comb, &Tape::default(), &init);
+        assert!(
+            lowered.comb.main.ops.iter().all(|op| !matches!(
+                op,
+                ExecOp::BinMaskSel { .. } | ExecOp::BinMaskSelLo { .. }
+            )),
+            "{:?}",
+            lowered.comb.main.ops
+        );
+        assert_lowering_matches(comb, &init);
+    }
+
+    #[test]
+    fn constants_pool_across_both_tapes_at_full_opt() {
+        let comb = Tape {
+            instrs: vec![Instr::Const { value: 7 }, Instr::Not { a: 0, width: 4 }],
+            stores: vec![(0, 1)],
+        };
+        let edge = Tape {
+            instrs: vec![Instr::Const { value: 7 }, Instr::Const { value: 1 }],
+            stores: vec![(1, 1)],
+        };
+        let lowered = lower_unit(&comb, &edge, &[[0; LANES]; 2]);
+        assert_eq!(lowered.consts, vec![7, 1]);
+        let all = lowered
+            .comb
+            .pre
+            .ops
+            .iter()
+            .chain(&lowered.comb.main.ops)
+            .chain(&lowered.edge.pre.ops)
+            .chain(&lowered.edge.main.ops);
+        assert!(
+            all.clone().all(|op| !matches!(op, ExecOp::Const { .. })),
+            "no Const op survives pooling"
+        );
+    }
+}

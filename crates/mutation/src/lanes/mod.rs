@@ -22,15 +22,17 @@
 //! [`crate::generate_mutants`] with validation on never need that path.
 
 mod compile;
+mod exec;
+mod opt;
 mod tape;
 // The structural tape checker runs (and therefore compiles) only in
 // debug builds, mirroring the `debug_assertions` hook in `compile`.
 #[cfg(debug_assertions)]
 mod verify;
 
-use crate::execute::{reference_transcript, run_one, try_shard, KillResult};
+use crate::execute::{reference_transcript, run_one, try_shard, KillResult, OptLevel};
 use crate::mutant::{Mutant, MutationError};
-use compile::{compile_group, BaseCompile, CompileError, Compiled};
+use compile::{compile_group, BaseCompile, CompileError, Compiled, Executable};
 use musa_hdl::{Bits, CheckedDesign, Simulator};
 use tape::{LaneVm, LANES};
 
@@ -47,11 +49,17 @@ pub struct LaneOptions {
     pub lanes_per_pass: usize,
     /// Worker threads sharding the lane groups (`0` = one per CPU).
     pub jobs: usize,
+    /// Tape-optimizer level. [`OptLevel::Full`] (the default) runs the
+    /// pass pipeline and the fusing lowering; [`OptLevel::Off`] skips
+    /// both and interprets the compiler's raw tapes — the pre-pipeline
+    /// engine, kept for differential testing and the `lanes-noopt`
+    /// benchmark cells. Bit-identical either way.
+    pub opt: OptLevel,
 }
 
 impl Default for LaneOptions {
     fn default() -> Self {
-        Self { lanes_per_pass: MAX_LANES, jobs: 1 }
+        Self { lanes_per_pass: MAX_LANES, jobs: 1, opt: OptLevel::default() }
     }
 }
 
@@ -60,6 +68,13 @@ impl LaneOptions {
     #[must_use]
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs;
+        self
+    }
+
+    /// Options with the given tape-optimizer level.
+    #[must_use]
+    pub fn with_opt(mut self, opt: OptLevel) -> Self {
+        self.opt = opt;
         self
     }
 
@@ -81,6 +96,13 @@ pub struct LaneStats {
     /// at their own first kill) makes this less than
     /// `passes × sequence_len`.
     pub steps: usize,
+    /// SSA instructions the compiler produced across the executed lane
+    /// groups (both tapes, before the optimizer).
+    pub instrs_before: usize,
+    /// Executor ops after the pass pipeline, constant pooling and
+    /// superinstruction fusion — what each step actually evaluates. At
+    /// [`OptLevel::Off`] this equals `instrs_before`.
+    pub instrs_after: usize,
 }
 
 impl LaneStats {
@@ -91,6 +113,14 @@ impl LaneStats {
     fn emit(self) {
         musa_trace::count("lane_passes", self.passes as u64);
         musa_trace::count("lane_steps", self.steps as u64);
+    }
+
+    /// Folds one group's counters into the execution totals.
+    fn absorb(&mut self, group: LaneStats) {
+        self.passes += group.passes;
+        self.steps += group.steps;
+        self.instrs_before += group.instrs_before;
+        self.instrs_after += group.instrs_after;
     }
 }
 
@@ -237,7 +267,7 @@ impl<'a> LanePlan<'a> {
             .collect();
         let nested = try_shard(options.jobs, ranges.len(), |i| {
             let _trace = musa_trace::span("lane_compile");
-            let compiled = compile_range(checked, entity, mutants, ranges[i], &base);
+            let compiled = compile_range(checked, entity, mutants, ranges[i], &base, options.opt);
             musa_trace::progress(|| {
                 format!("{entity}: lane group {}/{} compiled", i + 1, ranges.len())
             });
@@ -277,8 +307,7 @@ impl<'a> LanePlan<'a> {
         let mut stats = LaneStats::default();
         for (kills, group_stats) in per_group {
             first_kill.extend(kills);
-            stats.passes += group_stats.passes;
-            stats.steps += group_stats.steps;
+            stats.absorb(group_stats);
         }
         // Counter emission happens here, on the calling context, so the
         // totals land once per execution whatever the job count.
@@ -304,8 +333,7 @@ impl<'a> LanePlan<'a> {
         let mut stats = LaneStats::default();
         for (group_rows, group_stats) in per_group {
             rows.extend(group_rows);
-            stats.passes += group_stats.passes;
-            stats.steps += group_stats.steps;
+            stats.absorb(group_stats);
         }
         stats.emit();
         Ok((rows, stats))
@@ -341,7 +369,7 @@ impl<'a> LanePlan<'a> {
                 let kill =
                     run_one(self.checked, &self.entity, &self.mutants[*slot], sequence, reference)?;
                 let steps = kill.map_or(sequence.len(), |t| t + 1);
-                Ok((vec![kill], LaneStats { passes: 1, steps }))
+                Ok((vec![kill], LaneStats { passes: 1, steps, ..LaneStats::default() }))
             }
             PlanGroup::Tape { compiled, start, len } => {
                 let mut fallback_mask = 0u64;
@@ -349,7 +377,12 @@ impl<'a> LanePlan<'a> {
                     fallback_mask |= 1u64 << (slot + 1);
                 }
                 let mut sim = GroupSim::new(compiled, *len);
-                let mut stats = LaneStats { passes: 1, steps: 0 };
+                let mut stats = LaneStats {
+                    passes: 1,
+                    instrs_before: compiled.instrs_before,
+                    instrs_after: compiled.instrs_after,
+                    ..LaneStats::default()
+                };
                 let mut first_kill = vec![None; *len];
                 let mut alive = sim.used_mask & !fallback_mask;
                 {
@@ -401,7 +434,8 @@ impl<'a> LanePlan<'a> {
         match group {
             PlanGroup::ScalarOne { slot } => {
                 let _trace = musa_trace::span("scalar_fallback");
-                let stats = LaneStats { passes: 1, steps: sequence.len() };
+                let stats =
+                    LaneStats { passes: 1, steps: sequence.len(), ..LaneStats::default() };
                 let reference = reference.expect("scalar groups force a reference");
                 let row =
                     scalar_row(self.checked, &self.entity, &self.mutants[*slot], sequence, reference)?;
@@ -409,7 +443,12 @@ impl<'a> LanePlan<'a> {
             }
             PlanGroup::Tape { compiled, start, len } => {
                 let mut sim = GroupSim::new(compiled, *len);
-                let mut stats = LaneStats { passes: 1, steps: 0 };
+                let mut stats = LaneStats {
+                    passes: 1,
+                    instrs_before: compiled.instrs_before,
+                    instrs_after: compiled.instrs_after,
+                    ..LaneStats::default()
+                };
                 let mut rows = vec![vec![false; sequence.len()]; *len];
                 {
                     let _trace = musa_trace::span("lane_interpret");
@@ -453,15 +492,16 @@ fn compile_range(
     mutants: &[Mutant],
     (start, len): (usize, usize),
     base: &BaseCompile,
+    opt: OptLevel,
 ) -> Result<Vec<PlanGroup>, MutationError> {
     let refs: Vec<&Mutant> = mutants[start..start + len].iter().collect();
-    match compile_group(checked, entity, &refs, base) {
+    match compile_group(checked, entity, &refs, base, opt) {
         Ok(compiled) => Ok(vec![PlanGroup::Tape { compiled, start, len }]),
         Err(CompileError::Cycle) if len > 1 => {
             let mid = len / 2;
-            let mut left = compile_range(checked, entity, mutants, (start, mid), base)?;
+            let mut left = compile_range(checked, entity, mutants, (start, mid), base, opt)?;
             let right =
-                compile_range(checked, entity, mutants, (start + mid, len - mid), base)?;
+                compile_range(checked, entity, mutants, (start + mid, len - mid), base, opt)?;
             left.extend(right);
             Ok(left)
         }
@@ -481,7 +521,12 @@ struct GroupSim<'a> {
 
 impl<'a> GroupSim<'a> {
     fn new(compiled: &'a Compiled, group_len: usize) -> Self {
-        let vm = LaneVm::new(&compiled.init, compiled.scratch);
+        let mut vm = LaneVm::new(&compiled.init, compiled.scratch, compiled.scratch_scalar);
+        if let Executable::Lowered { consts, .. } = &compiled.exec {
+            // The pool registers sit below every op destination and are
+            // loop-invariant, so one seeding serves all sweeps.
+            vm.seed_consts(consts);
+        }
         let used_mask = if group_len + 1 >= LANES {
             !1u64
         } else {
@@ -490,9 +535,32 @@ impl<'a> GroupSim<'a> {
         Self { vm, compiled, used_mask }
     }
 
+    /// One combinational settle, on whichever engine the opt level
+    /// compiled: the fused executor or the raw-tape interpreter.
+    fn settle(&mut self) {
+        match &self.compiled.exec {
+            Executable::Raw { comb, .. } => self.vm.run(comb),
+            Executable::Lowered { comb, .. } => {
+                self.vm.run_scalar(&comb.pre);
+                self.vm.run_exec(&comb.main);
+            }
+        }
+    }
+
+    /// One clock edge (next-state computation plus register commit).
+    fn clock(&mut self) {
+        match &self.compiled.exec {
+            Executable::Raw { edge, .. } => self.vm.run(edge),
+            Executable::Lowered { edge, .. } => {
+                self.vm.run_scalar(&edge.pre);
+                self.vm.run_exec(&edge.main);
+            }
+        }
+    }
+
     fn reset(&mut self) {
         self.vm.reset(&self.compiled.init);
-        self.vm.run(&self.compiled.comb);
+        self.settle();
     }
 
     /// Applies one test vector with the scalar simulator's protocol
@@ -514,7 +582,7 @@ impl<'a> GroupSim<'a> {
             assert_eq!(width, bits.width(), "width mismatch on data input");
             self.vm.state[sym.0 as usize] = [bits.raw(); LANES];
         }
-        self.vm.run(&self.compiled.comb);
+        self.settle();
         let mut diff = 0u64;
         let scan = scan & self.used_mask;
         for &sym in &self.compiled.outputs {
@@ -528,8 +596,8 @@ impl<'a> GroupSim<'a> {
             }
         }
         if !self.compiled.combinational {
-            self.vm.run(&self.compiled.edge);
-            self.vm.run(&self.compiled.comb);
+            self.clock();
+            self.settle();
         }
         diff
     }
@@ -624,7 +692,7 @@ mod tests {
             .collect();
         let scalar = execute_mutants(&d, "t", &mutants, &sequence).unwrap();
         for lanes_per_pass in [1, 2, 63] {
-            let opts = LaneOptions { lanes_per_pass, jobs: 1 };
+            let opts = LaneOptions { lanes_per_pass, jobs: 1, ..LaneOptions::default() };
             let (lanes, _) =
                 execute_mutants_lanes_opts(&d, "t", &mutants, &sequence, &opts).unwrap();
             assert_eq!(
@@ -649,7 +717,7 @@ mod tests {
             "population {n} must take ⌈N/63⌉ passes"
         );
         // And at one mutant per pass the engine degenerates to N passes.
-        let opts = LaneOptions { lanes_per_pass: 1, jobs: 1 };
+        let opts = LaneOptions { lanes_per_pass: 1, jobs: 1, ..LaneOptions::default() };
         let (_, stats) =
             execute_mutants_lanes_opts(&d, "t", &mutants, &sequence, &opts).unwrap();
         assert_eq!(stats.passes, n);
@@ -784,7 +852,7 @@ mod tests {
             .collect();
         let scalar = execute_mutants(&d, "m", &mutants, &sequence).unwrap();
         for lanes_per_pass in [1, 63] {
-            let opts = LaneOptions { lanes_per_pass, jobs: 1 };
+            let opts = LaneOptions { lanes_per_pass, jobs: 1, ..LaneOptions::default() };
             let (lanes, _) =
                 execute_mutants_lanes_opts(&d, "m", &mutants, &sequence, &opts).unwrap();
             assert_eq!(
@@ -802,7 +870,7 @@ mod tests {
             (0..16).map(|i| vec![bit(u64::from(i % 7 == 0)), bit(1)]).collect();
         let serial = execute_mutants_lanes(&d, "t", &mutants, &sequence).unwrap();
         for jobs in [0, 2, 8] {
-            let opts = LaneOptions { lanes_per_pass: 4, jobs };
+            let opts = LaneOptions { lanes_per_pass: 4, jobs, ..LaneOptions::default() };
             let (sharded, _) =
                 execute_mutants_lanes_opts(&d, "t", &mutants, &sequence, &opts).unwrap();
             assert_eq!(sharded.first_kill, serial.first_kill, "jobs={jobs}");
@@ -941,5 +1009,85 @@ mod tests {
         let mutants = generate_mutants(&d, "g", &GenerateOptions::default());
         let kills = execute_mutants_lanes(&d, "g", &mutants, &[]).unwrap();
         assert_eq!(kills.killed_count(), 0);
+    }
+
+    /// The central pipeline contract: for every entity shape the suite
+    /// exercises, the optimized engine, the unoptimized engine and the
+    /// scalar engine agree bit-for-bit on first kills *and* whole kill
+    /// matrices.
+    #[test]
+    fn optimizer_is_bit_identical_to_unoptimized_and_scalar() {
+        let dyn_entity = "entity m is
+           port(clk : in bit; a : in bits(4); s : in bits(2); y : out bits(8); p : out bit);
+         signal r : bits(8);
+         signal hot : bits(4);
+         seq(clk) begin
+           r[7:4] <= a;
+           r[3:0] <= r[7:4];
+         end;
+         comb begin
+           hot <= 0;
+           if orr(a) = 1 then
+             hot[s] <= 1;
+           end if;
+         end;
+         comb begin
+           y <= r xor (hot & (a srl 1));
+           p <= xorr(r) xor andr(a);
+         end;
+         end;";
+        let mut rng = 0x0D15_EA5Eu64;
+        for (src, entity, widths) in [
+            (GATE, "g", vec![1u32, 1]),
+            (COUNTER, "t", vec![1, 1]),
+            (dyn_entity, "m", vec![4, 2]),
+        ] {
+            let d = checked(src);
+            let mutants = generate_mutants(&d, entity, &GenerateOptions::default());
+            let sequence: TestSequence = (0..24)
+                .map(|_| {
+                    rng = rng.wrapping_mul(6364136223846793005).wrapping_add(13);
+                    widths
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &w)| Bits::new(w, rng >> (40 + 4 * i)))
+                        .collect()
+                })
+                .collect();
+            let scalar = execute_mutants(&d, entity, &mutants, &sequence).unwrap();
+            let full = LaneOptions::default().with_opt(OptLevel::Full);
+            let off = LaneOptions::default().with_opt(OptLevel::Off);
+            let (opt_kills, _) =
+                execute_mutants_lanes_opts(&d, entity, &mutants, &sequence, &full).unwrap();
+            let (raw_kills, _) =
+                execute_mutants_lanes_opts(&d, entity, &mutants, &sequence, &off).unwrap();
+            assert_eq!(opt_kills.first_kill, scalar.first_kill, "{entity}: full vs scalar");
+            assert_eq!(raw_kills.first_kill, scalar.first_kill, "{entity}: off vs scalar");
+            let opt_rows = kill_rows_lanes(&d, entity, &mutants, &sequence, &full).unwrap();
+            let raw_rows = kill_rows_lanes(&d, entity, &mutants, &sequence, &off).unwrap();
+            assert_eq!(opt_rows, raw_rows, "{entity}: kill matrices diverge");
+        }
+    }
+
+    #[test]
+    fn optimizer_shrinks_the_executed_stream() {
+        let d = checked(COUNTER);
+        let mutants = generate_mutants(&d, "t", &GenerateOptions::default());
+        let sequence: TestSequence = vec![vec![bit(0), bit(1)]; 4];
+        let full = LaneOptions::default();
+        let (_, opt_stats) =
+            execute_mutants_lanes_opts(&d, "t", &mutants, &sequence, &full).unwrap();
+        assert!(
+            opt_stats.instrs_after < opt_stats.instrs_before,
+            "pipeline must shrink the tape: {opt_stats:?}"
+        );
+        let off = LaneOptions::default().with_opt(OptLevel::Off);
+        let (_, raw_stats) =
+            execute_mutants_lanes_opts(&d, "t", &mutants, &sequence, &off).unwrap();
+        assert_eq!(
+            raw_stats.instrs_after, raw_stats.instrs_before,
+            "off is a 1:1 transliteration"
+        );
+        assert_eq!(raw_stats.instrs_before, opt_stats.instrs_before, "same compiler output");
     }
 }

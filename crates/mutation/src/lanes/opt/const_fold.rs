@@ -1,0 +1,205 @@
+//! Lane-constant folding.
+//!
+//! Any instruction whose operands are all compile-time constants is
+//! itself a constant on every lane (constants broadcast identically, so
+//! per-lane divergence cannot arise from them alone). The pass tracks
+//! which registers hold known constants and replaces each fully-known
+//! instruction with the [`Instr::Const`] it would compute — using the
+//! *same* arithmetic as the executor, so the fold can never disagree
+//! with a run. The now-dead operand instructions are left for DCE.
+
+use super::super::tape::{Instr, Reg, Tape};
+use super::Pass;
+use musa_hdl::ast::{BinOp, ReduceOp, ShiftOp};
+use musa_hdl::Bits;
+
+pub(crate) struct ConstFold;
+
+impl Pass for ConstFold {
+    fn name(&self) -> &'static str {
+        "lane_opt_const_fold"
+    }
+
+    fn run(&self, tape: &mut Tape) -> usize {
+        let mut known: Vec<Option<u64>> = Vec::with_capacity(tape.instrs.len());
+        let mut folded = 0;
+        for i in 0..tape.instrs.len() {
+            let value = eval(&tape.instrs[i], &known);
+            if let Some(v) = value {
+                if !matches!(tape.instrs[i], Instr::Const { .. }) {
+                    tape.instrs[i] = Instr::Const { value: v };
+                    folded += 1;
+                }
+            }
+            known.push(value);
+        }
+        folded
+    }
+}
+
+/// Evaluates one instruction when every operand is a known constant,
+/// mirroring `LaneVm::run` exactly (including width masking and the
+/// out-of-range rules of the dynamic ops).
+fn eval(instr: &Instr, known: &[Option<u64>]) -> Option<u64> {
+    let k = |r: Reg| known[r as usize];
+    Some(match *instr {
+        Instr::Load { .. } => return None,
+        Instr::Const { value } => value,
+        // All lanes agree on a constant, so a mask select between two
+        // *equal* constants is that constant; differing constants stay
+        // lane-divergent and must not fold.
+        Instr::MaskSel { a, b, .. } => {
+            let (x, y) = (k(a)?, k(b)?);
+            if x == y {
+                x
+            } else {
+                return None;
+            }
+        }
+        Instr::Sel { cond, a, b } => {
+            if let Some(c) = k(cond) {
+                if c != 0 {
+                    k(a)?
+                } else {
+                    k(b)?
+                }
+            } else {
+                let (x, y) = (k(a)?, k(b)?);
+                if x == y {
+                    x
+                } else {
+                    return None;
+                }
+            }
+        }
+        Instr::Not { a, width } => !k(a)? & Bits::mask_of(width),
+        Instr::Bin { op, a, b, width } => {
+            let m = Bits::mask_of(width);
+            let (a, b) = (k(a)?, k(b)?);
+            match op {
+                BinOp::And => a & b,
+                BinOp::Or => a | b,
+                BinOp::Xor => a ^ b,
+                BinOp::Nand => !(a & b) & m,
+                BinOp::Nor => !(a | b) & m,
+                BinOp::Xnor => !(a ^ b) & m,
+                BinOp::Add => a.wrapping_add(b) & m,
+                BinOp::Sub => a.wrapping_sub(b) & m,
+                BinOp::Mul => a.wrapping_mul(b) & m,
+                BinOp::Eq => u64::from(a == b),
+                BinOp::Ne => u64::from(a != b),
+                BinOp::Lt => u64::from(a < b),
+                BinOp::Le => u64::from(a <= b),
+                BinOp::Gt => u64::from(a > b),
+                BinOp::Ge => u64::from(a >= b),
+            }
+        }
+        Instr::Reduce { op, a, width } => {
+            let m = Bits::mask_of(width);
+            let x = k(a)?;
+            match op {
+                ReduceOp::Or => u64::from(x != 0),
+                ReduceOp::And => u64::from(x == m),
+                ReduceOp::Xor => u64::from(x.count_ones() % 2 == 1),
+            }
+        }
+        Instr::Shift { op, a, amount, width } => {
+            let x = k(a)?;
+            if amount >= width {
+                0
+            } else {
+                match op {
+                    ShiftOp::Left => (x << amount) & Bits::mask_of(width),
+                    ShiftOp::Right => x >> amount,
+                }
+            }
+        }
+        Instr::Slice { a, hi, lo } => (k(a)? >> lo) & Bits::mask_of(hi - lo + 1),
+        Instr::Concat { a, b, rhs_width } => (k(a)? << rhs_width) | k(b)?,
+        Instr::DynGet { base, index, width } => {
+            let (x, ix) = (k(base)?, k(index)?);
+            if ix < u64::from(width) {
+                (x >> ix) & 1
+            } else {
+                0
+            }
+        }
+        Instr::DynSet { cur, index, bit, width } => {
+            let (c, ix, v) = (k(cur)?, k(index)?, k(bit)?);
+            if ix < u64::from(width) {
+                (c & !(1 << ix)) | ((v & 1) << ix)
+            } else {
+                c
+            }
+        }
+        Instr::WithSlice { cur, v, hi, lo } => {
+            let field = Bits::mask_of(hi - lo + 1) << lo;
+            (k(cur)? & !field) | (k(v)? << lo)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::assert_same_behavior;
+    use super::*;
+    use crate::lanes::tape::LANES;
+
+    fn clone_tape(t: &Tape) -> Tape {
+        Tape { instrs: t.instrs.clone(), stores: t.stores.clone() }
+    }
+
+    #[test]
+    fn const_operands_fold_to_a_const() {
+        // (5 + 3) & width 4 = 8; xorr(8) over width 4 = 1.
+        let mut tape = Tape {
+            instrs: vec![
+                Instr::Const { value: 5 },
+                Instr::Const { value: 3 },
+                Instr::Bin { op: BinOp::Add, a: 0, b: 1, width: 4 },
+                Instr::Reduce { op: ReduceOp::Xor, a: 2, width: 4 },
+            ],
+            stores: vec![(0, 3)],
+        };
+        let original = clone_tape(&tape);
+        let fired = ConstFold.run(&mut tape);
+        assert_eq!(fired, 2, "both computed instrs fold");
+        assert_eq!(tape.instrs[2], Instr::Const { value: 8 });
+        assert_eq!(tape.instrs[3], Instr::Const { value: 1 });
+        assert_same_behavior(&original, &tape, &[[0u64; LANES]]);
+    }
+
+    #[test]
+    fn loads_and_lane_divergent_selects_do_not_fold() {
+        // A Load is runtime data; a MaskSel between *different*
+        // constants is lane-divergent (the mutation primitive) and must
+        // survive untouched.
+        let mut tape = Tape {
+            instrs: vec![
+                Instr::Load { sym: 0 },
+                Instr::Const { value: 1 },
+                Instr::Const { value: 0 },
+                Instr::MaskSel { mask: 0b10, a: 1, b: 2 },
+                Instr::Bin { op: BinOp::And, a: 0, b: 3, width: 1 },
+            ],
+            stores: vec![(0, 4)],
+        };
+        let original = clone_tape(&tape);
+        assert_eq!(ConstFold.run(&mut tape), 0, "nothing must fire");
+        assert_eq!(tape.instrs, original.instrs);
+    }
+
+    #[test]
+    fn equal_arm_masksel_folds() {
+        let mut tape = Tape {
+            instrs: vec![
+                Instr::Const { value: 7 },
+                Instr::Const { value: 7 },
+                Instr::MaskSel { mask: 0b100, a: 0, b: 1 },
+            ],
+            stores: vec![(0, 2)],
+        };
+        assert_eq!(ConstFold.run(&mut tape), 1);
+        assert_eq!(tape.instrs[2], Instr::Const { value: 7 });
+    }
+}

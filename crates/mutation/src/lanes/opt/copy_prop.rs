@@ -1,0 +1,116 @@
+//! Copy and select propagation.
+//!
+//! Collapses selects that cannot actually select anything to their
+//! source register, rewriting every later use through an alias map:
+//!
+//! * `Sel` whose condition is a compile-time constant takes the decided
+//!   arm (conditions broadcast, so all lanes agree);
+//! * `Sel`/`MaskSel` with identical arms is the arm;
+//! * `MaskSel` with an empty mask is its `b` arm, with an all-lanes
+//!   mask its `a` arm (the compiler never emits these, but upstream
+//!   passes can expose them).
+//!
+//! The dead select bodies are left for DCE; alias targets always point
+//! at lower indices, so the stream stays SSA.
+
+use super::super::tape::{Instr, Reg, Tape};
+use super::{apply_aliases, Pass};
+
+pub(crate) struct CopyProp;
+
+impl Pass for CopyProp {
+    fn name(&self) -> &'static str {
+        "lane_opt_copy_prop"
+    }
+
+    fn run(&self, tape: &mut Tape) -> usize {
+        let n = tape.instrs.len();
+        let mut alias: Vec<Reg> = (0..n as Reg).collect();
+        let mut fired = 0;
+        for i in 0..n {
+            // Resolve operands through the aliases discovered so far
+            // (targets are fully resolved, so one hop suffices).
+            let mut instr = tape.instrs[i].clone();
+            super::for_each_operand(&mut instr, |r| *r = alias[*r as usize]);
+            tape.instrs[i] = instr;
+            let target = match tape.instrs[i] {
+                Instr::Sel { cond, a, b } => {
+                    if a == b {
+                        Some(a)
+                    } else if let Instr::Const { value } = tape.instrs[cond as usize] {
+                        Some(if value != 0 { a } else { b })
+                    } else {
+                        None
+                    }
+                }
+                Instr::MaskSel { mask, a, b } => {
+                    if a == b {
+                        Some(a)
+                    } else if mask == 0 {
+                        Some(b)
+                    } else if mask == u64::MAX {
+                        Some(a)
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            };
+            if let Some(t) = target {
+                alias[i] = t;
+                fired += 1;
+            }
+        }
+        if fired > 0 {
+            apply_aliases(tape, &alias);
+        }
+        fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{assert_same_behavior, ramp};
+    use super::*;
+    use musa_hdl::ast::BinOp;
+
+    #[test]
+    fn constant_condition_and_identical_arms_collapse() {
+        // r3 = Sel(const 1, r0, r1) -> r0;  r4 = MaskSel(m, r0, r0) -> r0.
+        let mut tape = Tape {
+            instrs: vec![
+                Instr::Load { sym: 0 },
+                Instr::Load { sym: 1 },
+                Instr::Const { value: 1 },
+                Instr::Sel { cond: 2, a: 0, b: 1 },
+                Instr::MaskSel { mask: 0b10, a: 3, b: 3 },
+                Instr::Bin { op: BinOp::Xor, a: 4, b: 1, width: 8 },
+            ],
+            stores: vec![(0, 5)],
+        };
+        let original = Tape { instrs: tape.instrs.clone(), stores: tape.stores.clone() };
+        assert_eq!(CopyProp.run(&mut tape), 2);
+        // The XOR now reads the load directly.
+        assert_eq!(tape.instrs[5], Instr::Bin { op: BinOp::Xor, a: 0, b: 1, width: 8 });
+        let init = [ramp(1).map(|v| v & 0xff), ramp(2).map(|v| v & 0xff)];
+        assert_same_behavior(&original, &tape, &init);
+    }
+
+    #[test]
+    fn live_selects_do_not_fire() {
+        // A runtime condition with distinct arms, and a real mutation
+        // mask with distinct arms: both must survive.
+        let mut tape = Tape {
+            instrs: vec![
+                Instr::Load { sym: 0 },
+                Instr::Load { sym: 1 },
+                Instr::Sel { cond: 0, a: 0, b: 1 },
+                Instr::MaskSel { mask: 0b10, a: 0, b: 1 },
+            ],
+            stores: vec![(0, 2), (1, 3)],
+        };
+        let original = tape.instrs.clone();
+        assert_eq!(CopyProp.run(&mut tape), 0);
+        assert_eq!(tape.instrs, original);
+    }
+}

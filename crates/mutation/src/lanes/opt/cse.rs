@@ -1,0 +1,129 @@
+//! Common-subexpression elimination over the SSA stream.
+//!
+//! Every tape instruction is pure within a sweep — even `Load`, because
+//! write-backs commit only *after* the sweep, so two loads of one
+//! symbol in one tape read the same state. Two structurally identical
+//! instructions therefore compute identical lane words, and the later
+//! one aliases to the first. Operands resolve through the alias map as
+//! the scan advances, so chains of duplicates (common under the
+//! per-site `MaskSel` folds, which re-emit operand subtrees) collapse
+//! in a single run.
+
+use super::super::tape::{Instr, Reg, Tape};
+use super::{apply_aliases, Pass};
+use std::collections::HashMap;
+
+pub(crate) struct Cse;
+
+/// A hashable structural key: discriminant plus the (alias-resolved)
+/// fields, each packed into a `u64`. The op enums are fieldless, so
+/// `as u64` is a stable encoding.
+type Key = [u64; 5];
+
+fn key(instr: &Instr) -> Key {
+    use Instr::*;
+    match *instr {
+        Load { sym } => [0, u64::from(sym), 0, 0, 0],
+        Const { value } => [1, value, 0, 0, 0],
+        MaskSel { mask, a, b } => [2, mask, u64::from(a), u64::from(b), 0],
+        Sel { cond, a, b } => [3, u64::from(cond), u64::from(a), u64::from(b), 0],
+        Not { a, width } => [4, u64::from(a), u64::from(width), 0, 0],
+        Bin { op, a, b, width } => {
+            [5, op as u64, u64::from(a), u64::from(b), u64::from(width)]
+        }
+        Reduce { op, a, width } => [6, op as u64, u64::from(a), u64::from(width), 0],
+        Shift { op, a, amount, width } => {
+            [7, op as u64, u64::from(a), u64::from(amount), u64::from(width)]
+        }
+        Slice { a, hi, lo } => [8, u64::from(a), u64::from(hi), u64::from(lo), 0],
+        Concat { a, b, rhs_width } => {
+            [9, u64::from(a), u64::from(b), u64::from(rhs_width), 0]
+        }
+        DynGet { base, index, width } => {
+            [10, u64::from(base), u64::from(index), u64::from(width), 0]
+        }
+        DynSet { cur, index, bit, width } => {
+            [11, u64::from(cur), u64::from(index), u64::from(bit) | u64::from(width) << 32, 0]
+        }
+        WithSlice { cur, v, hi, lo } => {
+            [12, u64::from(cur), u64::from(v), u64::from(hi) | u64::from(lo) << 32, 0]
+        }
+    }
+}
+
+impl Pass for Cse {
+    fn name(&self) -> &'static str {
+        "lane_opt_cse"
+    }
+
+    fn run(&self, tape: &mut Tape) -> usize {
+        let n = tape.instrs.len();
+        let mut alias: Vec<Reg> = (0..n as Reg).collect();
+        let mut seen: HashMap<Key, Reg> = HashMap::with_capacity(n);
+        let mut fired = 0;
+        for i in 0..n {
+            let mut instr = tape.instrs[i].clone();
+            super::for_each_operand(&mut instr, |r| *r = alias[*r as usize]);
+            tape.instrs[i] = instr;
+            match seen.entry(key(&tape.instrs[i])) {
+                std::collections::hash_map::Entry::Occupied(first) => {
+                    alias[i] = *first.get();
+                    fired += 1;
+                }
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(i as Reg);
+                }
+            }
+        }
+        if fired > 0 {
+            apply_aliases(tape, &alias);
+        }
+        fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{assert_same_behavior, ramp};
+    use super::*;
+    use musa_hdl::ast::BinOp;
+
+    #[test]
+    fn duplicate_expressions_dedupe_transitively() {
+        // Two copies of (x and y) feed an xor; after CSE the xor reads
+        // one copy twice.
+        let mut tape = Tape {
+            instrs: vec![
+                Instr::Load { sym: 0 },
+                Instr::Load { sym: 1 },
+                Instr::Bin { op: BinOp::And, a: 0, b: 1, width: 8 },
+                Instr::Bin { op: BinOp::And, a: 0, b: 1, width: 8 },
+                Instr::Bin { op: BinOp::Xor, a: 2, b: 3, width: 8 },
+            ],
+            stores: vec![(0, 4)],
+        };
+        let original = Tape { instrs: tape.instrs.clone(), stores: tape.stores.clone() };
+        assert_eq!(Cse.run(&mut tape), 1);
+        assert_eq!(tape.instrs[4], Instr::Bin { op: BinOp::Xor, a: 2, b: 2, width: 8 });
+        let init = [ramp(11).map(|v| v & 0xff), ramp(12).map(|v| v & 0xff)];
+        assert_same_behavior(&original, &tape, &init);
+    }
+
+    #[test]
+    fn near_misses_are_kept() {
+        // Same operands, different op/width: no sharing.
+        let mut tape = Tape {
+            instrs: vec![
+                Instr::Load { sym: 0 },
+                Instr::Load { sym: 1 },
+                Instr::Bin { op: BinOp::And, a: 0, b: 1, width: 8 },
+                Instr::Bin { op: BinOp::Or, a: 0, b: 1, width: 8 },
+                Instr::Bin { op: BinOp::And, a: 0, b: 1, width: 4 },
+            ],
+            stores: vec![(0, 2), (1, 3), (0, 4)],
+        };
+        let before = tape.instrs.clone();
+        assert_eq!(Cse.run(&mut tape), 0);
+        assert_eq!(tape.instrs, before);
+    }
+}

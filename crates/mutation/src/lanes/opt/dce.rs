@@ -1,0 +1,105 @@
+//! Dead-code elimination and register compaction.
+//!
+//! Marks live instructions backwards from the store roots (the only
+//! observable effect of a sweep is its write-back list — the group
+//! runner's output diff scan reads committed state, never scratch
+//! registers), drops everything else, and renumbers the survivors
+//! densely. Compaction is what shrinks the `LaneVm` scratch file: the
+//! VM allocates one 512-byte lane word per instruction, so every
+//! removed instruction saves both its evaluation *and* its register.
+
+use super::super::tape::{Reg, Tape};
+use super::{for_each_operand, Pass};
+
+pub(crate) struct DeadCode;
+
+impl Pass for DeadCode {
+    fn name(&self) -> &'static str {
+        "lane_opt_dce"
+    }
+
+    fn run(&self, tape: &mut Tape) -> usize {
+        let n = tape.instrs.len();
+        let mut live = vec![false; n];
+        let mut stack: Vec<Reg> = tape.stores.iter().map(|&(_, reg)| reg).collect();
+        while let Some(r) = stack.pop() {
+            if std::mem::replace(&mut live[r as usize], true) {
+                continue;
+            }
+            for_each_operand(&mut tape.instrs[r as usize], |op| stack.push(*op));
+        }
+        let dead = live.iter().filter(|&&l| !l).count();
+        if dead == 0 {
+            return 0;
+        }
+        // Renumber: survivor i moves to position rank[i].
+        let mut rank = vec![0 as Reg; n];
+        let mut next = 0 as Reg;
+        let mut instrs = Vec::with_capacity(n - dead);
+        for (i, instr) in std::mem::take(&mut tape.instrs).into_iter().enumerate() {
+            if !live[i] {
+                continue;
+            }
+            rank[i] = next;
+            next += 1;
+            instrs.push(instr);
+        }
+        for instr in &mut instrs {
+            for_each_operand(instr, |r| *r = rank[*r as usize]);
+        }
+        tape.instrs = instrs;
+        for (_, reg) in &mut tape.stores {
+            *reg = rank[*reg as usize];
+        }
+        dead
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::super::tape::Instr;
+    use super::super::testutil::{assert_same_behavior, ramp};
+    use super::*;
+    use musa_hdl::ast::BinOp;
+
+    #[test]
+    fn unreachable_instrs_drop_and_registers_compact() {
+        // r1 and r3 are dead (nothing stores them or feeds a store).
+        let mut tape = Tape {
+            instrs: vec![
+                Instr::Load { sym: 0 },                              // live
+                Instr::Not { a: 0, width: 4 },                       // dead
+                Instr::Const { value: 3 },                           // live
+                Instr::Bin { op: BinOp::Add, a: 1, b: 2, width: 4 }, // dead
+                Instr::Bin { op: BinOp::Xor, a: 0, b: 2, width: 4 }, // live
+            ],
+            stores: vec![(0, 4)],
+        };
+        let original = Tape { instrs: tape.instrs.clone(), stores: tape.stores.clone() };
+        assert_eq!(DeadCode.run(&mut tape), 2);
+        assert_eq!(
+            tape.instrs,
+            vec![
+                Instr::Load { sym: 0 },
+                Instr::Const { value: 3 },
+                Instr::Bin { op: BinOp::Xor, a: 0, b: 1, width: 4 },
+            ]
+        );
+        assert_eq!(tape.stores, vec![(0, 2)]);
+        assert_same_behavior(&original, &tape, &[ramp(21).map(|v| v & 0xf)]);
+    }
+
+    #[test]
+    fn fully_live_tapes_are_untouched() {
+        let mut tape = Tape {
+            instrs: vec![
+                Instr::Load { sym: 0 },
+                Instr::Not { a: 0, width: 4 },
+            ],
+            stores: vec![(0, 1)],
+        };
+        let before = tape.instrs.clone();
+        assert_eq!(DeadCode.run(&mut tape), 0);
+        assert_eq!(tape.instrs, before);
+    }
+}

@@ -1,0 +1,312 @@
+//! The tape optimizer: a pass framework over the SSA lane tape.
+//!
+//! Sits between the compiler ([`super::compile`]) and the executor
+//! ([`super::exec`]) — the middle stage of the lane pipeline. A
+//! [`Pass`] is a semantics-preserving tape-to-tape rewrite; the
+//! [`PassPipeline`] iterates a fixed catalog to a bounded fixpoint and
+//! finishes with dead-code elimination + register compaction:
+//!
+//! | pass | rewrite |
+//! |---|---|
+//! | `const_fold` | Const-operand `Bin`/`Not`/`Reduce`/`Shift`/`Slice`/… evaluated at compile time |
+//! | `copy_prop` | `Sel`/`MaskSel` with a constant condition, degenerate mask or identical arms collapse to their source |
+//! | `select_flatten` | nested selects on one guard (the predicated control-flow chains) short-circuit |
+//! | `cse` | structurally identical pure instructions dedupe to the first occurrence |
+//! | `dce` | instructions unreachable from the store roots drop; survivors renumber densely |
+//!
+//! Between pipeline rounds the *unit-level* dead-store pruner removes
+//! write-backs no tape loads back and no output diff scan reads —
+//! on a purely combinational circuit that alone strips every internal
+//! signal commit. Every pass preserves per-lane bit-identity: the
+//! optimizer may never change a single observable lane word, which the
+//! differential suites (optimized ≡ unoptimized ≡ scalar) pin.
+//!
+//! Per-pass rewrite counts surface as `musa_trace` counters
+//! (`lane_opt_<pass>`), and the pipeline totals
+//! (`lane_opt_instrs_before`/`_after`) feed `LaneStats`.
+
+mod const_fold;
+mod copy_prop;
+mod cse;
+mod dce;
+mod select_flatten;
+
+use super::tape::{Instr, Reg, Tape};
+use musa_hdl::SymbolId;
+use std::collections::BTreeSet;
+
+pub(crate) use dce::DeadCode;
+
+/// One semantics-preserving rewrite over a tape. Passes may leave dead
+/// instructions behind (the final [`DeadCode`] pass sweeps them); they
+/// must keep the stream in SSA form (operands reference lower indices).
+pub(crate) trait Pass {
+    /// Counter-friendly name (`lane_opt_<name>` in traces).
+    fn name(&self) -> &'static str;
+    /// Rewrites the tape in place, returning the number of rewrites
+    /// applied (0 = fixpoint reached for this pass).
+    fn run(&self, tape: &mut Tape) -> usize;
+}
+
+/// The standard pass catalog, iterated to a bounded fixpoint per tape
+/// with unit-level dead-store pruning between rounds.
+pub(crate) struct PassPipeline {
+    passes: Vec<Box<dyn Pass>>,
+    /// Fixpoint bound: rounds stop early when no pass fires.
+    max_rounds: usize,
+}
+
+/// Instruction counts around one pipeline run, per tape.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct OptCounts {
+    /// Instructions entering the pipeline (both tapes).
+    pub before: usize,
+    /// Instructions surviving DCE + compaction (both tapes).
+    pub after: usize,
+}
+
+impl PassPipeline {
+    /// The default catalog in canonical order: folding first (it feeds
+    /// the propagators), then propagation and flattening, then CSE over
+    /// the cleaned stream.
+    pub(crate) fn standard() -> Self {
+        Self {
+            passes: vec![
+                Box::new(const_fold::ConstFold),
+                Box::new(copy_prop::CopyProp),
+                Box::new(select_flatten::SelectFlatten),
+                Box::new(cse::Cse),
+            ],
+            max_rounds: 4,
+        }
+    }
+
+    /// Optimizes one compiled unit — the comb/edge tape pair — in
+    /// place. The store roots are the symbols some tape loads back plus
+    /// the entity outputs (the only state the diff scan reads), so
+    /// stores of purely internal settle values drop entirely.
+    pub(crate) fn optimize(
+        &self,
+        comb: &mut Tape,
+        edge: &mut Tape,
+        outputs: &[SymbolId],
+    ) -> OptCounts {
+        let _trace = musa_trace::span("lane_opt");
+        let counts = OptCounts {
+            before: comb.instrs.len() + edge.instrs.len(),
+            after: 0,
+        };
+        // Outer loop: dead-store pruning can strand instructions, and
+        // DCE can remove Loads that were keeping stores alive — iterate
+        // the unit until neither side budges (bounded for safety).
+        for _ in 0..3 {
+            let pruned = prune_dead_stores(comb, edge, outputs);
+            let mut fired = pruned;
+            for tape in [&mut *comb, &mut *edge] {
+                for _ in 0..self.max_rounds {
+                    let mut round = 0;
+                    for pass in &self.passes {
+                        let n = pass.run(tape);
+                        if n > 0 {
+                            musa_trace::count(pass.name(), n as u64);
+                        }
+                        round += n;
+                    }
+                    fired += round;
+                    if round == 0 {
+                        break;
+                    }
+                }
+                let removed = DeadCode.run(tape);
+                if removed > 0 {
+                    musa_trace::count(DeadCode.name(), removed as u64);
+                }
+                fired += removed;
+            }
+            if fired == 0 {
+                break;
+            }
+        }
+        let counts = OptCounts {
+            before: counts.before,
+            after: comb.instrs.len() + edge.instrs.len(),
+        };
+        musa_trace::count("lane_opt_instrs_before", counts.before as u64);
+        musa_trace::count("lane_opt_instrs_after", counts.after as u64);
+        counts
+    }
+}
+
+/// Unit-level dead-store elimination: a `(symbol, reg)` write-back is
+/// observable only if some tape `Load`s the symbol on a later sweep or
+/// the symbol is a primary output (the group runner's XOR diff scan
+/// reads outputs straight from VM state). Everything else — e.g. every
+/// internal signal of a purely combinational circuit, recomputed from
+/// scratch each settle — is a dead 512-byte copy per step.
+///
+/// Returns the number of stores removed.
+fn prune_dead_stores(comb: &mut Tape, edge: &mut Tape, outputs: &[SymbolId]) -> usize {
+    let mut needed: BTreeSet<u32> = outputs.iter().map(|s| s.0).collect();
+    for tape in [&*comb, &*edge] {
+        for instr in &tape.instrs {
+            if let Instr::Load { sym } = instr {
+                needed.insert(*sym);
+            }
+        }
+    }
+    let mut removed = 0;
+    for tape in [&mut *comb, &mut *edge] {
+        let before = tape.stores.len();
+        tape.stores.retain(|(sym, _)| needed.contains(sym));
+        removed += before - tape.stores.len();
+    }
+    if removed > 0 {
+        musa_trace::count("lane_opt_dead_store", removed as u64);
+    }
+    removed
+}
+
+/// Visits every operand register of an instruction mutably — the shared
+/// traversal all alias-rewriting passes use.
+pub(crate) fn for_each_operand(instr: &mut Instr, mut f: impl FnMut(&mut Reg)) {
+    match instr {
+        Instr::Load { .. } | Instr::Const { .. } => {}
+        Instr::MaskSel { a, b, .. } => {
+            f(a);
+            f(b);
+        }
+        Instr::Sel { cond, a, b } => {
+            f(cond);
+            f(a);
+            f(b);
+        }
+        Instr::Not { a, .. }
+        | Instr::Reduce { a, .. }
+        | Instr::Shift { a, .. }
+        | Instr::Slice { a, .. } => f(a),
+        Instr::Bin { a, b, .. } | Instr::Concat { a, b, .. } => {
+            f(a);
+            f(b);
+        }
+        Instr::DynGet { base, index, .. } => {
+            f(base);
+            f(index);
+        }
+        Instr::DynSet { cur, index, bit, .. } => {
+            f(cur);
+            f(index);
+            f(bit);
+        }
+        Instr::WithSlice { cur, v, .. } => {
+            f(cur);
+            f(v);
+        }
+    }
+}
+
+/// Applies a fully-resolved alias map to every operand and store of the
+/// tape. `alias[r] == r` means "keep"; passes build the map so targets
+/// are themselves fully resolved (lower indices only), preserving SSA.
+pub(crate) fn apply_aliases(tape: &mut Tape, alias: &[Reg]) {
+    for instr in &mut tape.instrs {
+        for_each_operand(instr, |r| *r = alias[*r as usize]);
+    }
+    for (_, reg) in &mut tape.stores {
+        *reg = alias[*reg as usize];
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Shared helpers for the per-pass unit tests: run a tape on the
+    //! reference interpreter and compare observable state.
+
+    use super::super::tape::{LaneVm, LaneWord, Tape, LANES};
+
+    /// Runs `tape` against fresh state and returns the post-commit
+    /// symbol state — the only thing the group runner observes.
+    pub(crate) fn observable(tape: &Tape, init: &[LaneWord]) -> Vec<LaneWord> {
+        let mut vm = LaneVm::new(init, tape.instrs.len(), 0);
+        vm.run(tape);
+        vm.state
+    }
+
+    /// Asserts two tapes are observably identical on the given state.
+    pub(crate) fn assert_same_behavior(a: &Tape, b: &Tape, init: &[LaneWord]) {
+        assert_eq!(observable(a, init), observable(b, init), "tapes diverge");
+    }
+
+    /// A varied non-trivial lane word for differential pass tests.
+    pub(crate) fn ramp(seed: u64) -> LaneWord {
+        let mut w = [0u64; LANES];
+        let mut x = seed | 1;
+        for lane in &mut w {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *lane = x >> 16;
+        }
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tape::{Instr, Tape, LANES};
+    use super::testutil::ramp;
+    use super::*;
+    use musa_hdl::ast::BinOp;
+
+    #[test]
+    fn pipeline_shrinks_a_foldable_tape_and_preserves_behavior() {
+        // y = (1 and 1) and x  — folds to y = 1 and x, then CSE/DCE
+        // compact the survivors.
+        let tape = Tape {
+            instrs: vec![
+                Instr::Const { value: 1 },
+                Instr::Const { value: 1 },
+                Instr::Bin { op: BinOp::And, a: 0, b: 1, width: 1 },
+                Instr::Load { sym: 0 },
+                Instr::Bin { op: BinOp::And, a: 2, b: 3, width: 1 },
+            ],
+            stores: vec![(1, 4)],
+        };
+        let mut comb = Tape { instrs: tape.instrs.clone(), stores: tape.stores.clone() };
+        let mut edge = Tape::default();
+        let counts =
+            PassPipeline::standard().optimize(&mut comb, &mut edge, &[SymbolId(1)]);
+        assert!(counts.after < counts.before, "{counts:?}");
+        let init = [ramp(3) .map(|v| v & 1), [0; LANES]];
+        testutil::assert_same_behavior(&tape, &comb, &init);
+    }
+
+    #[test]
+    fn dead_stores_of_unread_symbols_drop_but_outputs_stay() {
+        // Symbol 1 is an internal settle value nobody loads; symbol 2
+        // is the output. Only the output store survives.
+        let mut comb = Tape {
+            instrs: vec![Instr::Load { sym: 0 }, Instr::Not { a: 0, width: 4 }],
+            stores: vec![(1, 1), (2, 1)],
+        };
+        let mut edge = Tape::default();
+        let removed = prune_dead_stores(&mut comb, &mut edge, &[SymbolId(2)]);
+        assert_eq!(removed, 1);
+        assert_eq!(comb.stores, vec![(2, 1)]);
+    }
+
+    #[test]
+    fn stores_loaded_by_the_other_tape_survive() {
+        // The edge tape loads symbol 1 (a register feedback), so the
+        // comb store of symbol 1 must stay even though it's no output.
+        let mut comb = Tape {
+            instrs: vec![Instr::Load { sym: 0 }],
+            stores: vec![(1, 0)],
+        };
+        let mut edge = Tape {
+            instrs: vec![Instr::Load { sym: 1 }],
+            stores: vec![(3, 0)],
+        };
+        let removed = prune_dead_stores(&mut comb, &mut edge, &[SymbolId(2)]);
+        assert_eq!(removed, 1, "only the unread edge store drops");
+        assert_eq!(comb.stores, vec![(1, 0)]);
+        assert!(edge.stores.is_empty());
+    }
+}

@@ -1,0 +1,181 @@
+//! Select-chain flattening.
+//!
+//! The predicated control flow emits chains of selects: consecutive
+//! assignments to one symbol under one guard nest same-condition
+//! `Sel`s, and several mutants on one site chain `MaskSel`s. Two local
+//! rewrites shorten them:
+//!
+//! * **Same-guard nesting** — `Sel(c, a, Sel(c, x, y))`: when `c`
+//!   holds, the inner select is dead; when it doesn't, it yields `y` —
+//!   so the outer `b` arm can read `y` directly (symmetrically, an
+//!   inner same-condition select in the `a` arm reads `x`). Sound for
+//!   *any* runtime condition because both selects test the identical
+//!   per-lane word.
+//! * **Mask algebra** — `MaskSel(m, a, MaskSel(m2, a2, b2))`: lanes in
+//!   `m` never see the inner select, so if `m2 ⊆ m` the `b` arm skips
+//!   to `b2`; if the arms agree (`a == a2`) the two merge into one
+//!   `MaskSel(m | m2, a, b2)`. On the `a` side, disjoint masks skip to
+//!   `b2` and covering masks to `a2`.
+//!
+//! Rewrites edit operand fields in place; orphaned inner selects fall
+//! to DCE.
+
+use super::super::tape::{Instr, Tape};
+use super::Pass;
+
+pub(crate) struct SelectFlatten;
+
+impl Pass for SelectFlatten {
+    fn name(&self) -> &'static str {
+        "lane_opt_select_flatten"
+    }
+
+    fn run(&self, tape: &mut Tape) -> usize {
+        let mut fired = 0;
+        for i in 0..tape.instrs.len() {
+            loop {
+                let rewritten = match tape.instrs[i] {
+                    Instr::Sel { cond, a, b } => {
+                        if let Instr::Sel { cond: c2, b: y, .. } = tape.instrs[b as usize] {
+                            if c2 == cond && y != b {
+                                tape.instrs[i] = Instr::Sel { cond, a, b: y };
+                                true
+                            } else {
+                                false
+                            }
+                        } else if let Instr::Sel { cond: c2, a: x, .. } =
+                            tape.instrs[a as usize]
+                        {
+                            if c2 == cond && x != a {
+                                tape.instrs[i] = Instr::Sel { cond, a: x, b };
+                                true
+                            } else {
+                                false
+                            }
+                        } else {
+                            false
+                        }
+                    }
+                    Instr::MaskSel { mask, a, b } => {
+                        if let Instr::MaskSel { mask: m2, a: a2, b: b2 } =
+                            tape.instrs[b as usize]
+                        {
+                            if a2 == a {
+                                // Same taken value: one wider select.
+                                tape.instrs[i] =
+                                    Instr::MaskSel { mask: mask | m2, a, b: b2 };
+                                true
+                            } else if m2 & !mask == 0 && b2 != b {
+                                // Inner mask shadowed entirely by ours.
+                                tape.instrs[i] = Instr::MaskSel { mask, a, b: b2 };
+                                true
+                            } else {
+                                false
+                            }
+                        } else if let Instr::MaskSel { mask: m2, a: a2, b: b2 } =
+                            tape.instrs[a as usize]
+                        {
+                            if m2 & mask == 0 && b2 != a {
+                                // Our lanes all fall through the inner select.
+                                tape.instrs[i] = Instr::MaskSel { mask, a: b2, b };
+                                true
+                            } else if !m2 & mask == 0 && a2 != a {
+                                // Our lanes all take the inner select.
+                                tape.instrs[i] = Instr::MaskSel { mask, a: a2, b };
+                                true
+                            } else {
+                                false
+                            }
+                        } else {
+                            false
+                        }
+                    }
+                    _ => false,
+                };
+                if !rewritten {
+                    break;
+                }
+                fired += 1;
+            }
+        }
+        fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{assert_same_behavior, ramp};
+    use super::*;
+    use crate::lanes::tape::LANES;
+    use musa_hdl::ast::BinOp;
+
+    #[test]
+    fn same_guard_nested_sel_short_circuits() {
+        // Two guarded assignments to one symbol: the second select's
+        // fall-through arm is the first select — same guard, so it can
+        // skip straight to the original value.
+        let mut tape = Tape {
+            instrs: vec![
+                Instr::Load { sym: 0 },          // guard
+                Instr::Load { sym: 1 },          // original value
+                Instr::Const { value: 1 },       // new1
+                Instr::Sel { cond: 0, a: 2, b: 1 },
+                Instr::Const { value: 2 },       // new2
+                Instr::Sel { cond: 0, a: 4, b: 3 },
+            ],
+            stores: vec![(1, 5)],
+        };
+        let original = Tape { instrs: tape.instrs.clone(), stores: tape.stores.clone() };
+        assert_eq!(SelectFlatten.run(&mut tape), 1);
+        assert_eq!(tape.instrs[5], Instr::Sel { cond: 0, a: 4, b: 1 });
+        let init = [ramp(9).map(|v| v & 1), ramp(4).map(|v| v & 3)];
+        assert_same_behavior(&original, &tape, &init);
+    }
+
+    #[test]
+    fn masksel_chain_with_shared_arm_merges_masks() {
+        let mut tape = Tape {
+            instrs: vec![
+                Instr::Load { sym: 0 },
+                Instr::Const { value: 1 },
+                Instr::MaskSel { mask: 0b010, a: 1, b: 0 },
+                Instr::MaskSel { mask: 0b100, a: 1, b: 2 },
+            ],
+            stores: vec![(0, 3)],
+        };
+        let original = Tape { instrs: tape.instrs.clone(), stores: tape.stores.clone() };
+        assert_eq!(SelectFlatten.run(&mut tape), 1);
+        assert_eq!(tape.instrs[3], Instr::MaskSel { mask: 0b110, a: 1, b: 0 });
+        assert_same_behavior(&original, &tape, &[ramp(5)]);
+    }
+
+    #[test]
+    fn different_guards_and_overlapping_masks_do_not_fire() {
+        let mut tape = Tape {
+            instrs: vec![
+                Instr::Load { sym: 0 },
+                Instr::Load { sym: 1 },
+                Instr::Bin { op: BinOp::Eq, a: 0, b: 1, width: 1 },
+                Instr::Sel { cond: 0, a: 1, b: 0 },
+                Instr::Sel { cond: 2, a: 1, b: 3 }, // different cond: keep
+                Instr::Const { value: 3 },
+                Instr::MaskSel { mask: 0b010, a: 5, b: 0 },
+                Instr::MaskSel { mask: 0b110, a: 0, b: 6 }, // m2 ⊄ shadow? 0b010 ⊆ 0b110 but b2 path fine
+            ],
+            stores: vec![(0, 4), (1, 7)],
+        };
+        let before = tape.instrs.clone();
+        let fired = SelectFlatten.run(&mut tape);
+        // Only the genuinely shadowed inner mask rewrite may fire (the
+        // last MaskSel's inner mask 0b010 is covered by 0b110, so its b
+        // arm skips to the load); the different-cond Sel must not.
+        assert_eq!(tape.instrs[4], before[4], "different guard untouched");
+        assert_eq!(fired, 1);
+        assert_eq!(tape.instrs[7], Instr::MaskSel { mask: 0b110, a: 0, b: 0 });
+        assert_same_behavior(
+            &Tape { instrs: before, stores: tape.stores.clone() },
+            &tape,
+            &[ramp(7).map(|v| v & 1), [3u64; LANES]],
+        );
+    }
+}

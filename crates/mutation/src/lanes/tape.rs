@@ -72,15 +72,21 @@ pub(crate) struct Tape {
 pub(crate) struct LaneVm {
     /// Per-symbol lanes, indexed by `SymbolId`.
     pub state: Vec<LaneWord>,
-    regs: Vec<LaneWord>,
+    /// Scratch registers; `super::exec` drives them for lowered tapes.
+    pub(crate) regs: Vec<LaneWord>,
+    /// Scalar scratch registers for the uniform prefix of lowered
+    /// tapes; empty for interpreted (`--opt off`) tapes.
+    pub(crate) sregs: Vec<u64>,
 }
 
 impl LaneVm {
-    /// Creates a VM with the given initial symbol state and scratch size.
-    pub fn new(init: &[LaneWord], scratch: usize) -> Self {
+    /// Creates a VM with the given initial symbol state and scratch
+    /// sizes (lane words and scalar registers).
+    pub fn new(init: &[LaneWord], scratch: usize, scratch_scalar: usize) -> Self {
         Self {
             state: init.to_vec(),
             regs: vec![[0u64; LANES]; scratch],
+            sregs: vec![0u64; scratch_scalar],
         }
     }
 
@@ -90,6 +96,12 @@ impl LaneVm {
     }
 
     /// Evaluates a tape: one forward sweep, then the write-back commits.
+    ///
+    /// This is the *reference interpreter* — the executable definition
+    /// of tape semantics, and the engine `--opt off` runs in
+    /// production. `--opt full` sweeps go through the lowered
+    /// `super::exec` path instead; the optimizer and executor test
+    /// suites use this as their differential oracle.
     pub fn run(&mut self, tape: &Tape) {
         for (i, instr) in tape.instrs.iter().enumerate() {
             let mut out = [0u64; LANES];
@@ -222,7 +234,7 @@ mod tests {
 
     fn run_one(instrs: Vec<Instr>, stores: Vec<(u32, Reg)>, init: &[LaneWord]) -> LaneVm {
         let tape = Tape { instrs, stores };
-        let mut vm = LaneVm::new(init, tape.instrs.len());
+        let mut vm = LaneVm::new(init, tape.instrs.len(), 0);
         vm.run(&tape);
         vm
     }
@@ -268,7 +280,7 @@ mod tests {
         index[0] = 1;
         base[1] = 0b1010;
         index[1] = 7; // out of range for width 4 -> 0
-        let mut vm = LaneVm::new(&[base, index], 3);
+        let mut vm = LaneVm::new(&[base, index], 3, 0);
         vm.run(&Tape {
             instrs: vec![
                 Instr::Load { sym: 0 },

@@ -5,8 +5,12 @@
 //! in range, well-formed slices, and mutation masks that never touch
 //! the reference lane — and panics with a precise message when a
 //! compile bug violates one. It runs after every group compile under
-//! `debug_assertions`, so release sweeps pay nothing.
+//! `debug_assertions` — on the raw tapes out of the compiler *and* on
+//! the tapes the optimizer pipeline rewrote — so release sweeps pay
+//! nothing. [`verify_exec`] applies the matching rules to the lowered
+//! executor stream, including the fused superinstructions.
 
+use super::exec::{ExecOp, ExecTape, ExecUnit};
 use super::tape::{Instr, Reg, Tape};
 
 /// Panics unless the tape upholds every structural invariant.
@@ -95,6 +99,158 @@ pub(crate) fn verify_tape(tape: &Tape, n_symbols: usize) {
     }
 }
 
+/// Panics unless a lowered unit upholds the executor's invariants:
+/// both streams pass [`verify_exec`], and the scalar prefix contains
+/// no lane-only op (`MaskSel`, `Splat`, or a fused superinstruction —
+/// uniform ops lower plainly and mask selects are divergent by
+/// definition).
+pub(crate) fn verify_unit(unit: &ExecUnit, n_symbols: usize, n_consts: usize, n_scalar: usize) {
+    verify_exec(&unit.pre, n_symbols, n_consts, 0);
+    for (i, op) in unit.pre.ops.iter().enumerate() {
+        assert!(
+            !matches!(
+                op,
+                ExecOp::MaskSel { .. }
+                    | ExecOp::Splat { .. }
+                    | ExecOp::BinMaskSel { .. }
+                    | ExecOp::BinMaskSelLo { .. }
+                    | ExecOp::LoadBin { .. }
+                    | ExecOp::BinLoad { .. }
+                    | ExecOp::NotReduce { .. }
+                    | ExecOp::NotBin { .. }
+                    | ExecOp::BinNot { .. }
+                    | ExecOp::BinBinL { .. }
+                    | ExecOp::BinBinR { .. }
+            ),
+            "scalar-prefix op {i} is lane-only: {op:?}"
+        );
+    }
+    verify_exec(&unit.main, n_symbols, n_consts, n_scalar);
+}
+
+/// Panics unless a lowered tape upholds the executor's invariants.
+///
+/// * destinations are strictly increasing and never overwrite the
+///   constant pool (`run_exec` splits the register file at `dst`, so
+///   every operand must reference a strictly lower register);
+/// * every operand is either a pool register or a prior destination;
+/// * `Load`/`LoadBin`/`BinLoad` and store symbols index into state;
+/// * `Splat` sources stay inside the `n_scalar`-register scalar file;
+/// * every lane-select mask (plain or fused) selects at least one lane
+///   and never the reference lane.
+pub(crate) fn verify_exec(tape: &ExecTape, n_symbols: usize, n_consts: usize, n_scalar: usize) {
+    let mut defined: Vec<bool> = vec![true; n_consts];
+    let mut prev: Option<Reg> = None;
+    for (i, op) in tape.ops.iter().enumerate() {
+        let dst = op.dst();
+        assert!(
+            (dst as usize) >= n_consts,
+            "exec op {i} writes r{dst} inside the {n_consts}-register constant pool"
+        );
+        if let Some(prev) = prev {
+            assert!(dst > prev, "exec op {i} destination r{dst} not above r{prev}");
+        }
+        prev = Some(dst);
+        let check_reg = |r: Reg, role: &str| {
+            assert!(r < dst, "exec op {i} reads {role} r{r} at or above its dst r{dst}");
+            assert!(
+                defined.get(r as usize).copied().unwrap_or(false),
+                "exec op {i} reads {role} r{r} that no prior op defines"
+            );
+        };
+        let check_sym = |sym: u32, role: &str| {
+            assert!(
+                (sym as usize) < n_symbols,
+                "exec op {i} {role} symbol {sym} out of range (state has {n_symbols})"
+            );
+        };
+        let check_mask = |mask: u64| {
+            assert!(mask != 0, "exec op {i} has an empty mutation mask");
+            assert!(mask & 1 == 0, "exec op {i} mutation mask selects reference lane 0");
+        };
+        match *op {
+            ExecOp::Load { sym, .. } => check_sym(sym, "loads"),
+            ExecOp::Const { .. } => {}
+            ExecOp::MaskSel { mask, a, b, .. } => {
+                check_reg(a, "mask-sel a");
+                check_reg(b, "mask-sel b");
+                check_mask(mask);
+            }
+            ExecOp::Sel { cond, a, b, .. } => {
+                check_reg(cond, "sel cond");
+                check_reg(a, "sel a");
+                check_reg(b, "sel b");
+            }
+            ExecOp::Not { a, .. }
+            | ExecOp::Reduce { a, .. }
+            | ExecOp::Shift { a, .. }
+            | ExecOp::Slice { a, .. }
+            | ExecOp::NotReduce { a, .. } => check_reg(a, "unary"),
+            ExecOp::Bin { a, b, .. } | ExecOp::Concat { a, b, .. } => {
+                check_reg(a, "lhs");
+                check_reg(b, "rhs");
+            }
+            ExecOp::DynGet { base, index, .. } => {
+                check_reg(base, "dyn-get base");
+                check_reg(index, "dyn-get index");
+            }
+            ExecOp::DynSet { cur, index, bit, .. } => {
+                check_reg(cur, "dyn-set cur");
+                check_reg(index, "dyn-set index");
+                check_reg(bit, "dyn-set bit");
+            }
+            ExecOp::WithSlice { cur, v, .. } => {
+                check_reg(cur, "with-slice cur");
+                check_reg(v, "with-slice value");
+            }
+            ExecOp::BinMaskSel { a, b, other, mask, .. }
+            | ExecOp::BinMaskSelLo { a, b, other, mask, .. } => {
+                check_reg(a, "fused bin lhs");
+                check_reg(b, "fused bin rhs");
+                check_reg(other, "fused sel arm");
+                check_mask(mask);
+            }
+            ExecOp::LoadBin { sym, b, .. } => {
+                check_sym(sym, "fused-loads");
+                check_reg(b, "fused bin rhs");
+            }
+            ExecOp::BinLoad { a, sym, .. } => {
+                check_reg(a, "fused bin lhs");
+                check_sym(sym, "fused-loads");
+            }
+            ExecOp::NotBin { a, b, .. } | ExecOp::BinNot { a, b, .. } => {
+                check_reg(a, "fused bin lhs");
+                check_reg(b, "fused bin rhs");
+            }
+            ExecOp::BinBinL { a, b, c, .. } | ExecOp::BinBinR { a, b, c, .. } => {
+                check_reg(a, "fused inner lhs");
+                check_reg(b, "fused inner rhs");
+                check_reg(c, "fused outer operand");
+            }
+            ExecOp::Splat { src, .. } => {
+                assert!(
+                    (src as usize) < n_scalar,
+                    "exec op {i} splats scalar r{src} outside the {n_scalar}-register scalar file"
+                );
+            }
+        }
+        if defined.len() <= dst as usize {
+            defined.resize(dst as usize + 1, false);
+        }
+        defined[dst as usize] = true;
+    }
+    for &(sym, reg) in &tape.stores {
+        assert!(
+            (sym as usize) < n_symbols,
+            "exec tape stores to symbol {sym} out of range (state has {n_symbols})"
+        );
+        assert!(
+            defined.get(reg as usize).copied().unwrap_or(false),
+            "exec tape stores from undefined register r{reg}"
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,5 +321,46 @@ mod tests {
         let mut tape = valid_tape();
         tape.stores = vec![(0, 9)];
         verify_tape(&tape, 1);
+    }
+
+    fn valid_exec() -> ExecTape {
+        ExecTape {
+            ops: vec![
+                ExecOp::Load { dst: 1, sym: 0 },
+                ExecOp::BinMaskSel { dst: 2, op: BinOp::Or, a: 0, b: 1, m: 0xf, mask: 0b10, other: 1 },
+            ],
+            stores: vec![(0, 2)],
+        }
+    }
+
+    #[test]
+    fn valid_exec_tape_passes() {
+        // One pooled constant at r0, two emitted ops above it.
+        verify_exec(&valid_exec(), 1, 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "constant pool")]
+    fn exec_dst_inside_the_pool_panics() {
+        let mut tape = valid_exec();
+        tape.ops[0] = ExecOp::Load { dst: 0, sym: 0 };
+        verify_exec(&tape, 1, 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no prior op defines")]
+    fn fused_operand_of_undefined_register_panics() {
+        let mut tape = valid_exec();
+        // r1 is skipped: the fused op reads a hole in the register file.
+        tape.ops.remove(0);
+        verify_exec(&tape, 1, 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "reference lane 0")]
+    fn fused_mask_touching_lane_zero_panics() {
+        let mut tape = valid_exec();
+        tape.ops[1] = ExecOp::BinMaskSel { dst: 2, op: BinOp::Or, a: 0, b: 1, m: 0xf, mask: 0b11, other: 1 };
+        verify_exec(&tape, 1, 1, 0);
     }
 }

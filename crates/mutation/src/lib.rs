@@ -55,8 +55,8 @@ mod score;
 
 pub use equivalence::{classify_mutants, survivor_class, EquivalenceClass, EquivalencePolicy};
 pub use execute::{
-    execute_mutants, execute_mutants_engine, execute_mutants_jobs, reference_transcript,
-    run_one, Engine, KillResult, TestSequence,
+    execute_mutants, execute_mutants_engine, execute_mutants_engine_opt, execute_mutants_jobs,
+    reference_transcript, run_one, Engine, KillResult, OptLevel, TestSequence,
 };
 pub use lanes::{
     execute_mutants_lanes, execute_mutants_lanes_opts, kill_rows_lanes, LaneOptions,

@@ -6,9 +6,9 @@
 //! derived from the validated [`CampaignPlan`] — so builder-field
 //! ordering, preset spelling and other surface details never matter —
 //! and covers the task (with parameters), benchmarks, seed and every
-//! effective configuration field **except** `jobs`, which shards work
-//! without touching a single output bit (`wall` and tracing never
-//! enter the plan at all).
+//! effective configuration field **except** `jobs` and `opt`, which
+//! respectively shard and speed up the work without touching a single
+//! output bit (`wall` and tracing never enter the plan at all).
 //!
 //! `engine`, `fault_reduce` and `screen` are included even though the
 //! differential suites pin them bit-identical: they are part of the
@@ -94,7 +94,10 @@ pub(crate) fn key_material(plan: &CampaignPlan) -> String {
         config.equivalence.exhaustive_limit,
         config.equivalence.seed,
     );
-    // `config.jobs` intentionally absent: a pure wall-clock knob.
+    // `config.jobs` and `config.opt` intentionally absent: pure
+    // wall-clock knobs — sharding and the lane-tape optimizer are both
+    // pinned bit-identical by the differential suites, so results are
+    // shareable across their settings.
     s
 }
 
@@ -145,6 +148,14 @@ mod tests {
             .fast()
             .seed(7)
             .task(Task::Sampling { fraction: 0.5 })
+    }
+
+    #[test]
+    fn opt_level_shares_the_key() {
+        // The optimizer is bit-identity-pinned, so `--opt off` may reuse
+        // a `--opt full` result (and vice versa).
+        use musa_mutation::OptLevel;
+        assert_eq!(key(&base()), key(&base().opt(OptLevel::Off)));
     }
 
     #[test]

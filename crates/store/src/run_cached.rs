@@ -107,6 +107,7 @@ pub fn meta_from_plan(plan: &CampaignPlan, wall: Duration) -> RunMeta {
         engine: plan.config.engine,
         fault_reduce: plan.config.fault_reduce,
         screen: plan.config.screen,
+        opt: plan.config.opt,
         preset: plan.preset,
         wall,
     }

@@ -133,20 +133,35 @@ pub fn handle_connection(
 /// the given store. Per-connection failures are answered/logged and
 /// never stop the loop.
 ///
+/// Each connection is handled on its own thread, so a slow or stalled
+/// client never blocks the accept loop: the store's blob writes are
+/// atomic (temp sibling + rename, unique per thread), so concurrent
+/// misses for the same key simply race to install identical blobs.
+/// `once` mode stays single-threaded — its point is a deterministic
+/// serve-one-then-exit for hermetic tests.
+///
 /// # Errors
 ///
 /// Only a failure of `accept` itself.
 pub fn serve(listener: &TcpListener, store: &Store, once: bool) -> io::Result<()> {
-    for stream in listener.incoming() {
-        let stream = stream?;
+    if once {
+        let (stream, _) = listener.accept()?;
         if let Err(e) = serve_stream(stream, store) {
             eprintln!("serve: connection failed: {e}");
         }
-        if once {
-            return Ok(());
-        }
+        return Ok(());
     }
-    Ok(())
+    std::thread::scope(|scope| {
+        for stream in listener.incoming() {
+            let stream = stream?;
+            scope.spawn(move || {
+                if let Err(e) = serve_stream(stream, store) {
+                    eprintln!("serve: connection failed: {e}");
+                }
+            });
+        }
+        Ok(())
+    })
 }
 
 fn serve_stream(stream: TcpStream, store: &Store) -> io::Result<()> {
@@ -264,6 +279,35 @@ mod tests {
         handle_connection(&mut Cursor::new(wire), &mut response, &store).unwrap();
         let (status, _) = read_frame(&mut Cursor::new(response)).unwrap();
         assert_eq!(status, "error");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_clients_are_served_independently() {
+        let (dir, store) = scratch_store("concurrent");
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        // The server thread never exits (no `once`); it is deliberately
+        // leaked and dies with the test process.
+        std::thread::spawn(move || serve(&listener, &store, false));
+
+        // Client A connects first but stays silent, pinning its
+        // connection open. Under a serial accept loop this would block
+        // the server, and client B below would hang forever.
+        let slow = TcpStream::connect(addr).unwrap();
+
+        // Client B completes a full round trip while A is still open.
+        let (status, body) = client_request(addr, REQUEST).unwrap();
+        assert_eq!(status, "ok-miss");
+        assert!(body.contains("\"schema\": \"musa.campaign.v1\""));
+
+        // A now speaks, and its (previously idle) connection still
+        // works — and sees B's result as a store hit.
+        let mut writer = slow.try_clone().unwrap();
+        write_frame(&mut writer, "campaign", REQUEST.as_bytes()).unwrap();
+        let mut reader = BufReader::new(slow);
+        let (status, _) = read_frame(&mut reader).unwrap();
+        assert_eq!(status, "ok-hit");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

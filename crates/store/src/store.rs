@@ -127,14 +127,21 @@ impl CampaignKey {
 }
 
 /// Writes `text` to `path` atomically: a temporary sibling (suffixed
-/// with the writer's pid, so concurrent processes never collide) is
-/// written, flushed and renamed into place.
+/// with the writer's pid plus a per-process sequence number, so
+/// neither concurrent processes nor concurrent server threads ever
+/// collide) is written, flushed and renamed into place.
 pub(crate) fn write_atomic(path: &Path, text: &str) -> io::Result<()> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
     let file_name = path
         .file_name()
         .and_then(|n| n.to_str())
         .unwrap_or("blob.json");
-    let tmp = path.with_file_name(format!("{file_name}.tmp.{}", std::process::id()));
+    let tmp = path.with_file_name(format!(
+        "{file_name}.tmp.{}.{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed),
+    ));
     fs::write(&tmp, text)?;
     let renamed = fs::rename(&tmp, path);
     if renamed.is_err() {

@@ -15,7 +15,7 @@
 use musa_hdl::{Bits, CheckedDesign, Simulator};
 use musa_mutation::{
     reference_transcript, run_one, Engine, LaneOptions, LanePlan, Mutant, MutationError,
-    TestSequence,
+    OptLevel, TestSequence,
 };
 use musa_prng::{Prng, SplitMix64};
 
@@ -62,6 +62,9 @@ pub struct MgConfig {
     /// engines emit bit-identical data; `lanes` grades up to 63 live
     /// mutants per simulation pass.
     pub engine: Engine,
+    /// Lane-tape optimizer level (ignored by the scalar engine). Both
+    /// levels emit bit-identical data.
+    pub opt: OptLevel,
 }
 
 impl Default for MgConfig {
@@ -73,6 +76,7 @@ impl Default for MgConfig {
             selection: Selection::FirstCome,
             seed: 0x6D67,
             engine: Engine::default(),
+            opt: OptLevel::default(),
         }
     }
 }
@@ -87,6 +91,7 @@ impl MgConfig {
             selection: Selection::FirstCome,
             seed,
             engine: Engine::default(),
+            opt: OptLevel::default(),
         }
     }
 
@@ -94,6 +99,13 @@ impl MgConfig {
     #[must_use]
     pub fn with_engine(mut self, engine: Engine) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Returns a copy with the given lane-tape optimizer level.
+    #[must_use]
+    pub fn with_opt(mut self, opt: OptLevel) -> Self {
+        self.opt = opt;
         self
     }
 }
@@ -186,7 +198,8 @@ fn combinational(
             Engine::Lanes => {
                 let subset: Vec<Mutant> =
                     live.iter().map(|&mi| mutants[mi].clone()).collect();
-                let plan = LanePlan::new(checked, entity, &subset, &LaneOptions::default())?;
+                let options = LaneOptions::default().with_opt(config.opt);
+                let plan = LanePlan::new(checked, entity, &subset, &options)?;
                 plan.kill_rows(&pool)?.0
             }
         };
@@ -318,7 +331,8 @@ fn sequential(
                 // pool (the pre-cache path recompiled per candidate).
                 let subset: Vec<Mutant> =
                     live.iter().map(|&mi| mutants[mi].clone()).collect();
-                let plan = LanePlan::new(checked, entity, &subset, &LaneOptions::default())?;
+                let options = LaneOptions::default().with_opt(config.opt);
+                let plan = LanePlan::new(checked, entity, &subset, &options)?;
                 let mut first_kill = vec![Vec::with_capacity(pool.len()); live.len()];
                 for candidate in &pool {
                     let (result, _) = plan.first_kills(candidate)?;

@@ -6,7 +6,7 @@ use musa::circuits::Benchmark;
 use musa::hdl::Bits;
 use musa::mutation::{
     execute_mutants_engine, execute_mutants_jobs, execute_mutants_lanes_opts, generate_mutants,
-    Engine, GenerateOptions, LaneOptions, Mutant, MAX_LANES,
+    Engine, GenerateOptions, LaneOptions, LanePlan, Mutant, OptLevel, MAX_LANES,
 };
 use musa::prng::{Prng, SplitMix64};
 use proptest::prelude::*;
@@ -68,7 +68,7 @@ fn lane_engine_is_bit_identical_on_every_bundled_circuit() {
                 .unwrap();
         for lanes_per_pass in [1, 2, 63] {
             for jobs in [1, 8] {
-                let opts = LaneOptions { lanes_per_pass, jobs };
+                let opts = LaneOptions { lanes_per_pass, jobs, ..LaneOptions::default() };
                 let (lanes, _) = execute_mutants_lanes_opts(
                     &circuit.checked,
                     &circuit.name,
@@ -132,6 +132,55 @@ fn engine_dispatch_is_identical_through_the_public_entry_point() {
     )
     .unwrap();
     assert_eq!(scalar.first_kill, lanes.first_kill);
+}
+
+/// Per-circuit `(full, off)` plans over the FULL population, compiled
+/// once — the property test below only varies the stimulus.
+fn opt_plans() -> &'static Vec<(LanePlan<'static>, LanePlan<'static>)> {
+    static CACHE: OnceLock<Vec<(LanePlan<'static>, LanePlan<'static>)>> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        circuits()
+            .iter()
+            .map(|(circuit, population)| {
+                let plan = |opt| {
+                    LanePlan::new(
+                        &circuit.checked,
+                        &circuit.name,
+                        population,
+                        &LaneOptions::default().with_opt(opt),
+                    )
+                    .expect("plan compiles")
+                };
+                (plan(OptLevel::Full), plan(OptLevel::Off))
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// The optimizer is semantics-preserving on every bundled circuit's
+    /// FULL mutant population: for random stimulus, the optimized
+    /// pipeline reproduces the unoptimized pipeline's first-kill vector
+    /// bit for bit (and the unoptimized side really ran untouched
+    /// tapes).
+    #[test]
+    fn optimizer_preserves_kills_on_full_populations(
+        seed in any::<u64>(),
+        cycles in 2usize..12,
+    ) {
+        for ((circuit, population), (full, off)) in circuits().iter().zip(opt_plans()) {
+            let sequence = random_sequence_for(circuit, cycles, seed);
+            let (kills_full, stats_full) = full.first_kills(&sequence).unwrap();
+            let (kills_off, stats_off) = off.first_kills(&sequence).unwrap();
+            prop_assert_eq!(
+                &kills_full.first_kill, &kills_off.first_kill,
+                "{}: optimized and unoptimized kills diverged", circuit.name,
+            );
+            prop_assert_eq!(kills_full.first_kill.len(), population.len());
+            prop_assert!(stats_full.instrs_after <= stats_full.instrs_before);
+            prop_assert_eq!(stats_off.instrs_after, stats_off.instrs_before);
+        }
+    }
 }
 
 proptest! {
